@@ -1,0 +1,65 @@
+//! Catalog and telemetry substrate benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType, FileLayout};
+use doppler_telemetry::{rollup, PerfDimension, PreAggregator, RawSample};
+
+fn bench_catalog_generation(c: &mut Criterion) {
+    let spec = CatalogSpec::default();
+    c.bench_function("catalog_generate", |b| {
+        b.iter(|| azure_paas_catalog(std::hint::black_box(&spec)))
+    });
+}
+
+fn bench_catalog_query(c: &mut Criterion) {
+    let cat = azure_paas_catalog(&CatalogSpec::default());
+    c.bench_function("catalog_sorted_by_price", |b| {
+        b.iter(|| std::hint::black_box(&cat).sorted_by_price(DeploymentType::SqlDb))
+    });
+}
+
+fn bench_storage_tier_assignment(c: &mut Criterion) {
+    let layout = FileLayout::from_sizes(&[100.0, 400.0, 900.0, 1500.0]);
+    c.bench_function("mi_tier_assignment_for_demand", |b| {
+        b.iter(|| {
+            std::hint::black_box(&layout).assign_tiers_for_demand(12_000.0, 400.0, 0.95)
+        })
+    });
+}
+
+fn bench_preaggregation(c: &mut Criterion) {
+    // A week of per-minute raw samples into 10-minute buckets.
+    let samples: Vec<RawSample> = (0..7 * 24 * 60)
+        .map(|i| RawSample { minute: i as f64, value: (i % 97) as f64 })
+        .collect();
+    let agg = PreAggregator::default();
+    c.bench_function("preaggregate_week_of_minutes", |b| {
+        b.iter(|| agg.aggregate(std::hint::black_box(&samples), 7.0 * 24.0 * 60.0))
+    });
+}
+
+fn bench_rollup(c: &mut Criterion) {
+    let child = doppler_telemetry::PerfHistory::new()
+        .with(
+            PerfDimension::Cpu,
+            doppler_telemetry::TimeSeries::ten_minute(vec![1.0; 2016]),
+        )
+        .with(
+            PerfDimension::IoLatency,
+            doppler_telemetry::TimeSeries::ten_minute(vec![5.0; 2016]),
+        );
+    let children = vec![child; 40];
+    c.bench_function("rollup_40_databases_14d", |b| {
+        b.iter(|| rollup(std::hint::black_box(&children)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_catalog_generation,
+    bench_catalog_query,
+    bench_storage_tier_assignment,
+    bench_preaggregation,
+    bench_rollup
+);
+criterion_main!(benches);

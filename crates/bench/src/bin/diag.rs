@@ -1,0 +1,95 @@
+//! Calibration diagnostics: where do back-test mismatches concentrate?
+
+use std::collections::BTreeMap;
+
+use doppler_bench::backtest::catalog;
+use doppler_catalog::DeploymentType;
+use doppler_core::{DopplerEngine, EngineConfig, TrainingRecord};
+use doppler_workload::PopulationSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let deployment = if args.get(2).map(|s| s == "mi").unwrap_or(false) {
+        DeploymentType::SqlMi
+    } else {
+        DeploymentType::SqlDb
+    };
+    let spec = match deployment {
+        DeploymentType::SqlDb => PopulationSpec { days: 7.0, ..PopulationSpec::sql_db(n, 42) },
+        DeploymentType::SqlMi => PopulationSpec { days: 7.0, ..PopulationSpec::sql_mi(n, 42) },
+    };
+    let cat = catalog();
+    let customers = spec.customers(&cat);
+    let records: Vec<TrainingRecord> = customers
+        .iter()
+        .filter(|c| !c.over_provisioned)
+        .map(|c| TrainingRecord {
+            history: c.history.clone(),
+            chosen_sku: c.chosen_sku.clone(),
+            file_layout: c.file_layout.clone(),
+        })
+        .collect();
+    let engine = DopplerEngine::train(cat.clone(), EngineConfig::production(deployment), &records);
+
+    let mut by_shape: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut group_match: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut mismatch_examples = Vec::new();
+    for c in &customers {
+        if c.over_provisioned {
+            continue;
+        }
+        let rec = engine.recommend(&c.history, c.file_layout.as_ref());
+        let hit = rec.sku_id.as_deref() == Some(c.chosen_sku.0.as_str());
+        let shape = format!("{:?}/lat={}", c.shape_class, c.latency_critical);
+        let e = by_shape.entry(shape).or_default();
+        e.1 += 1;
+        if hit {
+            e.0 += 1;
+        }
+        // ground-truth group vs assigned group
+        let truth = c.negotiability.iter().enumerate().fold(0usize, |a, (i, &b)| a | ((b as usize) << i));
+        *group_match.entry((truth, rec.group)).or_default() += 1;
+        if !hit && mismatch_examples.len() < 12 && c.latency_critical {
+            mismatch_examples.push(format!(
+                "id={} off_model={} shape={:?} bits_true={:?} bits_est={:?} chosen={} rec={:?} p_g={:.4} score@chosen={:?}",
+                c.id,
+                c.off_model,
+                c.shape_class,
+                c.negotiability,
+                rec.bits,
+                c.chosen_sku,
+                rec.sku_id,
+                rec.preferred_p,
+                rec.curve.point_for(c.chosen_sku.0.as_str()).map(|p| p.score),
+            ));
+        }
+    }
+    println!("accuracy by shape:");
+    for (k, (m, t)) in &by_shape {
+        println!("  {k:<24} {m}/{t} = {:.3}", *m as f64 / *t as f64);
+    }
+    let agree: usize = group_match.iter().filter(|((a, b), _)| a == b).map(|(_, &v)| v).sum();
+    let total: usize = group_match.values().sum();
+    println!("profiler group recovery: {agree}/{total} = {:.3}", agree as f64 / total as f64);
+    println!("mismatch examples:");
+    for m in mismatch_examples {
+        println!("  {m}");
+    }
+
+    let r = doppler_bench::backtest::backtest_customers(
+        &cat,
+        &customers,
+        EngineConfig::production(deployment),
+        false,
+    );
+    println!(
+        "TABLE5 {:?}: accuracy {:.3} (GP {:.3} / BC {:.3}), scored {}, excluded {}",
+        deployment,
+        r.accuracy(),
+        r.gp.accuracy(),
+        r.bc.accuracy(),
+        r.n_scored,
+        r.n_excluded
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p doppler-bench --release --bin reproduce -- all
+//! cargo run -p doppler-bench --release --bin reproduce -- table5 --cohort 1200 --seed 7
+//! cargo run -p doppler-bench --release --bin reproduce -- list
+//! ```
+//!
+//! Every experiment is deterministic in `--seed`; `--cohort` trades
+//! fidelity for runtime (the defaults run the full set in a few minutes).
+
+use doppler_bench::experiments::{registry, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cohort" | "--n" => {
+                i += 1;
+                scale.cohort = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cohort needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage::<()>("no experiment named");
+    }
+
+    let all = registry();
+    if targets.iter().any(|t| t == "list") {
+        println!("available experiments:");
+        for (id, description, _) in &all {
+            println!("  {id:<10} {description}");
+        }
+        return;
+    }
+    let run_all = targets.iter().any(|t| t == "all");
+    let mut ran = 0;
+    for (id, description, runner) in &all {
+        if run_all || targets.iter().any(|t| t == id) {
+            println!("================================================================");
+            println!("{description}   [{id}, cohort={}, seed={}]", scale.cohort, scale.seed);
+            println!("================================================================");
+            let started = std::time::Instant::now();
+            println!("{}", runner(&scale));
+            println!("({id} completed in {:.1}s)\n", started.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        usage::<()>(&format!("unknown experiment(s): {targets:?} — try `list`"));
+    }
+}
+
+fn usage<T>(problem: &str) -> T {
+    eprintln!("error: {problem}");
+    eprintln!("usage: reproduce [all|list|<experiment-id>...] [--cohort N] [--seed S]");
+    std::process::exit(2);
+}

@@ -1,0 +1,188 @@
+//! The SKU record and its resource capacities.
+//!
+//! Figure 1 of the paper shows the shape this module models: a SKU is a
+//! (deployment type, service tier, vCores) triple carrying hard capacities
+//! per performance dimension — max memory, max data size, max data IOPS,
+//! max log rate, minimum achievable IO latency — and an hourly price.
+
+use std::fmt;
+
+/// Azure SQL PaaS deployment type (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum DeploymentType {
+    /// Azure SQL Database: fully managed, isolated single databases.
+    SqlDb,
+    /// Azure SQL Managed Instance: fully managed SQL servers hosting many
+    /// databases.
+    SqlMi,
+}
+
+impl fmt::Display for DeploymentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeploymentType::SqlDb => write!(f, "DB"),
+            DeploymentType::SqlMi => write!(f, "MI"),
+        }
+    }
+}
+
+/// Service tier within the vCore purchasing model (§2): Business Critical
+/// "offers higher transaction rates and lower-latency I/O" than General
+/// Purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum ServiceTier {
+    GeneralPurpose,
+    BusinessCritical,
+}
+
+impl fmt::Display for ServiceTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceTier::GeneralPurpose => write!(f, "GP"),
+            ServiceTier::BusinessCritical => write!(f, "BC"),
+        }
+    }
+}
+
+/// Identifier of a SKU, unique within a catalog, e.g. `DB_GP_8`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct SkuId(pub String);
+
+impl fmt::Display for SkuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for SkuId {
+    fn from(s: &str) -> SkuId {
+        SkuId(s.to_string())
+    }
+}
+
+/// Hard resource capacities of a SKU, one per performance dimension the
+/// engine models (Eq. 1's `R` vector).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResourceCaps {
+    /// Compute capacity in vCores.
+    pub vcores: f64,
+    /// Max memory, GB.
+    pub memory_gb: f64,
+    /// Max data size, GB.
+    pub max_data_gb: f64,
+    /// Max data IOPS. For SQL MI General Purpose this is the *default*
+    /// before the file-layout adjustment of §3.2 replaces it with the sum
+    /// of per-file storage-tier limits.
+    pub iops: f64,
+    /// Max transaction-log rate, MB/s.
+    pub log_rate_mbps: f64,
+    /// Best-case IO latency the SKU can deliver, ms (1 ms for BC, 5 ms for
+    /// GP in Figure 1). Lower is better — Eq. 1 inverts this dimension.
+    pub min_io_latency_ms: f64,
+    /// IO throughput cap, MB/s (drives the MI storage-tier filter).
+    pub throughput_mbps: f64,
+}
+
+impl ResourceCaps {
+    /// True when every capacity of `self` is at least as large as `other`'s
+    /// (latency compares inverted: smaller is more capable).
+    pub fn dominates(&self, other: &ResourceCaps) -> bool {
+        self.vcores >= other.vcores
+            && self.memory_gb >= other.memory_gb
+            && self.max_data_gb >= other.max_data_gb
+            && self.iops >= other.iops
+            && self.log_rate_mbps >= other.log_rate_mbps
+            && self.min_io_latency_ms <= other.min_io_latency_ms
+            && self.throughput_mbps >= other.throughput_mbps
+    }
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sku {
+    pub id: SkuId,
+    pub deployment: DeploymentType,
+    pub tier: ServiceTier,
+    pub caps: ResourceCaps,
+    /// Compute price, US dollars per hour (Figure 1's `Price` column).
+    pub price_per_hour: f64,
+}
+
+impl Sku {
+    /// Monthly compute cost in dollars (730 h/month, the Azure convention).
+    pub fn monthly_cost(&self) -> f64 {
+        self.price_per_hour * crate::billing::HOURS_PER_MONTH
+    }
+
+    /// Number of vCores as an integer for display.
+    pub fn vcores(&self) -> u32 {
+        self.caps.vcores.round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sku(vcores: f64, tier: ServiceTier) -> Sku {
+        let bc = tier == ServiceTier::BusinessCritical;
+        Sku {
+            id: SkuId(format!("DB_{tier}_{vcores}")),
+            deployment: DeploymentType::SqlDb,
+            tier,
+            caps: ResourceCaps {
+                vcores,
+                memory_gb: 5.2 * vcores,
+                max_data_gb: 1024.0,
+                iops: if bc { 4000.0 * vcores } else { 320.0 * vcores },
+                log_rate_mbps: if bc { 12.0 * vcores } else { 3.75 * vcores },
+                min_io_latency_ms: if bc { 1.0 } else { 5.0 },
+                throughput_mbps: 100.0 * vcores,
+            },
+            price_per_hour: if bc { 0.68 * vcores } else { 0.2525 * vcores },
+        }
+    }
+
+    #[test]
+    fn display_formats_match_paper_shorthand() {
+        assert_eq!(DeploymentType::SqlDb.to_string(), "DB");
+        assert_eq!(DeploymentType::SqlMi.to_string(), "MI");
+        assert_eq!(ServiceTier::GeneralPurpose.to_string(), "GP");
+        assert_eq!(ServiceTier::BusinessCritical.to_string(), "BC");
+    }
+
+    #[test]
+    fn monthly_cost_uses_730_hours() {
+        let s = sku(2.0, ServiceTier::GeneralPurpose);
+        assert!((s.monthly_cost() - 0.505 * 730.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_sku_dominates_smaller_same_tier() {
+        let small = sku(2.0, ServiceTier::BusinessCritical);
+        let big = sku(8.0, ServiceTier::BusinessCritical);
+        assert!(big.caps.dominates(&small.caps));
+        assert!(!small.caps.dominates(&big.caps));
+    }
+
+    #[test]
+    fn gp_does_not_dominate_bc_because_of_latency() {
+        // GP 80 cores has more of everything except latency: domination
+        // must fail on the inverted dimension.
+        let gp = sku(80.0, ServiceTier::GeneralPurpose);
+        let bc = sku(2.0, ServiceTier::BusinessCritical);
+        assert!(!gp.caps.dominates(&bc.caps));
+    }
+
+    #[test]
+    fn domination_is_reflexive() {
+        let s = sku(4.0, ServiceTier::GeneralPurpose);
+        assert!(s.caps.dominates(&s.caps));
+    }
+
+    #[test]
+    fn sku_id_round_trips_through_display() {
+        let id: SkuId = "MI_GP_16".into();
+        assert_eq!(id.to_string(), "MI_GP_16");
+    }
+}

@@ -1,0 +1,171 @@
+//! The naive baseline strategy (§2) Doppler replaced.
+//!
+//! "This SKU selection procedure involves taking the entire time-series
+//! vector collected on each available perf counter (e.g., CPU, memory) and
+//! collapsing it into one scalar value. Field engineers often chose either
+//! the max of each perf vector, or some large (95%) quantile. From these
+//! values, the cheapest Azure PaaS offering that satisfies all the
+//! requirements is suggested."
+//!
+//! Two failure modes the evaluation exercises (§5.3):
+//!
+//! * because max/p95 scalars *are* the requirement, the baseline generally
+//!   over-provisions — and when a single excursion exceeds every SKU, it
+//!   "fails to provide any SKU recommendation";
+//! * the scalar reduction treats every dimension as bigger-is-more-
+//!   demanding, which is backwards for IO latency: taking a high quantile
+//!   of the latency series *discards* the latency-critical dips and
+//!   under-specifies the tier. Doppler's full-distribution treatment keeps
+//!   them.
+
+use doppler_catalog::{Catalog, DeploymentType, ResourceCaps, Sku};
+use doppler_stats::descriptive::{max, quantile};
+use doppler_telemetry::{PerfDimension, PerfHistory};
+
+/// The baseline reduction: max or a large quantile of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BaselineStrategy {
+    /// `None` reduces with the max; `Some(q)` with the `q` quantile
+    /// (the evaluation uses `Some(0.95)`).
+    pub quantile: Option<f64>,
+}
+
+impl BaselineStrategy {
+    /// The max-reduction variant.
+    pub fn max() -> BaselineStrategy {
+        BaselineStrategy { quantile: None }
+    }
+
+    /// The 95th-percentile variant used in §5.3.
+    pub fn p95() -> BaselineStrategy {
+        BaselineStrategy { quantile: Some(0.95) }
+    }
+
+    /// Collapse one series to its scalar requirement.
+    fn reduce(&self, values: &[f64]) -> f64 {
+        match self.quantile {
+            None => max(values).unwrap_or(0.0),
+            Some(q) => quantile(values, q).unwrap_or(0.0),
+        }
+    }
+
+    /// The scalar requirement vector the baseline derives from a history.
+    ///
+    /// Note the deliberate flaw: the latency series is reduced with the
+    /// same high-end scalar as everything else, so rare latency-critical
+    /// dips vanish from the requirement.
+    pub fn requirement(&self, history: &PerfHistory) -> ResourceCaps {
+        let get = |dim: PerfDimension| history.values(dim).map(|v| self.reduce(v)).unwrap_or(0.0);
+        ResourceCaps {
+            vcores: get(PerfDimension::Cpu),
+            memory_gb: get(PerfDimension::Memory),
+            max_data_gb: get(PerfDimension::Storage),
+            iops: get(PerfDimension::Iops),
+            log_rate_mbps: get(PerfDimension::LogRate),
+            min_io_latency_ms: history
+                .values(PerfDimension::IoLatency)
+                .map(|v| self.reduce(v))
+                .unwrap_or(f64::INFINITY),
+            throughput_mbps: get(PerfDimension::Iops) / 128.0,
+        }
+    }
+
+    /// Run the baseline: cheapest SKU dominating the scalar requirement, or
+    /// `None` when "no SKU can meet the requirement of all resource
+    /// dimensions at 100%".
+    pub fn recommend<'c>(
+        &self,
+        history: &PerfHistory,
+        catalog: &'c Catalog,
+        deployment: DeploymentType,
+    ) -> Option<&'c Sku> {
+        catalog.cheapest_satisfying(deployment, &self.requirement(history))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec, ServiceTier};
+    use doppler_telemetry::TimeSeries;
+
+    fn catalog() -> Catalog {
+        azure_paas_catalog(&CatalogSpec::default())
+    }
+
+    fn history_with(cpu: Vec<f64>, latency: Vec<f64>) -> PerfHistory {
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(cpu))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(latency))
+    }
+
+    #[test]
+    fn max_reduction_sizes_to_the_single_largest_spike() {
+        let mut cpu = vec![0.5; 99];
+        cpu.push(15.0);
+        let h = history_with(cpu, vec![7.0; 100]);
+        let cat = catalog();
+        let sku = BaselineStrategy::max().recommend(&h, &cat, DeploymentType::SqlDb).unwrap();
+        // One 15-vCore spike forces a 16-vCore machine for a 0.5-vCore load.
+        assert!(sku.caps.vcores >= 15.0, "got {}", sku.id);
+    }
+
+    #[test]
+    fn p95_ignores_the_rare_spike() {
+        let mut cpu = vec![0.5; 99];
+        cpu.push(15.0);
+        let h = history_with(cpu, vec![7.0; 100]);
+        let cat = catalog();
+        let sku = BaselineStrategy::p95().recommend(&h, &cat, DeploymentType::SqlDb).unwrap();
+        assert!(sku.caps.vcores <= 2.0, "got {}", sku.id);
+    }
+
+    #[test]
+    fn demand_beyond_every_sku_yields_no_recommendation() {
+        // §5.3's second failure mode.
+        let h = history_with(vec![500.0; 10], vec![7.0; 10]);
+        assert!(BaselineStrategy::max().recommend(&h, &catalog(), DeploymentType::SqlDb).is_none());
+    }
+
+    #[test]
+    fn latency_dips_are_discarded_by_the_scalar_reduction() {
+        // 5% of samples need 0.8 ms (BC territory); p95 sees only ~6 ms and
+        // under-specifies to GP. This is the §5.3 failure Doppler fixes.
+        let mut latency = vec![6.0; 95];
+        latency.extend_from_slice(&[0.8; 5]);
+        let h = history_with(vec![1.0; 100], latency);
+        let cat = catalog();
+        let sku = BaselineStrategy::p95().recommend(&h, &cat, DeploymentType::SqlDb).unwrap();
+        assert_eq!(sku.tier, ServiceTier::GeneralPurpose);
+    }
+
+    #[test]
+    fn sustained_latency_requirement_does_force_bc() {
+        // When the tight requirement is sustained, even the flawed scalar
+        // sees it (1.5 ms is met only by BC's 1 ms floor).
+        let h = history_with(vec![1.0; 100], vec![1.5; 100]);
+        let cat = catalog();
+        let sku = BaselineStrategy::p95().recommend(&h, &cat, DeploymentType::SqlDb).unwrap();
+        assert_eq!(sku.tier, ServiceTier::BusinessCritical);
+    }
+
+    #[test]
+    fn missing_dimensions_default_to_unconstrained() {
+        let h = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 10]));
+        let req = BaselineStrategy::p95().requirement(&h);
+        assert_eq!(req.memory_gb, 0.0);
+        assert!(req.min_io_latency_ms.is_infinite());
+        let cat = catalog();
+        let sku = BaselineStrategy::p95().recommend(&h, &cat, DeploymentType::SqlDb);
+        assert!(sku.is_some());
+    }
+
+    #[test]
+    fn cheapest_satisfying_is_selected() {
+        let h = history_with(vec![3.5; 50], vec![7.0; 50]);
+        let cat = catalog();
+        let sku = BaselineStrategy::max().recommend(&h, &cat, DeploymentType::SqlDb).unwrap();
+        assert_eq!(sku.id.to_string(), "DB_GP_4");
+    }
+}

@@ -1,0 +1,119 @@
+//! SKU-change detection (§5.2.3, Figure 11).
+//!
+//! "Since changes in resource utilization patterns trigger changes in the
+//! price-performance curves, Doppler can automatically detect the need to
+//! change SKUs to accommodate changing workload requirements." The study
+//! splits a customer's history at the change point, regenerates the curve
+//! on each side, and compares where the recommendations land — including
+//! the counterfactual throttling the customer would suffer by keeping the
+//! old SKU (the Figure 11 customer would see > 40 %).
+
+use doppler_catalog::Sku;
+use doppler_telemetry::PerfHistory;
+
+use crate::curve::PricePerformanceCurve;
+use crate::matching::select_for_p;
+
+/// Before/after comparison of a split history.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftReport {
+    pub before_curve: PricePerformanceCurve,
+    pub after_curve: PricePerformanceCurve,
+    /// Recommendation on the before-history.
+    pub before_sku: Option<String>,
+    /// Recommendation on the after-history.
+    pub after_sku: Option<String>,
+    /// The recommendations differ: the workload outgrew (or shrank out of)
+    /// its SKU.
+    pub changed: bool,
+    /// Raw throttling probability the *before* recommendation would suffer
+    /// on the *after* workload — the cost of not moving.
+    pub throttle_if_unchanged: f64,
+}
+
+/// Split `history` at sample `change_point`, generate both curves over
+/// `skus`, and select on each with the group tolerance `p_g` (pass 0.0 for
+/// a zero-tolerance selection).
+pub fn detect_drift(
+    history: &PerfHistory,
+    change_point: usize,
+    skus: &[&Sku],
+    p_g: f64,
+) -> DriftReport {
+    let (before, after) = doppler_telemetry::split_at(history, change_point);
+    let before_curve = PricePerformanceCurve::generate(&before, skus);
+    let after_curve = PricePerformanceCurve::generate(&after, skus);
+    let before_sku = select_for_p(&before_curve, p_g).map(|p| p.sku_id.clone());
+    let after_sku = select_for_p(&after_curve, p_g).map(|p| p.sku_id.clone());
+    let throttle_if_unchanged = before_sku
+        .as_ref()
+        .and_then(|id| after_curve.point_for(id))
+        .map(|p| 1.0 - p.raw_score)
+        .unwrap_or(0.0);
+    DriftReport {
+        changed: before_sku != after_sku,
+        before_curve,
+        after_curve,
+        before_sku,
+        after_sku,
+        throttle_if_unchanged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+    use doppler_telemetry::{PerfDimension, TimeSeries};
+
+    fn split_history(before_cpu: f64, after_cpu: f64, n: usize) -> PerfHistory {
+        let mut cpu = vec![before_cpu; n / 2];
+        cpu.extend(vec![after_cpu; n - n / 2]);
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(cpu))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![7.0; n]))
+    }
+
+    #[test]
+    fn growth_triggers_a_change() {
+        let cat = azure_paas_catalog(&CatalogSpec::default());
+        let skus = cat.for_deployment(DeploymentType::SqlDb);
+        let h = split_history(1.0, 7.0, 200);
+        let r = detect_drift(&h, 100, &skus, 0.0);
+        assert!(r.changed);
+        assert_eq!(r.before_sku.as_deref(), Some("DB_GP_2"));
+        assert_eq!(r.after_sku.as_deref(), Some("DB_GP_8"));
+        // Staying on GP 2 would throttle on every after-sample.
+        assert!(r.throttle_if_unchanged > 0.99);
+    }
+
+    #[test]
+    fn stable_workload_reports_no_change() {
+        let cat = azure_paas_catalog(&CatalogSpec::default());
+        let skus = cat.for_deployment(DeploymentType::SqlDb);
+        let h = split_history(1.0, 1.1, 200);
+        let r = detect_drift(&h, 100, &skus, 0.0);
+        assert!(!r.changed);
+        assert_eq!(r.throttle_if_unchanged, 0.0);
+    }
+
+    #[test]
+    fn shrink_is_also_detected() {
+        let cat = azure_paas_catalog(&CatalogSpec::default());
+        let skus = cat.for_deployment(DeploymentType::SqlDb);
+        let h = split_history(7.0, 0.5, 200);
+        let r = detect_drift(&h, 100, &skus, 0.0);
+        assert!(r.changed);
+        // Moving down throttles nothing.
+        assert_eq!(r.throttle_if_unchanged, 0.0);
+    }
+
+    #[test]
+    fn empty_sku_set_degrades_gracefully() {
+        let h = split_history(1.0, 5.0, 100);
+        let r = detect_drift(&h, 50, &[], 0.0);
+        assert!(r.before_sku.is_none());
+        assert!(r.after_sku.is_none());
+        assert!(!r.changed);
+    }
+}

@@ -1,0 +1,384 @@
+//! The [`DopplerEngine`] façade: train on migrated customers, recommend for
+//! new ones (Figure 3's full loop).
+
+use doppler_catalog::{BillingRates, Catalog, DeploymentType, FileLayout, SkuId, StorageTier};
+use doppler_telemetry::{PerfDimension, PerfHistory};
+
+use crate::confidence::{confidence_score, ConfidenceConfig};
+use crate::curve::{CurveShape, PricePerformanceCurve};
+use crate::explain::{explain, Explanation};
+use crate::grouping::{FittedGrouping, GroupingStrategy};
+use crate::matching::GroupModel;
+use crate::mi::{mi_curve, MiAssessment};
+use crate::profile::NegotiabilityStrategy;
+use crate::throttling::ThrottleBreakdown;
+
+/// Engine configuration: which deployment is being assessed and how the
+/// Customer Profiler summarizes and groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    pub deployment: DeploymentType,
+    pub negotiability: NegotiabilityStrategy,
+    pub grouping: GroupingStrategy,
+    pub rates: BillingRates,
+}
+
+impl EngineConfig {
+    /// The production configuration for a deployment: thresholding +
+    /// straightforward enumeration (§5.2.1: "The final strategy deployed in
+    /// production utilizes the thresholding algorithm, then employs
+    /// straightforward enumeration").
+    pub fn production(deployment: DeploymentType) -> EngineConfig {
+        EngineConfig {
+            deployment,
+            negotiability: NegotiabilityStrategy::production(),
+            grouping: GroupingStrategy::Enumeration,
+            rates: BillingRates::default(),
+        }
+    }
+}
+
+/// One training example: a successfully migrated customer with a retained
+/// SKU (the ≥ 40-day criterion of §5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingRecord {
+    pub history: PerfHistory,
+    pub chosen_sku: SkuId,
+    /// MI customers carry their fixed file layout (§3.2).
+    pub file_layout: Option<FileLayout>,
+}
+
+/// MI-specific context attached to a recommendation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MiSummary {
+    pub restricted_to_bc: bool,
+    pub gp_iops_limit: f64,
+    pub storage_tiers: Vec<StorageTier>,
+}
+
+/// A completed recommendation: the chosen SKU plus everything needed to
+/// audit it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Recommendation {
+    /// The recommended SKU; `None` when no candidate exists (e.g. a data
+    /// file larger than any MI placement).
+    pub sku_id: Option<String>,
+    pub monthly_cost: Option<f64>,
+    /// The SKU's (envelope) score `1 − P(throttling)`.
+    pub score: Option<f64>,
+    pub curve: PricePerformanceCurve,
+    pub shape: CurveShape,
+    /// Profiler group the customer matched.
+    pub group: usize,
+    /// Group tolerance `P_g` applied in matching.
+    pub preferred_p: f64,
+    /// Negotiability bits across the profiled dimensions.
+    pub bits: Vec<bool>,
+    /// Bootstrap confidence, when requested.
+    pub confidence: Option<f64>,
+    pub explanation: Explanation,
+    pub mi: Option<MiSummary>,
+}
+
+/// The trained engine.
+#[derive(Debug, Clone)]
+pub struct DopplerEngine {
+    catalog: Catalog,
+    config: EngineConfig,
+    grouping: FittedGrouping,
+    model: GroupModel,
+}
+
+/// The dimensions profiled per deployment (§5.2.1): CPU, memory, IOPS and
+/// log rate for SQL DB (2⁴ = 16 groups); CPU, memory, IOPS for SQL MI
+/// (2³ = 8 groups).
+pub fn profiled_dimensions(deployment: DeploymentType) -> &'static [PerfDimension] {
+    match deployment {
+        DeploymentType::SqlDb => &[
+            PerfDimension::Cpu,
+            PerfDimension::Memory,
+            PerfDimension::Iops,
+            PerfDimension::LogRate,
+        ],
+        DeploymentType::SqlMi => &[PerfDimension::Cpu, PerfDimension::Memory, PerfDimension::Iops],
+    }
+}
+
+impl DopplerEngine {
+    /// Train on migrated customers: profile each, fit the grouping, learn
+    /// each group's preferred operating point.
+    pub fn train(catalog: Catalog, config: EngineConfig, records: &[TrainingRecord]) -> DopplerEngine {
+        let dims = profiled_dimensions(config.deployment);
+        let weights: Vec<Vec<f64>> =
+            records.iter().map(|r| config.negotiability.weights(&r.history, dims)).collect();
+        let bits: Vec<Vec<bool>> =
+            records.iter().map(|r| config.negotiability.bits(&r.history, dims)).collect();
+        let (grouping, labels) = if records.is_empty() {
+            (FittedGrouping::Enumeration { n_dims: dims.len() }, Vec::new())
+        } else {
+            config.grouping.fit(&weights, &bits)
+        };
+
+        let mut engine = DopplerEngine {
+            catalog,
+            config,
+            grouping,
+            model: GroupModel::learn(0, std::iter::empty()),
+        };
+        let curves: Vec<PricePerformanceCurve> = records
+            .iter()
+            .map(|r| engine.curve_for(&r.history, r.file_layout.as_ref()).0)
+            .collect();
+        engine.model = GroupModel::learn(
+            engine.grouping.group_count(),
+            labels
+                .iter()
+                .zip(&curves)
+                .zip(records)
+                .map(|((&g, c), r)| (g, c, r.chosen_sku.0.as_str())),
+        );
+        engine
+    }
+
+    /// An engine with no training data: enumeration groups and a
+    /// zero-tolerance fallback (recommends the cheapest fully satisfying
+    /// SKU — the behaviour a fresh deployment starts from).
+    pub fn untrained(catalog: Catalog, config: EngineConfig) -> DopplerEngine {
+        DopplerEngine::train(catalog, config, &[])
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The learned group model (Table 3's statistics live here).
+    pub fn group_model(&self) -> &GroupModel {
+        &self.model
+    }
+
+    /// The dimensions this engine profiles.
+    pub fn dims(&self) -> &'static [PerfDimension] {
+        profiled_dimensions(self.config.deployment)
+    }
+
+    /// Build the price-performance curve for a workload (the MI assessment
+    /// when a layout is supplied). The second element carries MI context.
+    pub fn curve_for(
+        &self,
+        history: &PerfHistory,
+        layout: Option<&FileLayout>,
+    ) -> (PricePerformanceCurve, Option<MiAssessment>) {
+        match (self.config.deployment, layout) {
+            (DeploymentType::SqlMi, Some(layout)) => {
+                match mi_curve(history, layout, &self.catalog, &self.config.rates) {
+                    Some(a) => (a.curve.clone(), Some(a)),
+                    // No MI placement exists (file too large): empty curve.
+                    None => (PricePerformanceCurve::from_scored(vec![]), None),
+                }
+            }
+            _ => {
+                let skus = self.catalog.for_deployment(self.config.deployment);
+                (PricePerformanceCurve::generate(history, &skus), None)
+            }
+        }
+    }
+
+    /// Profile, group, and recommend.
+    pub fn recommend(&self, history: &PerfHistory, layout: Option<&FileLayout>) -> Recommendation {
+        let dims = self.dims();
+        let weights = self.config.negotiability.weights(history, dims);
+        let bits = self.config.negotiability.bits(history, dims);
+        let group = self.grouping.assign(&weights, &bits);
+        let preferred_p = self.model.preferred_p(group);
+
+        let (curve, mi) = self.curve_for(history, layout);
+        let shape = curve.classify();
+        let point = self.model.select(group, &curve).cloned();
+
+        // Breakdown at the chosen SKU, with the MI storage-derived IOPS
+        // limit substituted where applicable.
+        let breakdown = point.as_ref().and_then(|p| {
+            let sku = self.catalog.get(&SkuId(p.sku_id.clone()))?;
+            let mut caps = sku.caps;
+            if let Some(a) = &mi {
+                if sku.tier == doppler_catalog::ServiceTier::GeneralPurpose {
+                    caps.iops = a.gp_iops_limit;
+                    caps.throughput_mbps = a.storage.total_throughput_mibps();
+                }
+            }
+            Some(ThrottleBreakdown::compute(history, &caps))
+        });
+
+        let explanation = explain(
+            point.as_ref().map(|p| p.sku_id.as_str()),
+            &curve,
+            shape,
+            dims,
+            &bits,
+            group,
+            preferred_p,
+            breakdown.as_ref(),
+        );
+        Recommendation {
+            sku_id: point.as_ref().map(|p| p.sku_id.clone()),
+            monthly_cost: point.as_ref().map(|p| p.monthly_cost),
+            score: point.as_ref().map(|p| p.score),
+            curve,
+            shape,
+            group,
+            preferred_p,
+            bits,
+            confidence: None,
+            explanation,
+            mi: mi.map(|a| MiSummary {
+                restricted_to_bc: a.restricted_to_bc,
+                gp_iops_limit: a.gp_iops_limit,
+                storage_tiers: a.storage.tiers,
+            }),
+        }
+    }
+
+    /// Recommend and attach the §3.4 bootstrap confidence score.
+    pub fn recommend_with_confidence(
+        &self,
+        history: &PerfHistory,
+        layout: Option<&FileLayout>,
+        config: &ConfidenceConfig,
+    ) -> Recommendation {
+        let mut rec = self.recommend(history, layout);
+        if let Some(original) = rec.sku_id.clone() {
+            let c = confidence_score(history, &original, config, |window| {
+                self.recommend(window, layout).sku_id
+            });
+            rec.confidence = Some(c);
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec};
+    use doppler_telemetry::TimeSeries;
+
+    fn catalog() -> Catalog {
+        azure_paas_catalog(&CatalogSpec::default())
+    }
+
+    fn tiny_history(n: usize) -> PerfHistory {
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.3; n]))
+            .with(PerfDimension::Memory, TimeSeries::ten_minute(vec![1.5; n]))
+            .with(PerfDimension::Iops, TimeSeries::ten_minute(vec![50.0; n]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![7.0; n]))
+            .with(PerfDimension::LogRate, TimeSeries::ten_minute(vec![0.2; n]))
+    }
+
+    #[test]
+    fn untrained_engine_recommends_cheapest_satisfying() {
+        let engine =
+            DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlDb));
+        let rec = engine.recommend(&tiny_history(64), None);
+        assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"));
+        assert_eq!(rec.shape, CurveShape::Flat);
+        assert_eq!(rec.score, Some(1.0));
+    }
+
+    #[test]
+    fn trained_engine_applies_group_tolerance() {
+        // One trainer: spiky CPU, negotiable, parked one rung below its
+        // peak. The engine should learn that tolerance and re-apply it.
+        let mut cpu = vec![1.0; 2016];
+        for i in (0..2016).step_by(100) {
+            cpu[i] = 7.0; // ~1% of samples above 6 vCores
+        }
+        let history = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(cpu))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![7.0; 2016]));
+        let record = TrainingRecord {
+            history: history.clone(),
+            chosen_sku: SkuId("DB_GP_2".into()),
+            file_layout: None,
+        };
+        let engine = DopplerEngine::train(
+            catalog(),
+            EngineConfig::production(DeploymentType::SqlDb),
+            &[record],
+        );
+        let rec = engine.recommend(&history, None);
+        // The same workload re-assessed gets the same negotiated SKU, not
+        // the 8-vCore machine its max would demand.
+        assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"));
+        assert!(rec.preferred_p > 0.005, "learned tolerance {}", rec.preferred_p);
+    }
+
+    #[test]
+    fn recommendation_carries_explanation_and_bits() {
+        let engine =
+            DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlDb));
+        let rec = engine.recommend(&tiny_history(64), None);
+        assert_eq!(rec.bits.len(), 4);
+        assert!(!rec.explanation.summary.is_empty());
+        assert!(rec.explanation.render().contains("group"));
+    }
+
+    #[test]
+    fn mi_engine_uses_layouts() {
+        let engine =
+            DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlMi));
+        let layout = FileLayout::from_sizes(&[100.0, 100.0]);
+        let rec = engine.recommend(&tiny_history(64), Some(&layout));
+        let mi = rec.mi.expect("MI context");
+        assert_eq!(mi.gp_iops_limit, 1000.0);
+        assert_eq!(mi.storage_tiers.len(), 2);
+        assert!(rec.sku_id.unwrap().starts_with("MI_"));
+    }
+
+    #[test]
+    fn mi_without_placement_recommends_nothing() {
+        let engine =
+            DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlMi));
+        let layout = FileLayout::from_sizes(&[9_000.0]);
+        let rec = engine.recommend(&tiny_history(16), Some(&layout));
+        assert!(rec.sku_id.is_none());
+        assert!(rec.curve.is_empty());
+        assert!(rec.explanation.summary.contains("No SKU"));
+    }
+
+    #[test]
+    fn confidence_is_attached_and_high_for_stable_workloads() {
+        let engine =
+            DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlDb));
+        let rec = engine.recommend_with_confidence(
+            &tiny_history(500),
+            None,
+            &ConfidenceConfig { replicates: 10, window_samples: 100, seed: 1 },
+        );
+        assert_eq!(rec.confidence, Some(1.0));
+    }
+
+    #[test]
+    fn engine_profiles_the_right_dimensions_per_deployment() {
+        assert_eq!(profiled_dimensions(DeploymentType::SqlDb).len(), 4);
+        assert_eq!(profiled_dimensions(DeploymentType::SqlMi).len(), 3);
+    }
+
+    #[test]
+    fn train_on_empty_records_matches_untrained() {
+        let a = DopplerEngine::train(
+            catalog(),
+            EngineConfig::production(DeploymentType::SqlDb),
+            &[],
+        );
+        let rec = a.recommend(&tiny_history(32), None);
+        assert_eq!(rec.preferred_p, 0.0);
+        assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"));
+    }
+}

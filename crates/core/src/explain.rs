@@ -1,0 +1,166 @@
+//! Human-readable explanations (the interpretability requirement of §1:
+//! "As the risk associated with migration is high, customers need to
+//! understand why a specific SKU choice is made").
+//!
+//! Every recommendation carries an [`Explanation`]: the curve shape, the
+//! negotiability profile the customer matched, the group tolerance applied,
+//! and — when the recommended SKU accepts some throttling — which dimension
+//! is the bottleneck and how often it binds.
+
+use doppler_telemetry::PerfDimension;
+
+use crate::curve::{CurveShape, PricePerformanceCurve};
+use crate::throttling::ThrottleBreakdown;
+
+/// A structured, render-ready explanation of one recommendation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Explanation {
+    /// One-sentence summary.
+    pub summary: String,
+    /// Supporting bullet lines.
+    pub lines: Vec<String>,
+}
+
+impl Explanation {
+    /// Render as plain text for the DMA dashboard.
+    pub fn render(&self) -> String {
+        let mut out = String::from(&self.summary);
+        for line in &self.lines {
+            out.push_str("\n  - ");
+            out.push_str(line);
+        }
+        out
+    }
+}
+
+/// Build the explanation for a completed recommendation.
+#[allow(clippy::too_many_arguments)]
+pub fn explain(
+    sku_id: Option<&str>,
+    curve: &PricePerformanceCurve,
+    shape: CurveShape,
+    profiled: &[PerfDimension],
+    bits: &[bool],
+    group: usize,
+    preferred_p: f64,
+    breakdown: Option<&ThrottleBreakdown>,
+) -> Explanation {
+    let summary = match (sku_id, shape) {
+        (None, _) => "No SKU could be recommended for this workload.".to_string(),
+        (Some(id), CurveShape::Flat) => format!(
+            "{id} recommended: every candidate SKU satisfies 100% of observed needs, so the \
+             cheapest option is the most cost-efficient."
+        ),
+        (Some(id), CurveShape::Simple) => format!(
+            "{id} recommended: it is the cheapest SKU that fully satisfies the workload's \
+             capacity step."
+        ),
+        (Some(id), CurveShape::Complex) => format!(
+            "{id} recommended: it sits closest to the throttling tolerance of similar \
+             migrated customers (group tolerance {:.1}%).",
+            preferred_p * 100.0
+        ),
+    };
+
+    let mut lines = Vec::new();
+    let negotiable: Vec<String> = profiled
+        .iter()
+        .zip(bits)
+        .filter(|(_, &b)| b)
+        .map(|(d, _)| d.to_string())
+        .collect();
+    let firm: Vec<String> = profiled
+        .iter()
+        .zip(bits)
+        .filter(|(_, &b)| !b)
+        .map(|(d, _)| d.to_string())
+        .collect();
+    if !negotiable.is_empty() {
+        lines.push(format!(
+            "Negotiable dimensions (rare, short-lived peaks): {}.",
+            negotiable.join(", ")
+        ));
+    }
+    if !firm.is_empty() {
+        lines.push(format!("Non-negotiable dimensions (sustained demand): {}.", firm.join(", ")));
+    }
+    lines.push(format!("Customer profile group: {group}."));
+    lines.push(format!("Candidate SKUs ranked: {}.", curve.len()));
+    if let Some(b) = breakdown {
+        if let Some((dim, frac)) = b.bottleneck() {
+            lines.push(format!(
+                "At the recommended SKU, {dim} is the binding dimension, exceeded in {:.2}% of \
+                 samples (joint throttling {:.2}%).",
+                frac * 100.0,
+                b.joint * 100.0
+            ));
+        } else {
+            lines.push("The recommended SKU satisfies every sample of the assessment.".into());
+        }
+    }
+    Explanation { summary, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::PricePerformanceCurve;
+
+    fn curve() -> PricePerformanceCurve {
+        PricePerformanceCurve::from_scored(vec![
+            ("a".into(), 100.0, 0.9),
+            ("b".into(), 200.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn flat_summary_mentions_cheapest() {
+        let e = explain(
+            Some("DB_GP_2"),
+            &curve(),
+            CurveShape::Flat,
+            &[PerfDimension::Cpu],
+            &[false],
+            0,
+            0.0,
+            None,
+        );
+        assert!(e.summary.contains("cheapest"));
+        assert!(e.summary.contains("DB_GP_2"));
+    }
+
+    #[test]
+    fn complex_summary_mentions_group_tolerance() {
+        let e = explain(
+            Some("DB_GP_8"),
+            &curve(),
+            CurveShape::Complex,
+            &[PerfDimension::Cpu, PerfDimension::Iops],
+            &[true, false],
+            5,
+            0.143,
+            None,
+        );
+        assert!(e.summary.contains("14.3%"));
+        let text = e.render();
+        assert!(text.contains("Negotiable dimensions"), "{text}");
+        assert!(text.contains("Cpu"), "{text}");
+        assert!(text.contains("Non-negotiable"), "{text}");
+        assert!(text.contains("Iops"), "{text}");
+    }
+
+    #[test]
+    fn missing_recommendation_is_explained() {
+        let e = explain(None, &curve(), CurveShape::Complex, &[], &[], 0, 0.0, None);
+        assert!(e.summary.contains("No SKU"));
+    }
+
+    #[test]
+    fn render_produces_bulleted_lines() {
+        let e = Explanation {
+            summary: "S".into(),
+            lines: vec!["one".into(), "two".into()],
+        };
+        assert_eq!(e.render(), "S\n  - one\n  - two");
+    }
+}

@@ -1,0 +1,225 @@
+//! The resource-throttling probability of Eq. 1 — Doppler's performance
+//! proxy.
+//!
+//! For customer *n* and SKU *i*:
+//!
+//! ```text
+//! P_n(SKU_i) = P( r_CPU > R_CPU  ∪  r_RAM > R_RAM  ∪ … ∪  r_IOPS > R_IOPS )
+//! ```
+//!
+//! estimated non-parametrically: "calculating the frequency with which all
+//! performance dimensions are satisfied by each SKU, at each time point"
+//! (§3.2). The estimate is *joint* — one indicator per time sample over the
+//! union of dimension exceedances — so cross-dimension correlation is
+//! handled for free; the ablation bench shows why assuming independence
+//! would misestimate it.
+//!
+//! IO latency is the one inverted dimension: "IO latency is taken as the
+//! inverse of the actual IO latency in order to calculate the effect of
+//! this performance dimension relative to an upper bound". Concretely, a
+//! sample throttles on latency when the workload *requires* a latency
+//! tighter than the SKU's minimum achievable one.
+
+use doppler_catalog::ResourceCaps;
+use doppler_telemetry::{PerfDimension, PerfHistory};
+
+/// The capacity a SKU exposes for one dimension, or `None` when the
+/// dimension is unconstrained by that SKU (e.g. log rate is not assessed
+/// for MI).
+fn capacity(caps: &ResourceCaps, dim: PerfDimension) -> Option<f64> {
+    match dim {
+        PerfDimension::Cpu => Some(caps.vcores),
+        PerfDimension::Memory => Some(caps.memory_gb),
+        PerfDimension::Iops => Some(caps.iops),
+        PerfDimension::IoLatency => Some(caps.min_io_latency_ms),
+        PerfDimension::LogRate => Some(caps.log_rate_mbps),
+        PerfDimension::Storage => Some(caps.max_data_gb),
+    }
+}
+
+/// Whether a single sample exceeds a single capacity.
+#[inline]
+fn exceeds(dim: PerfDimension, demand: f64, cap: f64) -> bool {
+    if dim.inverted() {
+        // The workload needs a latency *tighter* than the SKU can deliver.
+        demand < cap
+    } else {
+        demand > cap
+    }
+}
+
+/// Joint throttling probability of Eq. 1: the fraction of time samples at
+/// which at least one collected dimension exceeds the SKU's capacity.
+///
+/// An empty history throttles with probability 0 (no evidence of demand).
+pub fn throttling_probability(history: &PerfHistory, caps: &ResourceCaps) -> f64 {
+    let n = history.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Collect (dim, values, cap) triples once to keep the hot loop tight.
+    let dims: Vec<(PerfDimension, &[f64], f64)> = history
+        .iter()
+        .filter_map(|(dim, series)| {
+            capacity(caps, dim).map(|cap| (dim, series.values(), cap))
+        })
+        .collect();
+    let mut throttled = 0usize;
+    for t in 0..n {
+        for &(dim, values, cap) in &dims {
+            if exceeds(dim, values[t], cap) {
+                throttled += 1;
+                break;
+            }
+        }
+    }
+    throttled as f64 / n as f64
+}
+
+/// Per-dimension exceedance fractions plus the joint probability; feeds the
+/// explanation module ("why did this SKU score 0.82?").
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThrottleBreakdown {
+    /// `(dimension, fraction of samples exceeding capacity)`, one entry per
+    /// collected dimension, in canonical order.
+    pub per_dimension: Vec<(PerfDimension, f64)>,
+    /// The joint union probability (what Eq. 1 reports).
+    pub joint: f64,
+}
+
+impl ThrottleBreakdown {
+    /// Compute the breakdown for one SKU.
+    pub fn compute(history: &PerfHistory, caps: &ResourceCaps) -> ThrottleBreakdown {
+        let n = history.len();
+        let mut per_dimension = Vec::new();
+        for (dim, series) in history.iter() {
+            let Some(cap) = capacity(caps, dim) else { continue };
+            let count = series.values().iter().filter(|&&v| exceeds(dim, v, cap)).count();
+            per_dimension.push((dim, if n == 0 { 0.0 } else { count as f64 / n as f64 }));
+        }
+        ThrottleBreakdown { per_dimension, joint: throttling_probability(history, caps) }
+    }
+
+    /// The dimension with the highest individual exceedance, if any
+    /// exceeds at all — the bottleneck the explanation names.
+    pub fn bottleneck(&self) -> Option<(PerfDimension, f64)> {
+        self.per_dimension
+            .iter()
+            .copied()
+            .filter(|&(_, f)| f > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractions"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_telemetry::TimeSeries;
+
+    fn caps(vcores: f64, memory: f64, iops: f64, latency: f64) -> ResourceCaps {
+        ResourceCaps {
+            vcores,
+            memory_gb: memory,
+            max_data_gb: 1024.0,
+            iops,
+            log_rate_mbps: 100.0,
+            min_io_latency_ms: latency,
+            throughput_mbps: 1000.0,
+        }
+    }
+
+    fn history(cpu: Vec<f64>, latency: Vec<f64>) -> PerfHistory {
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(cpu))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(latency))
+    }
+
+    #[test]
+    fn empty_history_never_throttles() {
+        assert_eq!(throttling_probability(&PerfHistory::new(), &caps(2.0, 10.0, 600.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn ample_capacity_never_throttles() {
+        let h = history(vec![1.0, 1.5, 1.8], vec![6.0, 6.0, 6.0]);
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn cpu_exceedance_counts_per_sample() {
+        let h = history(vec![1.0, 3.0, 1.0, 3.0], vec![6.0; 4]);
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 5.0)), 0.5);
+    }
+
+    #[test]
+    fn latency_dimension_is_inverted() {
+        // The workload requires 1 ms at half the samples; a 5 ms-floor SKU
+        // throttles exactly there.
+        let h = history(vec![1.0; 4], vec![1.0, 6.0, 1.0, 6.0]);
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 5.0)), 0.5);
+        // A 1 ms-floor (BC-like) SKU satisfies all samples.
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn union_does_not_double_count_correlated_exceedance() {
+        // CPU and latency exceed at the SAME samples: the union is 0.5,
+        // not 1 - (1-0.5)(1-0.5) = 0.75.
+        let h = history(vec![3.0, 1.0, 3.0, 1.0], vec![1.0, 6.0, 1.0, 6.0]);
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 5.0)), 0.5);
+    }
+
+    #[test]
+    fn union_adds_disjoint_exceedances() {
+        // CPU exceeds at samples 0-1, latency at samples 2-3: union = 1.0.
+        let h = history(vec![3.0, 3.0, 1.0, 1.0], vec![6.0, 6.0, 1.0, 1.0]);
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 5.0)), 1.0);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_capacity() {
+        let h = history(
+            (0..100).map(|i| (i % 10) as f64).collect(),
+            (0..100).map(|_| 6.0).collect(),
+        );
+        let mut last = 1.0;
+        for vcores in [1.0, 3.0, 5.0, 8.0, 12.0] {
+            let p = throttling_probability(&h, &caps(vcores, 100.0, 1e6, 5.0));
+            assert!(p <= last + 1e-12, "p not monotone at {vcores} vCores");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn breakdown_reports_bottleneck() {
+        // CPU exceeds at t=0,1,2; latency only at t=0 (overlapping): the
+        // joint union is 0.75 and CPU is the named bottleneck.
+        let h = history(vec![3.0, 3.0, 3.0, 1.0], vec![1.0, 6.0, 6.0, 6.0]);
+        let b = ThrottleBreakdown::compute(&h, &caps(2.0, 10.0, 600.0, 5.0));
+        assert_eq!(b.joint, 0.75);
+        let (dim, frac) = b.bottleneck().unwrap();
+        assert_eq!(dim, PerfDimension::Cpu);
+        assert_eq!(frac, 0.75);
+        let lat = b
+            .per_dimension
+            .iter()
+            .find(|(d, _)| *d == PerfDimension::IoLatency)
+            .unwrap();
+        assert_eq!(lat.1, 0.25);
+    }
+
+    #[test]
+    fn breakdown_of_satisfied_workload_has_no_bottleneck() {
+        let h = history(vec![0.5; 3], vec![6.0; 3]);
+        let b = ThrottleBreakdown::compute(&h, &caps(2.0, 10.0, 600.0, 5.0));
+        assert_eq!(b.joint, 0.0);
+        assert!(b.bottleneck().is_none());
+    }
+
+    #[test]
+    fn boundary_values_do_not_throttle() {
+        // Demand exactly at capacity is satisfied (strict inequality).
+        let h = history(vec![2.0; 3], vec![5.0; 3]);
+        assert_eq!(throttling_probability(&h, &caps(2.0, 10.0, 600.0, 5.0)), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Data Migration Assistant (DMA) integration (§4).
+//!
+//! Doppler ships inside DMA v5.5; three modules were built around the
+//! engine, and this crate reproduces each:
+//!
+//! * [`preprocess`] — the **Data Preprocessing Module**: raw perf counters
+//!   (collected every 10 minutes, possibly gappy) are aggregated and rolled
+//!   up file → database → instance, and the static inputs (SKU catalog,
+//!   pricing) are attached;
+//! * [`pipeline`] — the **SKU Recommendation Pipeline**: runs the Doppler
+//!   engine over the preprocessed input and packages the result;
+//! * [`report`] — the **Resource Use Module**: time-series and distribution
+//!   dashboards plus the price-performance curve, "so that customers can
+//!   understand why they received a specific SKU recommendation"; exports
+//!   to plain text and JSON;
+//! * [`assessment`] — the batch assessment service: DMA receives hundreds
+//!   of assessment requests daily (Table 1); this module fans a request
+//!   batch across threads and keeps the adoption counters.
+
+pub mod assessment;
+pub mod pipeline;
+pub mod preprocess;
+pub mod report;
+
+pub use assessment::{AdoptionLedger, AssessmentService, MonthlyAdoption};
+pub use pipeline::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
+pub use preprocess::{DatabaseTelemetry, PreprocessedInstance, RawCounterSet};
+pub use report::{render_text_report, ResourceUseReport};

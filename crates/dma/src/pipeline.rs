@@ -1,0 +1,130 @@
+//! The SKU Recommendation Pipeline (§4): preprocessed input → Doppler
+//! engine → packaged result.
+
+use doppler_catalog::{DeploymentType, FileLayout};
+use doppler_core::{ConfidenceConfig, DopplerEngine, Recommendation};
+use doppler_telemetry::PerfHistory;
+
+use crate::preprocess::PreprocessedInstance;
+use crate::report::ResourceUseReport;
+
+/// One assessment request: an instance's preprocessed telemetry plus the
+/// customer's target choice.
+#[derive(Debug, Clone)]
+pub struct AssessmentRequest {
+    /// Identifier carried through to the ledger.
+    pub instance_name: String,
+    pub input: PreprocessedInstance,
+    /// Whether to compute the §3.4 confidence score.
+    pub confidence: Option<ConfidenceConfig>,
+}
+
+/// One completed assessment.
+#[derive(Debug, Clone)]
+pub struct AssessmentResult {
+    pub instance_name: String,
+    /// Number of databases assessed within the instance.
+    pub databases_assessed: usize,
+    pub recommendation: Recommendation,
+    pub report: ResourceUseReport,
+}
+
+/// The pipeline: an engine plus the glue.
+#[derive(Debug, Clone)]
+pub struct SkuRecommendationPipeline {
+    engine: DopplerEngine,
+}
+
+impl SkuRecommendationPipeline {
+    /// Wrap a trained engine.
+    pub fn new(engine: DopplerEngine) -> SkuRecommendationPipeline {
+        SkuRecommendationPipeline { engine }
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> &DopplerEngine {
+        &self.engine
+    }
+
+    /// Assess one instance.
+    pub fn assess(&self, request: &AssessmentRequest) -> AssessmentResult {
+        let history: &PerfHistory = &request.input.instance;
+        let layout = (self.engine.config().deployment == DeploymentType::SqlMi
+            && !request.input.file_sizes_gib.is_empty())
+        .then(|| FileLayout::from_sizes(&request.input.file_sizes_gib));
+
+        let recommendation = match &request.confidence {
+            Some(cfg) => self.engine.recommend_with_confidence(history, layout.as_ref(), cfg),
+            None => self.engine.recommend(history, layout.as_ref()),
+        };
+        let report = ResourceUseReport::build(history, &recommendation);
+        AssessmentResult {
+            instance_name: request.instance_name.clone(),
+            databases_assessed: request.input.databases.len(),
+            recommendation,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec};
+    use doppler_core::engine::EngineConfig;
+    use doppler_telemetry::{PerfDimension, TimeSeries};
+
+    fn pipeline(deployment: DeploymentType) -> SkuRecommendationPipeline {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(deployment),
+        );
+        SkuRecommendationPipeline::new(engine)
+    }
+
+    fn request(deployment_files: Vec<f64>) -> AssessmentRequest {
+        let history = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 300]))
+            .with(PerfDimension::Memory, TimeSeries::ten_minute(vec![2.0; 300]))
+            .with(PerfDimension::Iops, TimeSeries::ten_minute(vec![80.0; 300]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.5; 300]));
+        AssessmentRequest {
+            instance_name: "inst-1".into(),
+            input: PreprocessedInstance {
+                instance: history.clone(),
+                databases: vec![("db1".into(), history)],
+                file_sizes_gib: deployment_files,
+            },
+            confidence: None,
+        }
+    }
+
+    #[test]
+    fn db_assessment_recommends_cheapest_gp() {
+        let result = pipeline(DeploymentType::SqlDb).assess(&request(vec![]));
+        assert_eq!(result.recommendation.sku_id.as_deref(), Some("DB_GP_2"));
+        assert_eq!(result.databases_assessed, 1);
+    }
+
+    #[test]
+    fn mi_assessment_uses_the_file_layout() {
+        let result = pipeline(DeploymentType::SqlMi).assess(&request(vec![100.0, 100.0]));
+        let mi = result.recommendation.mi.as_ref().expect("MI context");
+        assert_eq!(mi.gp_iops_limit, 1000.0);
+    }
+
+    #[test]
+    fn confidence_is_attached_when_requested() {
+        let mut req = request(vec![]);
+        req.confidence =
+            Some(ConfidenceConfig { replicates: 8, window_samples: 60, seed: 1 });
+        let result = pipeline(DeploymentType::SqlDb).assess(&req);
+        assert_eq!(result.recommendation.confidence, Some(1.0));
+    }
+
+    #[test]
+    fn report_is_produced() {
+        let result = pipeline(DeploymentType::SqlDb).assess(&request(vec![]));
+        assert!(!result.report.dimension_summaries.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! The Data Preprocessing Module (§4).
+//!
+//! "transforms the raw time-series data from perf counters into a format
+//! that can be ingested by the Doppler recommendation engine. … perf
+//! counters are collected every 10 minutes, then aggregated at the file,
+//! database and instance levels."
+
+use doppler_telemetry::{rollup, PerfDimension, PerfHistory, PreAggregator, RawSample};
+
+/// The raw counters collected for one database (or one file): per-dimension
+/// sample streams over a common collection window.
+#[derive(Debug, Clone, Default)]
+pub struct RawCounterSet {
+    pub samples: Vec<(PerfDimension, Vec<RawSample>)>,
+}
+
+impl RawCounterSet {
+    /// Add one dimension's raw stream.
+    pub fn with(mut self, dim: PerfDimension, samples: Vec<RawSample>) -> RawCounterSet {
+        self.samples.push((dim, samples));
+        self
+    }
+}
+
+/// One database's telemetry: raw counters plus its data-file sizes (the MI
+/// flow needs the layout).
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseTelemetry {
+    pub name: String,
+    pub counters: RawCounterSet,
+    pub file_sizes_gib: Vec<f64>,
+}
+
+/// The preprocessed output: one aligned instance-level history plus the
+/// per-database histories and the combined file layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessedInstance {
+    pub instance: PerfHistory,
+    pub databases: Vec<(String, PerfHistory)>,
+    pub file_sizes_gib: Vec<f64>,
+}
+
+/// Run the preprocessing: aggregate each database's raw counters onto the
+/// 10-minute grid, then roll databases up to the instance level.
+///
+/// `total_minutes` is the collection-window length. Databases whose
+/// counters produced no finite samples are dropped (with their files).
+pub fn preprocess(databases: &[DatabaseTelemetry], total_minutes: f64) -> PreprocessedInstance {
+    let agg = PreAggregator::default();
+    let mut per_db = Vec::new();
+    let mut files = Vec::new();
+    for db in databases {
+        let history = agg.aggregate_history(&db.counters.samples, total_minutes);
+        if history.is_empty() {
+            continue;
+        }
+        per_db.push((db.name.clone(), history));
+        files.extend_from_slice(&db.file_sizes_gib);
+    }
+    let instance = rollup(&per_db.iter().map(|(_, h)| h.clone()).collect::<Vec<_>>());
+    PreprocessedInstance { instance, databases: per_db, file_sizes_gib: files }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(values: &[(f64, f64)]) -> Vec<RawSample> {
+        values.iter().map(|&(minute, value)| RawSample { minute, value }).collect()
+    }
+
+    fn db(name: &str, cpu_level: f64) -> DatabaseTelemetry {
+        DatabaseTelemetry {
+            name: name.into(),
+            counters: RawCounterSet::default()
+                .with(
+                    PerfDimension::Cpu,
+                    samples(&[(0.0, cpu_level), (10.0, cpu_level), (20.0, cpu_level)]),
+                )
+                .with(PerfDimension::IoLatency, samples(&[(0.0, 6.0), (10.0, 6.0), (20.0, 6.0)])),
+            file_sizes_gib: vec![100.0],
+        }
+    }
+
+    #[test]
+    fn instance_cpu_sums_databases() {
+        let out = preprocess(&[db("a", 1.0), db("b", 2.5)], 30.0);
+        assert_eq!(out.databases.len(), 2);
+        let cpu = out.instance.values(PerfDimension::Cpu).unwrap();
+        assert!(cpu.iter().all(|&v| (v - 3.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn file_sizes_concatenate() {
+        let out = preprocess(&[db("a", 1.0), db("b", 1.0)], 30.0);
+        assert_eq!(out.file_sizes_gib, vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn dead_databases_are_dropped() {
+        let dead = DatabaseTelemetry {
+            name: "dead".into(),
+            counters: RawCounterSet::default()
+                .with(PerfDimension::Cpu, samples(&[(0.0, f64::NAN)])),
+            file_sizes_gib: vec![512.0],
+        };
+        let out = preprocess(&[db("a", 1.0), dead], 30.0);
+        assert_eq!(out.databases.len(), 1);
+        assert_eq!(out.file_sizes_gib, vec![100.0]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_instance() {
+        let out = preprocess(&[], 30.0);
+        assert!(out.instance.is_empty());
+        assert!(out.databases.is_empty());
+    }
+
+    #[test]
+    fn gappy_counters_are_filled_onto_the_grid() {
+        let gappy = DatabaseTelemetry {
+            name: "gappy".into(),
+            counters: RawCounterSet::default()
+                .with(PerfDimension::Cpu, samples(&[(0.0, 2.0), (55.0, 4.0)])),
+            file_sizes_gib: vec![],
+        };
+        let out = preprocess(&[gappy], 60.0);
+        let cpu = out.instance.values(PerfDimension::Cpu).unwrap();
+        assert_eq!(cpu.len(), 6);
+        assert_eq!(cpu[0], 2.0);
+        assert_eq!(cpu[2], 2.0); // forward-filled
+        assert_eq!(cpu[5], 4.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The Resource Use Module (§4).
+//!
+//! "provides a visualization dashboard for customers to better understand
+//! their workload resource needs. It outputs time series and distribution
+//! plots of customer usage across various perf dimensions, as well as, the
+//! price-performance curve, so that customers can understand why they
+//! received a specific SKU recommendation."
+//!
+//! The terminal is our dashboard: summaries and ECDF grids render as text,
+//! and the whole report serializes to JSON for machine consumers.
+
+use doppler_core::Recommendation;
+use doppler_stats::{Ecdf, Summary};
+use doppler_telemetry::{PerfDimension, PerfHistory};
+
+/// Distribution data for one perf dimension.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DimensionReport {
+    pub dimension: PerfDimension,
+    pub unit: String,
+    pub summary: Summary,
+    /// `(x, F(x))` pairs of the ECDF on a 16-point grid.
+    pub ecdf: Vec<(f64, f64)>,
+}
+
+/// The full dashboard payload for one assessment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResourceUseReport {
+    pub dimension_summaries: Vec<DimensionReport>,
+    /// `(sku, monthly cost, envelope score)` rows of the curve.
+    pub curve_rows: Vec<(String, f64, f64)>,
+    pub recommended_sku: Option<String>,
+    pub explanation: String,
+    pub confidence: Option<f64>,
+}
+
+impl ResourceUseReport {
+    /// Assemble the report from the assessed history and recommendation.
+    pub fn build(history: &PerfHistory, recommendation: &Recommendation) -> ResourceUseReport {
+        let mut dimension_summaries = Vec::new();
+        for (dim, series) in history.iter() {
+            let Some(summary) = Summary::of(series.values()) else { continue };
+            let ecdf = Ecdf::new(series.values())
+                .map(|e| e.grid(16))
+                .unwrap_or_default();
+            dimension_summaries.push(DimensionReport {
+                dimension: dim,
+                unit: dim.unit().to_string(),
+                summary,
+                ecdf,
+            });
+        }
+        ResourceUseReport {
+            dimension_summaries,
+            curve_rows: recommendation
+                .curve
+                .points()
+                .iter()
+                .map(|p| (p.sku_id.clone(), p.monthly_cost, p.score))
+                .collect(),
+            recommended_sku: recommendation.sku_id.clone(),
+            explanation: recommendation.explanation.render(),
+            confidence: recommendation.confidence,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Render the dashboard as plain text.
+pub fn render_text_report(report: &ResourceUseReport) -> String {
+    let mut out = String::new();
+    out.push_str("=== Resource Use Report ===\n");
+    for d in &report.dimension_summaries {
+        out.push_str(&format!(
+            "{:<10} [{:>6}]  mean {:>10.2}  p95 {:>10.2}  max {:>10.2}\n",
+            d.dimension.to_string(),
+            d.unit,
+            d.summary.mean,
+            d.summary.p95,
+            d.summary.max
+        ));
+    }
+    out.push_str("\n--- Price-performance curve ---\n");
+    for (sku, cost, score) in &report.curve_rows {
+        let bar = (score * 32.0).round() as usize;
+        out.push_str(&format!(
+            "{sku:>12} ${cost:>10.2}/mo |{:<32}| {score:.3}\n",
+            "#".repeat(bar)
+        ));
+    }
+    match &report.recommended_sku {
+        Some(sku) => out.push_str(&format!("\nRecommended SKU: {sku}\n")),
+        None => out.push_str("\nNo SKU could be recommended.\n"),
+    }
+    if let Some(c) = report.confidence {
+        out.push_str(&format!("Confidence: {:.0}%\n", c * 100.0));
+    }
+    out.push_str(&format!("\n{}\n", report.explanation));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+    use doppler_core::engine::EngineConfig;
+    use doppler_core::DopplerEngine;
+    use doppler_telemetry::TimeSeries;
+
+    fn fixture() -> (PerfHistory, Recommendation) {
+        let history = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 64]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 64]));
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let rec = engine.recommend(&history, None);
+        (history, rec)
+    }
+
+    #[test]
+    fn report_covers_every_collected_dimension() {
+        let (h, rec) = fixture();
+        let r = ResourceUseReport::build(&h, &rec);
+        assert_eq!(r.dimension_summaries.len(), 2);
+        assert_eq!(r.curve_rows.len(), rec.curve.len());
+    }
+
+    #[test]
+    fn text_rendering_mentions_the_recommendation() {
+        let (h, rec) = fixture();
+        let r = ResourceUseReport::build(&h, &rec);
+        let text = render_text_report(&r);
+        assert!(text.contains("DB_GP_2"), "{text}");
+        assert!(text.contains("Price-performance curve"));
+        assert!(text.contains("Cpu"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let (h, rec) = fixture();
+        let r = ResourceUseReport::build(&h, &rec);
+        let json = r.to_json();
+        let back: ResourceUseReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn ecdf_grid_is_monotone() {
+        let (h, rec) = fixture();
+        let r = ResourceUseReport::build(&h, &rec);
+        for d in &r.dimension_summaries {
+            for w in d.ecdf.windows(2) {
+                assert!(w[1].1 >= w[0].1);
+            }
+        }
+    }
+}

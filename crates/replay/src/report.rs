@@ -1,0 +1,210 @@
+//! Whole-trace replay and the outcome report behind Figure 13.
+
+use doppler_catalog::Sku;
+use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+
+use crate::machine::Machine;
+
+/// The result of replaying a demand trace on one SKU.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplayOutcome {
+    /// SKU the trace was replayed on.
+    pub sku_id: String,
+    /// Observed counters: CPU actually consumed (clipped + backlog-shifted),
+    /// IOPS served, and observed IO latency.
+    pub observed: PerfHistory,
+    /// Fraction of ticks where any capacity was exceeded.
+    pub throttle_fraction: f64,
+    /// Mean observed IO latency, ms.
+    pub mean_latency_ms: f64,
+    /// 95th-percentile observed IO latency, ms.
+    pub p95_latency_ms: f64,
+    /// Mean vCores consumed.
+    pub mean_vcores: f64,
+    /// CPU backlog left un-drained at trace end, vCore-ticks.
+    pub final_backlog: f64,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay kept latency within `limit_ms` at the 95th
+    /// percentile — the "latency is within the range that the customer is
+    /// comfortable with" check of §5.4.
+    pub fn meets_latency(&self, limit_ms: f64) -> bool {
+        self.p95_latency_ms <= limit_ms
+    }
+}
+
+/// Replay a demand trace on a SKU.
+///
+/// The demand history must carry CPU and IOPS; memory is optional (treated
+/// as zero pressure when absent). Panics on an empty trace.
+pub fn replay(demand: &PerfHistory, sku: &Sku) -> ReplayOutcome {
+    let n = demand.len();
+    assert!(n > 0, "cannot replay an empty demand trace");
+    let cpu = demand.values(PerfDimension::Cpu).unwrap_or(&[]);
+    let iops = demand.values(PerfDimension::Iops).unwrap_or(&[]);
+    let mem = demand.values(PerfDimension::Memory);
+
+    let mut machine = Machine::new(sku.clone());
+    let mut used_cpu = Vec::with_capacity(n);
+    let mut served_iops = Vec::with_capacity(n);
+    let mut latency = Vec::with_capacity(n);
+    let mut throttled = 0usize;
+
+    for t in 0..n {
+        let c = cpu.get(t).copied().unwrap_or(0.0);
+        let i = iops.get(t).copied().unwrap_or(0.0);
+        let m = mem.and_then(|v| v.get(t)).copied().unwrap_or(0.0);
+        if machine.is_throttling(c, i, m) {
+            throttled += 1;
+        }
+        used_cpu.push(machine.tick_cpu(c));
+        let (served, lat) = machine.tick_io(i, m);
+        served_iops.push(served);
+        latency.push(lat);
+    }
+
+    let interval = demand.interval_minutes();
+    let mut observed = PerfHistory::new();
+    observed.insert(PerfDimension::Cpu, TimeSeries::new(interval, used_cpu.clone()));
+    observed.insert(PerfDimension::Iops, TimeSeries::new(interval, served_iops));
+    observed.insert(PerfDimension::IoLatency, TimeSeries::new(interval, latency.clone()));
+
+    ReplayOutcome {
+        sku_id: sku.id.to_string(),
+        observed,
+        throttle_fraction: throttled as f64 / n as f64,
+        mean_latency_ms: doppler_stats::mean(&latency),
+        p95_latency_ms: doppler_stats::quantile(&latency, 0.95).expect("nonempty"),
+        mean_vcores: doppler_stats::mean(&used_cpu),
+        final_backlog: machine.cpu_backlog(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::replay_skus;
+    use doppler_workload::{BenchmarkFragment, BenchmarkKind, SynthesizedWorkload};
+
+    /// An OLTP-ish mixture sized to fit SKU2 (8 vCores / 12k IOPS) but
+    /// overwhelm SKU1 (4 vCores / 6k IOPS) — the §5.4 setup.
+    fn workload() -> SynthesizedWorkload {
+        SynthesizedWorkload {
+            fragments: vec![
+                BenchmarkFragment {
+                    kind: BenchmarkKind::TpcC,
+                    scale_factor: 1.0,
+                    query_frequency: 1.0,
+                    concurrency: 30,
+                },
+                BenchmarkFragment {
+                    kind: BenchmarkKind::TpcH,
+                    scale_factor: 1.0,
+                    query_frequency: 1.0,
+                    concurrency: 6,
+                },
+            ],
+            days: 0.3,
+            burstiness: 0.35,
+            data_size_gb: 300.0,
+        }
+    }
+
+    #[test]
+    fn underprovisioned_sku_throttles_and_inflates_latency() {
+        let demand = workload().demand_trace(11);
+        let skus = replay_skus();
+        let small = replay(&demand, &skus[0]);
+        let right = replay(&demand, &skus[1]);
+        assert!(
+            small.throttle_fraction > right.throttle_fraction + 0.1,
+            "small {} vs right {}",
+            small.throttle_fraction,
+            right.throttle_fraction
+        );
+        // Bursts can saturate both machines' p95, but the under-provisioned
+        // one inflates latency across far more of the trace.
+        assert!(
+            small.mean_latency_ms > 1.5 * right.mean_latency_ms,
+            "small {} vs right {}",
+            small.mean_latency_ms,
+            right.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn bigger_skus_never_increase_latency() {
+        let demand = workload().demand_trace(13);
+        let outcomes: Vec<ReplayOutcome> =
+            replay_skus().iter().map(|s| replay(&demand, s)).collect();
+        for w in outcomes.windows(2) {
+            assert!(
+                w[1].mean_latency_ms <= w[0].mean_latency_ms + 1e-9,
+                "{} -> {}",
+                w[0].sku_id,
+                w[1].sku_id
+            );
+        }
+    }
+
+    #[test]
+    fn observed_cpu_never_exceeds_capacity() {
+        let demand = workload().demand_trace(17);
+        for sku in replay_skus() {
+            let out = replay(&demand, &sku);
+            let peak = out
+                .observed
+                .values(PerfDimension::Cpu)
+                .unwrap()
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            assert!(peak <= sku.caps.vcores + 1e-9, "{}: peak {peak}", sku.id);
+        }
+    }
+
+    #[test]
+    fn saturated_machine_hugs_its_capacity() {
+        // Demand 3x SKU1's vCores: the observed trace should sit at the cap.
+        let demand = workload().demand_trace(19);
+        let sku = &replay_skus()[0];
+        let out = replay(&demand, sku);
+        let cpu_demand =
+            doppler_stats::mean(demand.values(PerfDimension::Cpu).unwrap());
+        if cpu_demand > sku.caps.vcores {
+            assert!(
+                (out.mean_vcores - sku.caps.vcores).abs() < 0.2,
+                "mean used {} vs cap {}",
+                out.mean_vcores,
+                sku.caps.vcores
+            );
+            assert!(out.final_backlog > 0.0);
+        }
+    }
+
+    #[test]
+    fn adequate_sku_leaves_no_backlog() {
+        let demand = workload().demand_trace(23);
+        let out = replay(&demand, &replay_skus()[3]); // 32 vCores
+        assert_eq!(out.final_backlog, 0.0);
+        assert!(out.throttle_fraction < 0.01);
+    }
+
+    #[test]
+    fn meets_latency_threshold_check() {
+        let demand = workload().demand_trace(29);
+        let skus = replay_skus();
+        let small = replay(&demand, &skus[0]);
+        let big = replay(&demand, &skus[2]);
+        assert!(big.meets_latency(8.0));
+        assert!(!small.meets_latency(8.0) || small.p95_latency_ms < 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty demand trace")]
+    fn empty_trace_panics() {
+        let sku = replay_skus()[0].clone();
+        replay(&PerfHistory::new(), &sku);
+    }
+}

@@ -1,0 +1,159 @@
+//! Area under the empirical CDF — the AUC negotiability summarizers of §3.3.
+//!
+//! For a series scaled into `[0, 1]`, the AUC of its ECDF over `[0, 1]`
+//! measures how much probability mass sits at *low* utilization: a workload
+//! that idles with rare, short spikes has an ECDF that jumps early, so its
+//! AUC is high; a steadily-busy workload keeps its ECDF low until the right
+//! edge, so its AUC is low. "Higher AUC values tend to describe workloads
+//! that had transient spiky usage" (Fig. 6), i.e. the dimension is
+//! *negotiable*.
+
+use crate::ecdf::Ecdf;
+use crate::scaling::{max_scale, minmax_scale};
+
+/// Area under an ECDF over a fixed `[lo, hi]` interval, computed exactly.
+///
+/// The ECDF is a right-continuous step function, so the area is the sum of
+/// `F(x_k) * (x_{k+1} - x_k)` over the step intervals clipped to `[lo, hi]`.
+pub fn auc_ecdf(ecdf: &Ecdf, lo: f64, hi: f64) -> f64 {
+    assert!(hi >= lo, "auc_ecdf interval is inverted");
+    if hi == lo {
+        return 0.0;
+    }
+    let values = ecdf.sorted_values();
+    let mut area = 0.0;
+    let mut prev_x = lo;
+    for (i, &v) in values.iter().enumerate() {
+        // Collapse runs of ties: the step only advances after the whole run.
+        if i + 1 < values.len() && values[i + 1] == v {
+            continue;
+        }
+        if v <= lo {
+            continue;
+        }
+        // F is constant on [prev_x, v) because no sample point lies inside.
+        let x = v.min(hi);
+        if x > prev_x {
+            area += ecdf.eval(prev_x) * (x - prev_x);
+            prev_x = x;
+        }
+        if v >= hi {
+            break;
+        }
+    }
+    if prev_x < hi {
+        area += ecdf.eval(prev_x) * (hi - prev_x);
+    }
+    area
+}
+
+/// The *MinMax Scaler AUC* summarizer: min-max scale the series, build the
+/// ECDF, integrate over `[0, 1]`.
+///
+/// Returns a value in `[0, 1]`; `1.0` for degenerate (constant/empty) series,
+/// which reads as "maximally negotiable" — a flat counter never throttles
+/// above its own level.
+pub fn minmax_scaled_auc(xs: &[f64]) -> f64 {
+    let scaled = minmax_scale(xs);
+    match Ecdf::new(&scaled) {
+        None => 1.0,
+        Some(e) => auc_ecdf(&e, 0.0, 1.0),
+    }
+}
+
+/// The *Max Scaler AUC* summarizer: divide by the max, build the ECDF,
+/// integrate over `[0, 1]`.
+pub fn max_scaled_auc(xs: &[f64]) -> f64 {
+    let scaled = max_scale(xs);
+    match Ecdf::new(&scaled) {
+        None => 1.0,
+        Some(e) => auc_ecdf(&e, 0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_of_point_mass_at_zero_is_one() {
+        // All sample mass at 0: F(x) = 1 everywhere on [0,1].
+        let e = Ecdf::new(&[0.0, 0.0, 0.0]).unwrap();
+        assert!((auc_ecdf(&e, 0.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_point_mass_at_one_is_zero() {
+        // All mass at 1: F(x) = 0 on [0,1), so the area is 0.
+        let e = Ecdf::new(&[1.0, 1.0]).unwrap();
+        assert!(auc_ecdf(&e, 0.0, 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_uniform_grid_approaches_half() {
+        let xs: Vec<f64> = (0..=1000).map(|i| i as f64 / 1000.0).collect();
+        let e = Ecdf::new(&xs).unwrap();
+        let a = auc_ecdf(&e, 0.0, 1.0);
+        assert!((a - 0.5).abs() < 0.01, "auc = {a}");
+    }
+
+    #[test]
+    fn auc_zero_width_interval_is_zero() {
+        let e = Ecdf::new(&[0.3, 0.7]).unwrap();
+        assert_eq!(auc_ecdf(&e, 0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn auc_partial_interval() {
+        // Mass at 0 and 1 equally: F = 0.5 on [0,1). Area over [0, 0.5] = 0.25.
+        let e = Ecdf::new(&[0.0, 1.0]).unwrap();
+        assert!((auc_ecdf(&e, 0.0, 0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spiky_series_has_higher_auc_than_steady() {
+        // Spiky: long idle at 5% with rare 100% spikes.
+        let mut spiky = vec![0.05; 990];
+        spiky.extend_from_slice(&[1.0; 10]);
+        // Steady: always between 60% and 80%.
+        let steady: Vec<f64> = (0..1000).map(|i| 0.6 + 0.2 * ((i % 10) as f64 / 10.0)).collect();
+        let a_spiky = minmax_scaled_auc(&spiky);
+        let a_steady = minmax_scaled_auc(&steady);
+        assert!(
+            a_spiky > a_steady,
+            "spiky auc {a_spiky} should exceed steady auc {a_steady}"
+        );
+    }
+
+    #[test]
+    fn max_scaler_detects_high_floor_that_minmax_hides() {
+        // High-baseline steady series: min-max rescales 90..100 to fill [0,1]
+        // (moderate AUC), but max-scaling keeps everything above 0.9 (tiny AUC).
+        let xs: Vec<f64> = (0..100).map(|i| 90.0 + (i % 10) as f64).collect();
+        let minmax = minmax_scaled_auc(&xs);
+        let maxs = max_scaled_auc(&xs);
+        assert!(maxs < 0.15, "max-scaled auc {maxs}");
+        assert!(minmax > 0.3, "minmax-scaled auc {minmax}");
+    }
+
+    #[test]
+    fn degenerate_series_read_as_negotiable() {
+        assert_eq!(minmax_scaled_auc(&[]), 1.0);
+        assert_eq!(minmax_scaled_auc(&[4.2; 12]), 1.0);
+        assert_eq!(max_scaled_auc(&[]), 1.0);
+    }
+
+    #[test]
+    fn auc_values_stay_in_unit_interval() {
+        for series in [
+            vec![0.0, 0.1, 0.9, 1.0],
+            vec![55.0, 54.0, 53.0, 52.0],
+            (0..500).map(|i| ((i * 37) % 97) as f64).collect::<Vec<_>>(),
+        ] {
+            for f in [minmax_scaled_auc, max_scaled_auc] {
+                let a = f(&series);
+                assert!((0.0..=1.0 + 1e-12).contains(&a), "auc out of range: {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Vector distances used by the clustering modules.
+
+/// Squared Euclidean distance. Panics in debug builds on length mismatch.
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance over mismatched dimensions");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean (L2) distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance over mismatched dimensions");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(euclidean(&v, &v), 0.0);
+        assert_eq!(manhattan(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn euclidean_345_triangle() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_sums_coordinates() {
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn euclidean_sq_avoids_sqrt() {
+        assert_eq!(euclidean_sq(&[0.0], &[4.0]), 16.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 3.0, 2.5];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+        assert_eq!(manhattan(&a, &b), manhattan(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let c = [2.0, 0.0];
+        assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Agglomerative hierarchical clustering — reference [18] of the paper,
+//! offered alongside k-means as a grouping strategy for the Customer
+//! Profiler (§3.3).
+//!
+//! Bottom-up merging over a symmetric distance matrix with Lance–Williams
+//! updates, cut when `k` clusters remain. `O(n^2)` memory, `O(n^3)` worst
+//! case time — appropriate for the profiler's input (one low-dimensional
+//! vector per customer group candidate, thousands at most).
+
+use crate::distance::euclidean;
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA).
+    Average,
+}
+
+/// Cluster `points` into `k` groups. Returns one label in `0..k` per point.
+///
+/// `k` is clamped to `[1, n]`. Panics on empty input.
+pub fn hierarchical_cluster(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<usize> {
+    let n = points.len();
+    assert!(n > 0, "hierarchical clustering over no points");
+    let k = k.clamp(1, n);
+
+    // Active clusters as index lists; dist[i][j] between active clusters.
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(&points[i], &points[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    let mut active = n;
+    while active > k {
+        // Find the closest pair of active clusters.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if members[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if members[j].is_none() {
+                    continue;
+                }
+                if dist[i][j] < best.2 {
+                    best = (i, j, dist[i][j]);
+                }
+            }
+        }
+        let (a, b, _) = best;
+
+        // Lance–Williams distance update from (a, b) to every other cluster.
+        let size_a = members[a].as_ref().expect("active").len() as f64;
+        let size_b = members[b].as_ref().expect("active").len() as f64;
+        for o in 0..n {
+            if o == a || o == b || members[o].is_none() {
+                continue;
+            }
+            let dao = dist[a][o];
+            let dbo = dist[b][o];
+            let merged = match linkage {
+                Linkage::Single => dao.min(dbo),
+                Linkage::Complete => dao.max(dbo),
+                Linkage::Average => (size_a * dao + size_b * dbo) / (size_a + size_b),
+            };
+            dist[a][o] = merged;
+            dist[o][a] = merged;
+        }
+
+        // Fold b into a.
+        let b_members = members[b].take().expect("active");
+        members[a].as_mut().expect("active").extend(b_members);
+        active -= 1;
+    }
+
+    // Emit dense labels.
+    let mut labels = vec![0usize; n];
+    for (next, m) in members.iter().flatten().enumerate() {
+        for &p in m {
+            labels[p] = next;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(vec![(i % 3) as f64 * 0.1, (i % 2) as f64 * 0.1]);
+        }
+        for i in 0..8 {
+            pts.push(vec![5.0 + (i % 3) as f64 * 0.1, 5.0 + (i % 2) as f64 * 0.1]);
+        }
+        pts
+    }
+
+    #[test]
+    fn splits_two_blobs_with_every_linkage() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let labels = hierarchical_cluster(&blobs(), 2, linkage);
+            let first = labels[0];
+            assert!(labels[..8].iter().all(|&l| l == first), "{linkage:?}");
+            let second = labels[8];
+            assert_ne!(first, second, "{linkage:?}");
+            assert!(labels[8..].iter().all(|&l| l == second), "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let labels = hierarchical_cluster(&blobs(), 1, Linkage::Average);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k_equal_n_keeps_singletons() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let labels = hierarchical_cluster(&pts, 3, Linkage::Complete);
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_clamped_above_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let labels = hierarchical_cluster(&pts, 99, Linkage::Single);
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_dense_from_zero() {
+        let labels = hierarchical_cluster(&blobs(), 4, Linkage::Average);
+        let max = *labels.iter().max().unwrap();
+        assert!(max < 4);
+        for want in 0..=max {
+            assert!(labels.contains(&want), "label {want} missing");
+        }
+    }
+
+    #[test]
+    fn single_point_is_trivially_clustered() {
+        let labels = hierarchical_cluster(&[vec![1.0, 2.0]], 1, Linkage::Average);
+        assert_eq!(labels, vec![0]);
+    }
+
+    #[test]
+    fn chain_is_cut_into_two_contiguous_runs() {
+        // A uniform chain of points 0..9 cut at k=2 must produce two
+        // contiguous runs (the exact split point depends on tie-breaking).
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let labels = hierarchical_cluster(&pts, 2, linkage);
+            assert_ne!(labels[0], labels[9], "{linkage:?}");
+            let transitions =
+                labels.windows(2).filter(|w| w[0] != w[1]).count();
+            assert_eq!(transitions, 1, "{linkage:?}: clusters not contiguous: {labels:?}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Locally weighted regression (Loess), the smoothing primitive inside STL.
+//!
+//! This is the classic Cleveland formulation specialized to evenly spaced
+//! series (which is what 10-minute perf counters are): for every position we
+//! fit a degree-1 weighted least-squares line over the `q` nearest
+//! neighbours with tricube weights, then evaluate it at that position.
+
+/// Tricube weight for a normalized distance `u` in `[0, 1]`.
+fn tricube(u: f64) -> f64 {
+    if u >= 1.0 {
+        0.0
+    } else {
+        let t = 1.0 - u * u * u;
+        t * t * t
+    }
+}
+
+/// Smooth an evenly spaced series with Loess.
+///
+/// `span` is the fraction of the series used in each local fit, clamped so
+/// that at least 3 and at most `n` points participate. Returns the smoothed
+/// series (same length). Series of length < 3 are returned unchanged.
+pub fn loess_smooth(ys: &[f64], span: f64) -> Vec<f64> {
+    let n = ys.len();
+    if n < 3 {
+        return ys.to_vec();
+    }
+    let q = ((span.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(3, n);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Window of the q nearest neighbours of i, kept inside [0, n).
+        let half = q / 2;
+        let (lo, hi) = if i <= half {
+            (0, q)
+        } else if i + (q - half) >= n {
+            (n - q, n)
+        } else {
+            (i - half, i - half + q)
+        };
+        let max_dist = ((i - lo).max(hi - 1 - i)).max(1) as f64;
+
+        // Weighted least squares of y on x over the window.
+        let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (j, &y) in ys[lo..hi].iter().enumerate() {
+            let x = (lo + j) as f64;
+            let w = tricube(((x - i as f64).abs()) / max_dist);
+            sw += w;
+            swx += w * x;
+            swy += w * y;
+            swxx += w * x * x;
+            swxy += w * x * y;
+        }
+        let denom = sw * swxx - swx * swx;
+        let fitted = if denom.abs() < 1e-12 || sw == 0.0 {
+            // Degenerate fit (all weight on one point): fall back to the
+            // weighted mean.
+            if sw == 0.0 {
+                ys[i]
+            } else {
+                swy / sw
+            }
+        } else {
+            let beta = (sw * swxy - swx * swy) / denom;
+            let alpha = (swy - beta * swx) / sw;
+            alpha + beta * i as f64
+        };
+        out.push(fitted);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, stddev};
+
+    #[test]
+    fn short_series_pass_through() {
+        assert_eq!(loess_smooth(&[1.0, 2.0], 0.5), vec![1.0, 2.0]);
+        assert!(loess_smooth(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn constant_series_stays_constant() {
+        let out = loess_smooth(&[4.0; 50], 0.3);
+        for v in out {
+            assert!((v - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_series_is_reproduced_exactly() {
+        // Degree-1 loess fits a line exactly, window after window.
+        let ys: Vec<f64> = (0..100).map(|i| 2.0 + 0.5 * i as f64).collect();
+        let out = loess_smooth(&ys, 0.2);
+        for (o, y) in out.iter().zip(&ys) {
+            assert!((o - y).abs() < 1e-8, "loess broke a straight line: {o} vs {y}");
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_variance() {
+        // Line + deterministic pseudo-noise: the smoother should track the
+        // line and shrink the residual spread.
+        let ys: Vec<f64> = (0..500)
+            .map(|i| 10.0 + 0.1 * i as f64 + (((i * 2_654_435_761_usize) % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let out = loess_smooth(&ys, 0.15);
+        let resid_raw: Vec<f64> =
+            ys.iter().enumerate().map(|(i, y)| y - (10.0 + 0.1 * i as f64)).collect();
+        let resid_smooth: Vec<f64> =
+            out.iter().enumerate().map(|(i, y)| y - (10.0 + 0.1 * i as f64)).collect();
+        assert!(stddev(&resid_smooth) < stddev(&resid_raw) * 0.5);
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let ys: Vec<f64> = (0..37).map(|i| i as f64).collect();
+        assert_eq!(loess_smooth(&ys, 0.4).len(), 37);
+    }
+
+    #[test]
+    fn tiny_span_still_uses_three_points() {
+        let ys: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let out = loess_smooth(&ys, 0.0001);
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn smoothed_mean_tracks_raw_mean() {
+        let ys: Vec<f64> = (0..200).map(|i| 50.0 + 10.0 * ((i as f64) * 0.3).sin()).collect();
+        let out = loess_smooth(&ys, 0.1);
+        assert!((mean(&out) - mean(&ys)).abs() < 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Value scaling used by the AUC-based negotiability summarizers (§3.3).
+//!
+//! * *MinMax Scaler AUC* normalizes a series to `[0, 1]` by `(x - min) /
+//!   (max - min)` before computing the ECDF AUC.
+//! * *Max Scaler AUC* divides by the max only (`x / max(x)`), which the paper
+//!   notes "better identifies large spikes in resource use" because the floor
+//!   of the series is preserved.
+
+/// Min-max scale a series into `[0, 1]`.
+///
+/// A constant series (max == min) scales to all zeros, matching the
+/// convention that a flat counter carries no spike information. Empty input
+/// yields an empty output.
+pub fn minmax_scale(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    if span == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|&x| (x - lo) / span).collect()
+}
+
+/// Max scale a series: `x_i / max(x)`.
+///
+/// Specified for non-negative input (perf counters cannot go below zero);
+/// an all-zero (or all-non-positive-max) series scales to all zeros. Empty
+/// input yields an empty output.
+pub fn max_scale(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi <= 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|&x| x / hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let s = minmax_scale(&[10.0, 20.0, 30.0]);
+        assert_eq!(s, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn minmax_of_constant_is_zeros() {
+        assert_eq!(minmax_scale(&[7.0, 7.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_of_empty_is_empty() {
+        assert!(minmax_scale(&[]).is_empty());
+    }
+
+    #[test]
+    fn minmax_handles_negatives() {
+        let s = minmax_scale(&[-1.0, 0.0, 1.0]);
+        assert_eq!(s, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn max_scale_preserves_floor() {
+        // Unlike min-max, a high baseline stays high: this is exactly why the
+        // paper says max-scaling captures large spikes better.
+        let s = max_scale(&[80.0, 90.0, 100.0]);
+        assert_eq!(s, vec![0.8, 0.9, 1.0]);
+    }
+
+    #[test]
+    fn max_scale_of_zeros_is_zeros() {
+        assert_eq!(max_scale(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_scale_of_empty_is_empty() {
+        assert!(max_scale(&[]).is_empty());
+    }
+
+    #[test]
+    fn scalers_agree_when_min_is_zero() {
+        let xs = [0.0, 5.0, 10.0];
+        assert_eq!(minmax_scale(&xs), max_scale(&xs));
+    }
+}

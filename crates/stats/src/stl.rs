@@ -1,0 +1,226 @@
+//! Seasonal-Trend decomposition using Loess (STL), after Cleveland et al.
+//! (1990) — reference [6] of the Doppler paper.
+//!
+//! The *STL variance decomposition* negotiability summarizer (§3.3)
+//! decomposes each perf-counter series `R` into trend `T`, seasonal `S`, and
+//! residual `I`, then scores the dimension with
+//! `max(0, 1 - var(I) / var(R))` — "the closer this value is to 1, the more
+//! the observed performance is explained by trend and seasonality".
+//!
+//! This is a faithful, simplified STL: cycle-subseries Loess smoothing for
+//! the seasonal, a moving-average low-pass to de-drift it, and Loess for the
+//! trend, iterated a configurable number of times. The robustness-weight
+//! outer loop of full STL is omitted — Doppler feeds the decomposition into
+//! a *variance ratio*, for which the non-robust inner loop is sufficient
+//! (and is what makes the summarizer cheap enough to consider at all; the
+//! paper ultimately ships thresholding for speed).
+
+use crate::loess::loess_smooth;
+
+/// Configuration for [`stl_decompose`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StlConfig {
+    /// Samples per season (e.g. 144 for daily seasonality at 10-minute
+    /// sampling). Must be >= 2.
+    pub period: usize,
+    /// Loess span for smoothing each cycle-subseries, as a fraction of the
+    /// subseries length.
+    pub seasonal_span: f64,
+    /// Loess span for the trend, as a fraction of the full series length.
+    pub trend_span: f64,
+    /// Inner-loop iterations; 2 matches the STL paper's default.
+    pub inner_iterations: usize,
+}
+
+impl Default for StlConfig {
+    fn default() -> StlConfig {
+        StlConfig { period: 144, seasonal_span: 0.75, trend_span: 0.25, inner_iterations: 2 }
+    }
+}
+
+/// The additive decomposition `R = T + S + I`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StlDecomposition {
+    pub trend: Vec<f64>,
+    pub seasonal: Vec<f64>,
+    pub residual: Vec<f64>,
+}
+
+impl StlDecomposition {
+    /// The summarizer value of §3.3: `max(0, 1 - var(I)/var(R))`, where `R`
+    /// is reconstructed from the components. Zero-variance input scores 1
+    /// (fully explained).
+    pub fn variance_explained(&self) -> f64 {
+        let n = self.trend.len();
+        let observed: Vec<f64> = (0..n)
+            .map(|i| self.trend[i] + self.seasonal[i] + self.residual[i])
+            .collect();
+        let var_r = crate::descriptive::variance(&observed);
+        if var_r == 0.0 {
+            return 1.0;
+        }
+        let var_i = crate::descriptive::variance(&self.residual);
+        (1.0 - var_i / var_r).max(0.0)
+    }
+}
+
+/// Centered moving average with window `w` (edges use the available points).
+fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    let n = xs.len();
+    let w = w.max(1);
+    let half = w / 2;
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Decompose an evenly spaced series.
+///
+/// Returns `None` when the series is shorter than two full periods —
+/// seasonality is not identifiable below that, which is also why the paper
+/// pushes customers to collect at least a week of data.
+pub fn stl_decompose(series: &[f64], config: &StlConfig) -> Option<StlDecomposition> {
+    let n = series.len();
+    let p = config.period;
+    if p < 2 || n < 2 * p {
+        return None;
+    }
+
+    let mut trend = vec![0.0; n];
+    let mut seasonal = vec![0.0; n];
+
+    for _ in 0..config.inner_iterations.max(1) {
+        // 1. Detrend.
+        let detrended: Vec<f64> = series.iter().zip(&trend).map(|(r, t)| r - t).collect();
+
+        // 2. Cycle-subseries smoothing: smooth the values at each phase of
+        //    the season across cycles, then re-interleave.
+        let mut cyc = vec![0.0; n];
+        for phase in 0..p {
+            let idx: Vec<usize> = (phase..n).step_by(p).collect();
+            let sub: Vec<f64> = idx.iter().map(|&i| detrended[i]).collect();
+            let smoothed = loess_smooth(&sub, config.seasonal_span);
+            for (k, &i) in idx.iter().enumerate() {
+                cyc[i] = smoothed[k];
+            }
+        }
+
+        // 3. Low-pass the preliminary seasonal so slow drift stays in the
+        //    trend: two passes of a period-length moving average plus a
+        //    3-point pass (the STL paper's 3×p×p filter, collapsed).
+        let low = moving_average(&moving_average(&moving_average(&cyc, p), p), 3);
+        for i in 0..n {
+            seasonal[i] = cyc[i] - low[i];
+        }
+
+        // 4. Deseasonalize and re-fit the trend.
+        let deseasonalized: Vec<f64> =
+            series.iter().zip(&seasonal).map(|(r, s)| r - s).collect();
+        trend = loess_smooth(&deseasonalized, config.trend_span);
+    }
+
+    let residual: Vec<f64> =
+        (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
+    Some(StlDecomposition { trend, seasonal, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::variance;
+
+    fn config(period: usize) -> StlConfig {
+        StlConfig { period, seasonal_span: 0.75, trend_span: 0.25, inner_iterations: 2 }
+    }
+
+    fn sine_with_trend(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                0.02 * i as f64
+                    + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin()
+                    + 50.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        assert!(stl_decompose(&[1.0; 20], &config(24)).is_none());
+        assert!(stl_decompose(&[], &StlConfig::default()).is_none());
+    }
+
+    #[test]
+    fn components_resum_to_input_exactly() {
+        let series = sine_with_trend(600, 48);
+        let d = stl_decompose(&series, &config(48)).unwrap();
+        for (i, &x) in series.iter().enumerate() {
+            let resum = d.trend[i] + d.seasonal[i] + d.residual[i];
+            assert!((resum - x).abs() < 1e-9, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pure_seasonal_signal_is_mostly_explained() {
+        let series = sine_with_trend(960, 48);
+        let d = stl_decompose(&series, &config(48)).unwrap();
+        let ve = d.variance_explained();
+        assert!(ve > 0.9, "variance explained = {ve}");
+    }
+
+    #[test]
+    fn white_noise_is_mostly_residual() {
+        // Deterministic pseudo-noise with no structure at the probe period.
+        let series: Vec<f64> =
+            (0..960).map(|i| ((i * 2_654_435_761_usize) % 10_000) as f64 / 10_000.0).collect();
+        let d = stl_decompose(&series, &config(48)).unwrap();
+        let ve = d.variance_explained();
+        assert!(ve < 0.55, "variance explained = {ve}");
+    }
+
+    #[test]
+    fn noise_scores_below_seasonal_signal() {
+        let seasonal = sine_with_trend(960, 48);
+        let noise: Vec<f64> =
+            (0..960).map(|i| ((i * 1_103_515_245_usize + 12_345) % 10_000) as f64).collect();
+        let dv_seasonal =
+            stl_decompose(&seasonal, &config(48)).unwrap().variance_explained();
+        let dv_noise = stl_decompose(&noise, &config(48)).unwrap().variance_explained();
+        assert!(
+            dv_seasonal > dv_noise,
+            "seasonal {dv_seasonal} should exceed noise {dv_noise}"
+        );
+    }
+
+    #[test]
+    fn trend_captures_linear_drift() {
+        let series: Vec<f64> = (0..600).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let d = stl_decompose(&series, &config(24)).unwrap();
+        // Seasonal of a pure line should be near zero; the trend carries it.
+        assert!(variance(&d.seasonal) < variance(&series) * 0.01);
+        assert!(d.variance_explained() > 0.99);
+    }
+
+    #[test]
+    fn constant_series_fully_explained() {
+        let d = stl_decompose(&[5.0; 300], &config(24)).unwrap();
+        assert_eq!(d.variance_explained(), 1.0);
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_identity() {
+        assert_eq!(moving_average(&[2.0; 10], 5), vec![2.0; 10]);
+    }
+
+    #[test]
+    fn moving_average_smooths_alternation() {
+        let xs = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let out = moving_average(&xs, 2);
+        let v_in = variance(&xs);
+        let v_out = variance(&out);
+        assert!(v_out < v_in);
+    }
+}

@@ -1,0 +1,178 @@
+//! The Performance Collector & Pre-Aggregator (Figure 2, §4).
+//!
+//! "perf counters are collected every 10 minutes" — but the raw samples the
+//! appliance sees arrive at arbitrary timestamps, can be missing for whole
+//! stretches (agent restarts), and can carry sentinel NaNs. The
+//! pre-aggregator turns that into the clean, aligned [`TimeSeries`] the
+//! engine consumes: bucket by interval, average within a bucket, and
+//! forward-fill empty buckets (a counter that reported nothing most likely
+//! kept its previous level; an *initial* gap is filled with the first
+//! observed value).
+
+use crate::counters::{PerfDimension, PerfHistory};
+use crate::series::TimeSeries;
+
+/// One raw observation from the collector.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RawSample {
+    /// Offset from the start of collection, in minutes.
+    pub minute: f64,
+    /// Counter value; NaN marks a failed read.
+    pub value: f64,
+}
+
+/// Pre-aggregation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreAggregator {
+    /// Output interval, minutes.
+    pub interval_minutes: u32,
+}
+
+impl Default for PreAggregator {
+    fn default() -> PreAggregator {
+        PreAggregator { interval_minutes: crate::series::DEFAULT_INTERVAL_MINUTES }
+    }
+}
+
+impl PreAggregator {
+    /// Aggregate raw samples spanning `total_minutes` of collection into an
+    /// aligned series. Returns `None` when no finite sample exists.
+    pub fn aggregate(&self, samples: &[RawSample], total_minutes: f64) -> Option<TimeSeries> {
+        let interval = self.interval_minutes as f64;
+        let buckets = (total_minutes / interval).ceil() as usize;
+        if buckets == 0 {
+            return None;
+        }
+        let mut sums = vec![0.0f64; buckets];
+        let mut counts = vec![0usize; buckets];
+        for s in samples {
+            if !s.value.is_finite() || s.minute < 0.0 || s.minute >= total_minutes {
+                continue;
+            }
+            let b = ((s.minute / interval) as usize).min(buckets - 1);
+            sums[b] += s.value;
+            counts[b] += 1;
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return None;
+        }
+
+        // Bucket means with forward fill; leading gaps take the first
+        // observed mean.
+        let first = counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| sums[i] / counts[i] as f64)
+            .expect("checked nonempty");
+        let mut out = Vec::with_capacity(buckets);
+        let mut last = first;
+        for b in 0..buckets {
+            if counts[b] > 0 {
+                last = sums[b] / counts[b] as f64;
+            }
+            out.push(last);
+        }
+        Some(TimeSeries::new(self.interval_minutes, out))
+    }
+
+    /// Aggregate several dimensions at once into a [`PerfHistory`]. Only
+    /// dimensions with at least one finite sample appear in the output.
+    pub fn aggregate_history(
+        &self,
+        per_dimension: &[(PerfDimension, Vec<RawSample>)],
+        total_minutes: f64,
+    ) -> PerfHistory {
+        let mut h = PerfHistory::new();
+        for (dim, samples) in per_dimension {
+            if let Some(series) = self.aggregate(samples, total_minutes) {
+                h.insert(*dim, series);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pairs: &[(f64, f64)]) -> Vec<RawSample> {
+        pairs.iter().map(|&(minute, value)| RawSample { minute, value }).collect()
+    }
+
+    #[test]
+    fn buckets_average_multiple_samples() {
+        let agg = PreAggregator::default();
+        let s = agg
+            .aggregate(&samples(&[(0.0, 2.0), (5.0, 4.0), (12.0, 10.0)]), 20.0)
+            .unwrap();
+        assert_eq!(s.values(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn gaps_forward_fill() {
+        let agg = PreAggregator::default();
+        let s = agg.aggregate(&samples(&[(1.0, 5.0), (35.0, 9.0)]), 40.0).unwrap();
+        // Buckets: [0-10): 5, [10-20): gap -> 5, [20-30): gap -> 5, [30-40): 9.
+        assert_eq!(s.values(), &[5.0, 5.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn leading_gap_backfills_from_first_observation() {
+        let agg = PreAggregator::default();
+        let s = agg.aggregate(&samples(&[(25.0, 7.0)]), 30.0).unwrap();
+        assert_eq!(s.values(), &[7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let agg = PreAggregator::default();
+        let s = agg
+            .aggregate(&samples(&[(0.0, f64::NAN), (5.0, 6.0)]), 10.0)
+            .unwrap();
+        assert_eq!(s.values(), &[6.0]);
+    }
+
+    #[test]
+    fn all_nan_yields_none() {
+        let agg = PreAggregator::default();
+        assert!(agg.aggregate(&samples(&[(0.0, f64::NAN)]), 10.0).is_none());
+    }
+
+    #[test]
+    fn out_of_range_samples_ignored() {
+        let agg = PreAggregator::default();
+        let s = agg
+            .aggregate(&samples(&[(-5.0, 100.0), (5.0, 1.0), (99.0, 100.0)]), 10.0)
+            .unwrap();
+        assert_eq!(s.values(), &[1.0]);
+    }
+
+    #[test]
+    fn zero_duration_yields_none() {
+        let agg = PreAggregator::default();
+        assert!(agg.aggregate(&samples(&[(0.0, 1.0)]), 0.0).is_none());
+    }
+
+    #[test]
+    fn history_skips_empty_dimensions() {
+        let agg = PreAggregator::default();
+        let h = agg.aggregate_history(
+            &[
+                (PerfDimension::Cpu, samples(&[(0.0, 1.0), (12.0, 2.0)])),
+                (PerfDimension::Iops, samples(&[(0.0, f64::NAN)])),
+            ],
+            20.0,
+        );
+        assert_eq!(h.dimensions(), vec![PerfDimension::Cpu]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn custom_interval_is_respected() {
+        let agg = PreAggregator { interval_minutes: 30 };
+        let s = agg.aggregate(&samples(&[(0.0, 1.0), (45.0, 3.0)]), 60.0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.interval_minutes(), 30);
+    }
+}

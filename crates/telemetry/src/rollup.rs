@@ -1,0 +1,126 @@
+//! File → database → instance roll-up (§4: counters are "aggregated at the
+//! file, database and instance levels").
+//!
+//! Additive dimensions (CPU, memory, IOPS, log rate, storage) sum across
+//! children; the latency *requirement* takes the element-wise max — an
+//! instance-level SKU must satisfy the most latency-sensitive database it
+//! hosts. (Recall that smaller latency values are more demanding; the
+//! engine inverts the dimension later, so "max" here means "least
+//! demanding bound wins" would be wrong — we keep the strictest requirement
+//! by taking the *min* of observed required latencies.)
+
+use crate::counters::{PerfDimension, PerfHistory};
+
+/// Granularity of an aggregated history (Figure 2's roll-up ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum AggregationLevel {
+    File,
+    Database,
+    Instance,
+}
+
+/// Roll up several aligned child histories (files into a database, or
+/// databases into an instance).
+///
+/// Every dimension present in *any* child appears in the output; children
+/// missing a dimension contribute nothing to it. Latency combines by
+/// element-wise minimum (strictest requirement); everything else sums.
+/// Returns an empty history when `children` is empty.
+pub fn rollup(children: &[PerfHistory]) -> PerfHistory {
+    let mut out = PerfHistory::new();
+    let Some(first) = children.first() else {
+        return out;
+    };
+    let interval = first.interval_minutes();
+    let len = first.len();
+
+    for dim in PerfDimension::ALL {
+        let present: Vec<&PerfHistory> =
+            children.iter().filter(|c| c.get(dim).is_some()).collect();
+        if present.is_empty() {
+            continue;
+        }
+        let mut acc: Vec<f64> = present[0].values(dim).expect("present").to_vec();
+        assert_eq!(acc.len(), len, "child misaligned with first sibling");
+        for child in &present[1..] {
+            let vals = child.values(dim).expect("present");
+            assert_eq!(vals.len(), len, "child misaligned with first sibling");
+            for (a, &v) in acc.iter_mut().zip(vals) {
+                if dim.inverted() {
+                    // Strictest (smallest) latency requirement wins.
+                    *a = a.min(v);
+                } else {
+                    *a += v;
+                }
+            }
+        }
+        out.insert(dim, crate::series::TimeSeries::new(interval, acc));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    fn child(cpu: Vec<f64>, latency: Vec<f64>) -> PerfHistory {
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(cpu))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(latency))
+    }
+
+    #[test]
+    fn cpu_sums_across_children() {
+        let merged = rollup(&[
+            child(vec![1.0, 2.0], vec![5.0, 5.0]),
+            child(vec![0.5, 0.5], vec![9.0, 9.0]),
+        ]);
+        assert_eq!(merged.values(PerfDimension::Cpu), Some(&[1.5, 2.5][..]));
+    }
+
+    #[test]
+    fn latency_takes_strictest_requirement() {
+        let merged = rollup(&[
+            child(vec![1.0], vec![5.0]),
+            child(vec![1.0], vec![2.0]),
+            child(vec![1.0], vec![8.0]),
+        ]);
+        assert_eq!(merged.values(PerfDimension::IoLatency), Some(&[2.0][..]));
+    }
+
+    #[test]
+    fn missing_dimension_in_one_child_is_tolerated() {
+        let a = child(vec![1.0], vec![5.0]);
+        let b = PerfHistory::new().with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![2.0]));
+        let merged = rollup(&[a, b]);
+        assert_eq!(merged.values(PerfDimension::Cpu), Some(&[3.0][..]));
+        assert_eq!(merged.values(PerfDimension::IoLatency), Some(&[5.0][..]));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_history() {
+        assert!(rollup(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_child_passes_through() {
+        let a = child(vec![1.0, 2.0], vec![3.0, 4.0]);
+        let merged = rollup(std::slice::from_ref(&a));
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_children_rejected() {
+        let a = child(vec![1.0, 2.0], vec![3.0, 4.0]);
+        let b = child(vec![1.0], vec![3.0]);
+        rollup(&[a, b]);
+    }
+
+    #[test]
+    fn aggregation_levels_order() {
+        assert!(AggregationLevel::File < AggregationLevel::Database);
+        assert!(AggregationLevel::Database < AggregationLevel::Instance);
+    }
+}

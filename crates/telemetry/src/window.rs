@@ -1,0 +1,60 @@
+//! Window extraction over perf histories.
+//!
+//! Two consumers: the confidence score bootstraps contiguous windows of the
+//! raw history (§3.4), and the drift study of §5.2.3 compares the curves
+//! generated *before* and *after* a SKU change by splitting the history at
+//! the change point.
+
+use crate::counters::PerfHistory;
+
+/// A contiguous window `[start, end)` of a history, every dimension sliced
+/// identically.
+pub fn window(history: &PerfHistory, start: usize, end: usize) -> PerfHistory {
+    history.window(start, end)
+}
+
+/// Split a history at a sample index into (before, after).
+pub fn split_at(history: &PerfHistory, at: usize) -> (PerfHistory, PerfHistory) {
+    let n = history.len();
+    let at = at.min(n);
+    (history.window(0, at), history.window(at, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::PerfDimension;
+    use crate::series::TimeSeries;
+
+    fn history() -> PerfHistory {
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute((0..10).map(|i| i as f64).collect()))
+            .with(PerfDimension::Iops, TimeSeries::ten_minute((0..10).map(|i| 10.0 * i as f64).collect()))
+    }
+
+    #[test]
+    fn window_slices_all_dimensions_identically() {
+        let w = window(&history(), 2, 5);
+        assert_eq!(w.values(PerfDimension::Cpu), Some(&[2.0, 3.0, 4.0][..]));
+        assert_eq!(w.values(PerfDimension::Iops), Some(&[20.0, 30.0, 40.0][..]));
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let (before, after) = split_at(&history(), 4);
+        assert_eq!(before.len(), 4);
+        assert_eq!(after.len(), 6);
+        assert_eq!(before.values(PerfDimension::Cpu).unwrap().last(), Some(&3.0));
+        assert_eq!(after.values(PerfDimension::Cpu).unwrap().first(), Some(&4.0));
+    }
+
+    #[test]
+    fn split_at_zero_and_past_end() {
+        let (b, a) = split_at(&history(), 0);
+        assert_eq!(b.len(), 0);
+        assert_eq!(a.len(), 10);
+        let (b, a) = split_at(&history(), 99);
+        assert_eq!(b.len(), 10);
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Named workload archetypes.
+//!
+//! These are the workload shapes the paper's figures and examples lean on:
+//! the spiky-CPU customer of Figure 4, the steadily-busy and diurnal shapes
+//! of Figure 6, the idle on-prem servers of §5.3, and OLTP/OLAP/key-value
+//! mixes standing in for the TPC-C/TPC-H/TPC-DS/YCSB fragments of §5.4.
+//!
+//! Every archetype is parameterized by a *natural size* in vCores — the
+//! compute footprint the workload would comfortably occupy — from which the
+//! other dimensions derive (memory ≈ 4 GB/vCore of demand, IOPS a few
+//! hundred per vCore, and so on, mirroring the capacity ratios of the SKU
+//! catalog so workloads land mid-ladder rather than always at an extreme).
+
+use doppler_telemetry::PerfDimension;
+
+use crate::spec::{DimensionProfile, WorkloadSpec};
+
+/// A named workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadArchetype {
+    /// Near-zero utilization; the majority of assessed on-prem servers.
+    Idle,
+    /// Constant moderate utilization with mild noise.
+    Steady,
+    /// Low baseline with rare, short CPU excursions (Figure 4a).
+    SpikyCpu,
+    /// Strong 24-hour cycle in compute and IO.
+    Diurnal,
+    /// Rare large IOPS bursts over a quiet floor.
+    BurstyIo,
+    /// High, flat memory demand; everything else light.
+    MemoryHeavy,
+    /// Demand grows linearly across the assessment window.
+    Trending,
+    /// Transaction processing: IO- and log-heavy, latency-critical.
+    OltpLike,
+    /// Analytics: big scans — bursty CPU and memory, latency-tolerant.
+    OlapLike,
+    /// Key-value serving: IOPS-dominated with tight latency.
+    KeyValueLike,
+    /// Perfectly flat demand at exactly its level — produces the "simple"
+    /// bifurcated price-performance curves of Figure 8b.
+    HardStep,
+}
+
+impl WorkloadArchetype {
+    /// All archetypes.
+    pub const ALL: [WorkloadArchetype; 11] = [
+        WorkloadArchetype::Idle,
+        WorkloadArchetype::Steady,
+        WorkloadArchetype::SpikyCpu,
+        WorkloadArchetype::Diurnal,
+        WorkloadArchetype::BurstyIo,
+        WorkloadArchetype::MemoryHeavy,
+        WorkloadArchetype::Trending,
+        WorkloadArchetype::OltpLike,
+        WorkloadArchetype::OlapLike,
+        WorkloadArchetype::KeyValueLike,
+        WorkloadArchetype::HardStep,
+    ];
+
+    /// Build the full six-dimension spec for this archetype at the given
+    /// natural size.
+    pub fn spec(&self, scale_vcores: f64, days: f64) -> WorkloadSpec {
+        let s = scale_vcores.max(0.1);
+        let name = format!("{self:?}(x{scale_vcores})");
+        let w = WorkloadSpec::new(name, days);
+        use PerfDimension::*;
+        match self {
+            WorkloadArchetype::Idle => w
+                .with_dim(Cpu, DimensionProfile::steady(0.08 * s, 0.02 * s))
+                .with_dim(Memory, DimensionProfile::steady(0.4 * s, 0.05 * s))
+                .with_dim(Iops, DimensionProfile::steady(15.0 * s, 4.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(8.0, 0.4).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(0.05 * s, 0.01 * s))
+                .with_dim(Storage, DimensionProfile::constant(12.0 * s)),
+            WorkloadArchetype::Steady => w
+                .with_dim(Cpu, DimensionProfile::steady(0.65 * s, 0.05 * s))
+                .with_dim(Memory, DimensionProfile::steady(3.8 * s, 0.1 * s))
+                .with_dim(Iops, DimensionProfile::steady(240.0 * s, 15.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(5.5, 0.3).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(1.6 * s, 0.15 * s))
+                .with_dim(Storage, DimensionProfile::constant(90.0 * s)),
+            WorkloadArchetype::SpikyCpu => w
+                .with_dim(Cpu, DimensionProfile::spiky(0.15 * s, 0.8 * s, 2.0, 2))
+                .with_dim(Memory, DimensionProfile::steady(1.8 * s, 0.1 * s))
+                .with_dim(Iops, DimensionProfile::steady(90.0 * s, 12.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(6.0, 0.3).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(0.5 * s, 0.08 * s))
+                .with_dim(Storage, DimensionProfile::constant(60.0 * s)),
+            WorkloadArchetype::Diurnal => w
+                .with_dim(Cpu, DimensionProfile::steady(0.45 * s, 0.04 * s).with_diurnal(0.3 * s))
+                .with_dim(Memory, DimensionProfile::steady(3.0 * s, 0.1 * s))
+                .with_dim(Iops, DimensionProfile::steady(180.0 * s, 12.0 * s).with_diurnal(110.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(5.0, 0.25).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(1.1 * s, 0.1 * s).with_diurnal(0.6 * s))
+                .with_dim(Storage, DimensionProfile::constant(120.0 * s)),
+            WorkloadArchetype::BurstyIo => w
+                .with_dim(Cpu, DimensionProfile::steady(0.25 * s, 0.03 * s))
+                .with_dim(Memory, DimensionProfile::steady(2.0 * s, 0.08 * s))
+                .with_dim(Iops, DimensionProfile::spiky(60.0 * s, 800.0 * s, 1.5, 2))
+                .with_dim(IoLatency, DimensionProfile::steady(5.5, 0.3).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::spiky(0.4 * s, 5.0 * s, 1.5, 2))
+                .with_dim(Storage, DimensionProfile::constant(150.0 * s)),
+            WorkloadArchetype::MemoryHeavy => w
+                .with_dim(Cpu, DimensionProfile::steady(0.2 * s, 0.02 * s))
+                .with_dim(Memory, DimensionProfile::saturating(4.9 * s, 0.05 * s))
+                .with_dim(Iops, DimensionProfile::steady(70.0 * s, 8.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(6.5, 0.3).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(0.4 * s, 0.05 * s))
+                .with_dim(Storage, DimensionProfile::constant(100.0 * s)),
+            WorkloadArchetype::Trending => w
+                .with_dim(Cpu, DimensionProfile::steady(0.3 * s, 0.04 * s).with_trend(0.04 * s))
+                .with_dim(Memory, DimensionProfile::steady(2.2 * s, 0.08 * s).with_trend(0.15 * s))
+                .with_dim(Iops, DimensionProfile::steady(120.0 * s, 10.0 * s).with_trend(18.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(5.5, 0.3).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(0.8 * s, 0.1 * s).with_trend(0.1 * s))
+                .with_dim(Storage, DimensionProfile::constant(80.0 * s).with_trend(2.0 * s)),
+            WorkloadArchetype::OltpLike => w
+                .with_dim(Cpu, DimensionProfile::steady(0.5 * s, 0.06 * s).with_diurnal(0.15 * s))
+                .with_dim(Memory, DimensionProfile::steady(2.8 * s, 0.1 * s))
+                .with_dim(Iops, DimensionProfile::steady(550.0 * s, 40.0 * s).with_diurnal(150.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(1.2, 0.1).with_floor(0.4))
+                .with_dim(LogRate, DimensionProfile::steady(3.2 * s, 0.3 * s))
+                .with_dim(Storage, DimensionProfile::constant(70.0 * s)),
+            WorkloadArchetype::OlapLike => w
+                .with_dim(Cpu, DimensionProfile::spiky(0.3 * s, 0.65 * s, 5.0, 4))
+                .with_dim(Memory, DimensionProfile::spiky(2.5 * s, 2.2 * s, 5.0, 4))
+                .with_dim(Iops, DimensionProfile::steady(140.0 * s, 25.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(9.0, 0.5).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::steady(0.3 * s, 0.05 * s))
+                .with_dim(Storage, DimensionProfile::constant(400.0 * s)),
+            WorkloadArchetype::KeyValueLike => w
+                .with_dim(Cpu, DimensionProfile::steady(0.18 * s, 0.02 * s))
+                .with_dim(Memory, DimensionProfile::steady(1.4 * s, 0.06 * s))
+                .with_dim(Iops, DimensionProfile::steady(750.0 * s, 60.0 * s))
+                .with_dim(IoLatency, DimensionProfile::steady(2.0, 0.15).with_floor(0.4))
+                .with_dim(LogRate, DimensionProfile::steady(0.3 * s, 0.04 * s))
+                .with_dim(Storage, DimensionProfile::constant(40.0 * s)),
+            WorkloadArchetype::HardStep => w
+                .with_dim(Cpu, DimensionProfile::constant(0.7 * s))
+                .with_dim(Memory, DimensionProfile::constant(4.5 * s))
+                .with_dim(Iops, DimensionProfile::constant(280.0 * s))
+                .with_dim(IoLatency, DimensionProfile::constant(5.0).with_floor(0.5))
+                .with_dim(LogRate, DimensionProfile::constant(2.0 * s))
+                .with_dim(Storage, DimensionProfile::constant(110.0 * s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_stats::descriptive::mean;
+    use doppler_stats::spike_dwell_fraction;
+
+    use crate::generate::generate;
+
+    #[test]
+    fn every_archetype_generates_all_dimensions() {
+        for a in WorkloadArchetype::ALL {
+            let h = generate(&a.spec(4.0, 3.0), 1);
+            assert_eq!(h.dimensions().len(), 6, "{a:?}");
+            assert_eq!(h.len(), 3 * 144, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn idle_uses_far_less_cpu_than_steady() {
+        let idle = generate(&WorkloadArchetype::Idle.spec(4.0, 3.0), 2);
+        let steady = generate(&WorkloadArchetype::Steady.spec(4.0, 3.0), 2);
+        let m_idle = mean(idle.values(PerfDimension::Cpu).unwrap());
+        let m_steady = mean(steady.values(PerfDimension::Cpu).unwrap());
+        assert!(m_idle * 4.0 < m_steady, "idle {m_idle} vs steady {m_steady}");
+    }
+
+    #[test]
+    fn spiky_cpu_is_negotiable_under_thresholding() {
+        let h = generate(&WorkloadArchetype::SpikyCpu.spec(8.0, 14.0), 3);
+        let dwell = spike_dwell_fraction(h.values(PerfDimension::Cpu).unwrap());
+        assert!(dwell < 0.05, "spiky archetype dwell = {dwell}");
+    }
+
+    #[test]
+    fn memory_heavy_is_non_negotiable_on_memory() {
+        let h = generate(&WorkloadArchetype::MemoryHeavy.spec(8.0, 14.0), 3);
+        let dwell = spike_dwell_fraction(h.values(PerfDimension::Memory).unwrap());
+        assert!(dwell > 0.2, "memory-heavy dwell = {dwell}");
+    }
+
+    #[test]
+    fn oltp_demands_tighter_latency_than_olap() {
+        let oltp = generate(&WorkloadArchetype::OltpLike.spec(4.0, 3.0), 5);
+        let olap = generate(&WorkloadArchetype::OlapLike.spec(4.0, 3.0), 5);
+        let l_oltp = mean(oltp.values(PerfDimension::IoLatency).unwrap());
+        let l_olap = mean(olap.values(PerfDimension::IoLatency).unwrap());
+        assert!(l_oltp < 2.0);
+        assert!(l_olap > 6.0);
+    }
+
+    #[test]
+    fn key_value_is_iops_dominated() {
+        let h = generate(&WorkloadArchetype::KeyValueLike.spec(4.0, 3.0), 7);
+        let iops = mean(h.values(PerfDimension::Iops).unwrap());
+        let cpu = mean(h.values(PerfDimension::Cpu).unwrap());
+        assert!(iops / cpu > 1000.0, "iops {iops} / cpu {cpu}");
+    }
+
+    #[test]
+    fn hard_step_has_zero_variance() {
+        let h = generate(&WorkloadArchetype::HardStep.spec(4.0, 2.0), 9);
+        for (_, series) in h.iter() {
+            let v = series.values();
+            assert!(v.iter().all(|&x| x == v[0]));
+        }
+    }
+
+    #[test]
+    fn scale_scales_demand() {
+        let small = generate(&WorkloadArchetype::Steady.spec(2.0, 2.0), 4);
+        let large = generate(&WorkloadArchetype::Steady.spec(16.0, 2.0), 4);
+        let m_small = mean(small.values(PerfDimension::Cpu).unwrap());
+        let m_large = mean(large.values(PerfDimension::Cpu).unwrap());
+        assert!(m_large > 6.0 * m_small);
+    }
+}

@@ -1,0 +1,130 @@
+//! The §5.2.3 SKU-change scenario (Figure 11).
+//!
+//! "the customer initially was using SQL DB GP 2 cores, but switched to SQL
+//! DB BC 6 cores. Doppler is able to pick up the need for this change as
+//! shown by the price-performance curves generated before (dotted line) and
+//! after (solid line) the transition. If the customer had stuck to the
+//! original SKU choice of GP 2 cores, they would experience significant
+//! throttling (>40%)."
+//!
+//! The scenario generates one continuous history whose demand steps up at
+//! the midpoint: a small, latency-tolerant workload becomes a bigger,
+//! latency-critical one that only a mid-size Business Critical SKU hosts
+//! cleanly.
+
+use doppler_telemetry::{PerfDimension, PerfHistory};
+
+use crate::generate::generate;
+use crate::spec::{DimensionProfile, WorkloadSpec};
+
+/// A workload whose resource needs changed mid-assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScenario {
+    /// The full history (before ++ after).
+    pub history: PerfHistory,
+    /// Sample index of the change point.
+    pub change_point: usize,
+}
+
+impl DriftScenario {
+    /// The history before the change.
+    pub fn before(&self) -> PerfHistory {
+        self.history.window(0, self.change_point)
+    }
+
+    /// The history after the change.
+    pub fn after(&self) -> PerfHistory {
+        self.history.window(self.change_point, self.history.len())
+    }
+}
+
+/// Build the Figure 11 scenario: `days` of GP-2-sized demand followed by
+/// `days` of BC-6-sized, latency-critical demand.
+pub fn drift_scenario(days: f64, seed: u64) -> DriftScenario {
+    // Phase 1: fits a GP 2-core SKU (2 vCores, 10.4 GB, 640 IOPS, 5 ms).
+    let before_spec = WorkloadSpec::new("before-change", days)
+        .with_dim(PerfDimension::Cpu, DimensionProfile::steady(1.2, 0.1))
+        .with_dim(PerfDimension::Memory, DimensionProfile::steady(6.0, 0.3))
+        .with_dim(PerfDimension::Iops, DimensionProfile::steady(380.0, 30.0))
+        .with_dim(PerfDimension::IoLatency, DimensionProfile::steady(6.0, 0.2).with_floor(0.5))
+        .with_dim(PerfDimension::LogRate, DimensionProfile::steady(4.0, 0.3))
+        .with_dim(PerfDimension::Storage, DimensionProfile::constant(120.0));
+    // Phase 2: needs BC 6 cores (5 vCores of demand, sub-GP latency, IOPS
+    // beyond any GP rung of that size).
+    let after_spec = WorkloadSpec::new("after-change", days)
+        .with_dim(PerfDimension::Cpu, DimensionProfile::steady(5.0, 0.25))
+        .with_dim(PerfDimension::Memory, DimensionProfile::steady(24.0, 0.8))
+        .with_dim(PerfDimension::Iops, DimensionProfile::steady(9500.0, 500.0))
+        .with_dim(PerfDimension::IoLatency, DimensionProfile::steady(0.9, 0.04).with_floor(0.4))
+        .with_dim(PerfDimension::LogRate, DimensionProfile::steady(28.0, 1.5))
+        .with_dim(PerfDimension::Storage, DimensionProfile::constant(160.0));
+
+    let before = generate(&before_spec, seed);
+    let after = generate(&after_spec, seed ^ 0xD1F7);
+    let change_point = before.len();
+
+    // Concatenate the two phases dimension by dimension.
+    let mut history = PerfHistory::new();
+    for (dim, series) in before.iter() {
+        let mut values = series.values().to_vec();
+        values.extend_from_slice(after.values(dim).expect("same dims both phases"));
+        history.insert(
+            dim,
+            doppler_telemetry::TimeSeries::new(series.interval_minutes(), values),
+        );
+    }
+    DriftScenario { history, change_point }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_stats::descriptive::mean;
+
+    #[test]
+    fn change_point_splits_evenly() {
+        let s = drift_scenario(7.0, 1);
+        assert_eq!(s.change_point, 7 * 144);
+        assert_eq!(s.history.len(), 14 * 144);
+        assert_eq!(s.before().len(), s.after().len());
+    }
+
+    #[test]
+    fn demand_steps_up_after_change() {
+        let s = drift_scenario(5.0, 2);
+        let cpu_before = mean(s.before().values(PerfDimension::Cpu).unwrap());
+        let cpu_after = mean(s.after().values(PerfDimension::Cpu).unwrap());
+        assert!(cpu_after > 3.0 * cpu_before, "{cpu_before} -> {cpu_after}");
+    }
+
+    #[test]
+    fn latency_tightens_after_change() {
+        let s = drift_scenario(5.0, 3);
+        let lat_before = mean(s.before().values(PerfDimension::IoLatency).unwrap());
+        let lat_after = mean(s.after().values(PerfDimension::IoLatency).unwrap());
+        assert!(lat_before > 5.0);
+        assert!(lat_after < 1.5);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        assert_eq!(drift_scenario(3.0, 9).history, drift_scenario(3.0, 9).history);
+    }
+
+    #[test]
+    fn before_fits_gp2_after_does_not() {
+        // Phase 1 demand stays within GP 2's caps (2 vCores, 640 IOPS);
+        // phase 2 blows through them.
+        let s = drift_scenario(5.0, 4);
+        let iops_before = s.before();
+        let iops_before = iops_before.values(PerfDimension::Iops).unwrap();
+        let exceed_before =
+            iops_before.iter().filter(|&&v| v > 640.0).count() as f64 / iops_before.len() as f64;
+        assert!(exceed_before < 0.01, "before-phase exceedance {exceed_before}");
+        let after = s.after();
+        let iops_after = after.values(PerfDimension::Iops).unwrap();
+        let exceed_after =
+            iops_after.iter().filter(|&&v| v > 640.0).count() as f64 / iops_after.len() as f64;
+        assert!(exceed_after > 0.99, "after-phase exceedance {exceed_after}");
+    }
+}

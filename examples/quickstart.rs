@@ -1,0 +1,40 @@
+//! Quickstart: assess one workload and print the dashboard.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use doppler::dma::{render_text_report, ResourceUseReport};
+use doppler::prelude::*;
+
+fn main() {
+    // 1. Two weeks of telemetry for a mid-size OLTP workload. In production
+    //    this comes from the DMA Perf Collector; here the workload
+    //    generator stands in.
+    let history = doppler::workload::generate(&WorkloadArchetype::OltpLike.spec(4.0, 14.0), 7);
+
+    // 2. An engine over the Azure SQL PaaS catalog. `untrained` applies
+    //    zero throttling tolerance; see the `migrate_onprem` example for an
+    //    engine trained on migrated-customer behaviour.
+    let engine = DopplerEngine::untrained(
+        azure_paas_catalog(&CatalogSpec::default()),
+        EngineConfig::production(DeploymentType::SqlDb),
+    );
+
+    // 3. Recommend, with the bootstrap confidence score attached.
+    let rec = engine.recommend_with_confidence(
+        &history,
+        None,
+        &ConfidenceConfig { replicates: 30, window_samples: 7 * 144, seed: 1 },
+    );
+
+    // 4. Render the Resource Use dashboard.
+    let report = ResourceUseReport::build(&history, &rec);
+    println!("{}", render_text_report(&report));
+    println!(
+        "=> {} at ${:.2}/month (confidence {:.0}%)",
+        rec.sku_id.as_deref().unwrap_or("(none)"),
+        rec.monthly_cost.unwrap_or(0.0),
+        rec.confidence.unwrap_or(0.0) * 100.0
+    );
+}

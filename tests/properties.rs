@@ -1,0 +1,117 @@
+//! Cross-crate property tests: generated workloads driven through the
+//! whole stack must uphold the system invariants.
+
+use doppler::prelude::*;
+use doppler::replay::replay;
+use doppler::stats::SeededRng;
+use doppler::telemetry::rollup;
+use proptest::prelude::*;
+
+fn archetype_strategy() -> impl Strategy<Value = WorkloadArchetype> {
+    prop::sample::select(WorkloadArchetype::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_generated_workload_gets_a_recommendation(
+        arch in archetype_strategy(),
+        scale in 0.2..24.0f64,
+        seed in 0u64..1000,
+    ) {
+        let history = doppler::workload::generate(&arch.spec(scale, 2.0), seed);
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let rec = engine.recommend(&history, None);
+        prop_assert!(rec.sku_id.is_some());
+        prop_assert!(!rec.curve.is_empty());
+        let score = rec.score.unwrap();
+        prop_assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn curve_scores_never_decrease_with_price_for_any_workload(
+        arch in archetype_strategy(),
+        scale in 0.2..30.0f64,
+        seed in 0u64..1000,
+    ) {
+        let history = doppler::workload::generate(&arch.spec(scale, 1.0), seed);
+        let cat = azure_paas_catalog(&CatalogSpec::default());
+        let skus = cat.for_deployment(DeploymentType::SqlDb);
+        let curve = doppler::engine::PricePerformanceCurve::generate(&history, &skus);
+        for w in curve.points().windows(2) {
+            prop_assert!(w[1].score >= w[0].score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn replay_never_exceeds_capacity(
+        cpu_level in 0.5..60.0f64,
+        iops_level in 100.0..40_000.0f64,
+        seed in 0u64..100,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let n = 100;
+        let history = PerfHistory::new()
+            .with(
+                PerfDimension::Cpu,
+                TimeSeries::ten_minute((0..n).map(|_| cpu_level * rng.range(0.5, 1.5)).collect()),
+            )
+            .with(
+                PerfDimension::Iops,
+                TimeSeries::ten_minute((0..n).map(|_| iops_level * rng.range(0.5, 1.5)).collect()),
+            );
+        for sku in doppler::catalog::replay_skus() {
+            let out = replay(&history, &sku);
+            let cpu_peak = out
+                .observed
+                .values(PerfDimension::Cpu)
+                .unwrap()
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            let iops_peak = out
+                .observed
+                .values(PerfDimension::Iops)
+                .unwrap()
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            prop_assert!(cpu_peak <= sku.caps.vcores + 1e-9);
+            prop_assert!(iops_peak <= sku.caps.iops + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&out.throttle_fraction));
+        }
+    }
+
+    #[test]
+    fn rollup_of_identical_children_scales_additive_dims(
+        level in 0.1..10.0f64,
+        copies in 1usize..6,
+    ) {
+        let child = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![level; 12]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![5.0; 12]));
+        let merged = rollup(&vec![child; copies]);
+        let cpu = merged.values(PerfDimension::Cpu).unwrap();
+        prop_assert!((cpu[0] - level * copies as f64).abs() < 1e-9);
+        // Latency takes the strictest requirement, which is unchanged.
+        prop_assert_eq!(merged.values(PerfDimension::IoLatency).unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn population_customers_always_reference_catalog_skus(
+        n in 1usize..12,
+        seed in 0u64..50,
+    ) {
+        let cat = azure_paas_catalog(&CatalogSpec::default());
+        let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(n, seed) };
+        for c in spec.customers(&cat) {
+            prop_assert!(cat.get(&c.chosen_sku).is_some());
+            prop_assert_eq!(c.negotiability.len(), 4);
+            prop_assert!(!c.history.is_empty());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The §5.4 validation loop: synthesize a workload from a perf history,
+//! rank SKUs on the price-performance curve, then *replay* the workload on
+//! each SKU and check the curve's ordering agrees with observed behaviour.
+
+use doppler::engine::matching::select_for_p;
+use doppler::engine::PricePerformanceCurve;
+use doppler::prelude::*;
+use doppler::replay::replay;
+use doppler::workload::{BenchmarkFragment, BenchmarkKind, SynthesizedWorkload};
+
+fn synth() -> SynthesizedWorkload {
+    SynthesizedWorkload {
+        fragments: vec![
+            BenchmarkFragment {
+                kind: BenchmarkKind::TpcC,
+                scale_factor: 4.0,
+                query_frequency: 1.0,
+                concurrency: 28,
+            },
+            BenchmarkFragment {
+                kind: BenchmarkKind::TpcH,
+                scale_factor: 2.0,
+                query_frequency: 0.8,
+                concurrency: 4,
+            },
+        ],
+        days: 0.3,
+        burstiness: 0.3,
+        data_size_gb: 300.0,
+    }
+}
+
+#[test]
+fn curve_ranking_agrees_with_replayed_throttling() {
+    let demand = synth().demand_trace(11);
+    let skus = doppler::catalog::replay_skus();
+    let refs: Vec<&Sku> = skus.iter().collect();
+    let curve = PricePerformanceCurve::generate(&demand, &refs);
+
+    // Replay on every SKU: higher curve score must never come with *more*
+    // observed throttling.
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for sku in &skus {
+        let outcome = replay(&demand, sku);
+        let score = curve.point_for(sku.id.0.as_str()).unwrap().raw_score;
+        rows.push((score, outcome.throttle_fraction));
+    }
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for w in rows.windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 + 0.02,
+            "higher curve score with more observed throttling: {rows:?}"
+        );
+    }
+}
+
+#[test]
+fn selected_sku_survives_replay_cheaper_one_does_not() {
+    let demand = synth().demand_trace(13);
+    let skus = doppler::catalog::replay_skus();
+    let refs: Vec<&Sku> = skus.iter().collect();
+    let curve = PricePerformanceCurve::generate(&demand, &refs);
+    let pick = select_for_p(&curve, 0.05).expect("nonempty curve");
+
+    let picked_sku = skus.iter().find(|s| s.id.0 == pick.sku_id).unwrap();
+    let picked_outcome = replay(&demand, picked_sku);
+    assert!(
+        picked_outcome.throttle_fraction < 0.10,
+        "selected SKU throttles {:.1}%",
+        picked_outcome.throttle_fraction * 100.0
+    );
+
+    // The next SKU down the price ladder (if any) does noticeably worse.
+    let pos = curve.position_of(&pick.sku_id).unwrap();
+    if pos > 0 {
+        let cheaper_id = &curve.points()[pos - 1].sku_id;
+        let cheaper = skus.iter().find(|s| &s.id.0 == cheaper_id).unwrap();
+        let cheaper_outcome = replay(&demand, cheaper);
+        assert!(
+            cheaper_outcome.throttle_fraction > picked_outcome.throttle_fraction,
+            "cheaper SKU should throttle more: {} vs {}",
+            cheaper_outcome.throttle_fraction,
+            picked_outcome.throttle_fraction
+        );
+        assert!(
+            cheaper_outcome.mean_latency_ms > picked_outcome.mean_latency_ms,
+            "cheaper SKU should show inflated latency"
+        );
+    }
+}
+
+#[test]
+fn synthesis_fit_reproduces_trace_statistics() {
+    // Fit fragments to a generated OLTP trace, re-emit, and compare means —
+    // the paper's "performance traces of these synthesized workloads mimic
+    // that of the original".
+    let original =
+        doppler::workload::generate(&WorkloadArchetype::OltpLike.spec(4.0, 3.0), 99);
+    let fitted = SynthesizedWorkload::fit(&original, 3.0);
+    let reproduced = fitted.demand_trace(7);
+    for dim in [PerfDimension::Cpu, PerfDimension::Iops] {
+        let want = doppler::stats::mean(original.values(dim).unwrap());
+        let got = doppler::stats::mean(reproduced.values(dim).unwrap());
+        assert!(
+            (got - want).abs() / want < 0.5,
+            "{dim}: fitted mean {got} vs original {want}"
+        );
+    }
+}
+
+#[test]
+fn oversized_demand_throttles_even_the_biggest_replay_machine() {
+    let mut big = synth();
+    for f in &mut big.fragments {
+        f.concurrency *= 40;
+    }
+    let demand = big.demand_trace(17);
+    let skus = doppler::catalog::replay_skus();
+    let outcome = replay(&demand, &skus[3]);
+    assert!(outcome.throttle_fraction > 0.5);
+    assert!(outcome.final_backlog > 0.0);
+}
