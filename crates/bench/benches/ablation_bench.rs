@@ -54,7 +54,11 @@ fn bench_rho_sensitivity(c: &mut Criterion) {
         let s = NegotiabilityStrategy::Thresholding { rho };
         let spiky_bit = s.dimension_bit(spiky.values(PerfDimension::Cpu).unwrap());
         let steady_bit = s.dimension_bit(steady.values(PerfDimension::Memory).unwrap());
-        print!(" {rho}:{}{}", if spiky_bit { "S" } else { "-" }, if steady_bit { "M" } else { "-" });
+        print!(
+            " {rho}:{}{}",
+            if spiky_bit { "S" } else { "-" },
+            if steady_bit { "M" } else { "-" }
+        );
     }
     println!("  (S = spiky CPU negotiable, M = saturated memory negotiable; the useful band keeps S without M)");
     let s = NegotiabilityStrategy::production();

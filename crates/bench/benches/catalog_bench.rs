@@ -21,17 +21,14 @@ fn bench_catalog_query(c: &mut Criterion) {
 fn bench_storage_tier_assignment(c: &mut Criterion) {
     let layout = FileLayout::from_sizes(&[100.0, 400.0, 900.0, 1500.0]);
     c.bench_function("mi_tier_assignment_for_demand", |b| {
-        b.iter(|| {
-            std::hint::black_box(&layout).assign_tiers_for_demand(12_000.0, 400.0, 0.95)
-        })
+        b.iter(|| std::hint::black_box(&layout).assign_tiers_for_demand(12_000.0, 400.0, 0.95))
     });
 }
 
 fn bench_preaggregation(c: &mut Criterion) {
     // A week of per-minute raw samples into 10-minute buckets.
-    let samples: Vec<RawSample> = (0..7 * 24 * 60)
-        .map(|i| RawSample { minute: i as f64, value: (i % 97) as f64 })
-        .collect();
+    let samples: Vec<RawSample> =
+        (0..7 * 24 * 60).map(|i| RawSample { minute: i as f64, value: (i % 97) as f64 }).collect();
     let agg = PreAggregator::default();
     c.bench_function("preaggregate_week_of_minutes", |b| {
         b.iter(|| agg.aggregate(std::hint::black_box(&samples), 7.0 * 24.0 * 60.0))
@@ -40,14 +37,8 @@ fn bench_preaggregation(c: &mut Criterion) {
 
 fn bench_rollup(c: &mut Criterion) {
     let child = doppler_telemetry::PerfHistory::new()
-        .with(
-            PerfDimension::Cpu,
-            doppler_telemetry::TimeSeries::ten_minute(vec![1.0; 2016]),
-        )
-        .with(
-            PerfDimension::IoLatency,
-            doppler_telemetry::TimeSeries::ten_minute(vec![5.0; 2016]),
-        );
+        .with(PerfDimension::Cpu, doppler_telemetry::TimeSeries::ten_minute(vec![1.0; 2016]))
+        .with(PerfDimension::IoLatency, doppler_telemetry::TimeSeries::ten_minute(vec![5.0; 2016]));
     let children = vec![child; 40];
     c.bench_function("rollup_40_databases_14d", |b| {
         b.iter(|| rollup(std::hint::black_box(&children)))

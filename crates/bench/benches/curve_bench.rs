@@ -12,11 +12,9 @@ fn bench_curve_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("curve_generation");
     for days in [1.0, 7.0, 14.0, 30.0] {
         let history = generate(&WorkloadArchetype::OltpLike.spec(4.0, days), 7);
-        group.bench_with_input(
-            BenchmarkId::new("oltp_days", days as u32),
-            &history,
-            |b, h| b.iter(|| PricePerformanceCurve::generate(std::hint::black_box(h), &skus)),
-        );
+        group.bench_with_input(BenchmarkId::new("oltp_days", days as u32), &history, |b, h| {
+            b.iter(|| PricePerformanceCurve::generate(std::hint::black_box(h), &skus))
+        });
     }
     group.finish();
 }
@@ -26,9 +24,7 @@ fn bench_curve_classification(c: &mut Criterion) {
     let skus = cat.for_deployment(DeploymentType::SqlDb);
     let history = generate(&WorkloadArchetype::SpikyCpu.spec(8.0, 14.0), 3);
     let curve = PricePerformanceCurve::generate(&history, &skus);
-    c.bench_function("curve_classify", |b| {
-        b.iter(|| std::hint::black_box(&curve).classify())
-    });
+    c.bench_function("curve_classify", |b| b.iter(|| std::hint::black_box(&curve).classify()));
 }
 
 fn bench_throttling_probability(c: &mut Criterion) {
@@ -36,9 +32,7 @@ fn bench_throttling_probability(c: &mut Criterion) {
     let sku = cat.for_deployment(DeploymentType::SqlDb)[5].clone();
     let history = generate(&WorkloadArchetype::Diurnal.spec(8.0, 14.0), 5);
     c.bench_function("throttling_probability_14d", |b| {
-        b.iter(|| {
-            doppler_core::throttling_probability(std::hint::black_box(&history), &sku.caps)
-        })
+        b.iter(|| doppler_core::throttling_probability(std::hint::black_box(&history), &sku.caps))
     });
 }
 

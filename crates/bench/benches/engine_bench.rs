@@ -12,11 +12,7 @@ fn training_records(n: usize) -> Vec<TrainingRecord> {
         .customers(&cat)
         .into_iter()
         .filter(|c| !c.over_provisioned)
-        .map(|c| TrainingRecord {
-            history: c.history,
-            chosen_sku: c.chosen_sku,
-            file_layout: None,
-        })
+        .map(|c| TrainingRecord { history: c.history, chosen_sku: c.chosen_sku, file_layout: None })
         .collect()
 }
 

@@ -1,0 +1,86 @@
+//! Fleet-assessment throughput: time to push the same synthetic SQL DB
+//! fleet through the `doppler-fleet` worker pool at increasing thread
+//! counts, plus the aggregation and queue-handoff hot paths.
+//!
+//! On a multi-core host the multi-threaded rows should show materially
+//! lower ns/iter than `workers/1`, since the engine is read-only and
+//! assessment parallelizes embarrassingly; on a single-core container the
+//! rows collapse to parity, which is itself the correct answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{azure_paas_catalog, Catalog, CatalogSpec, DeploymentType};
+use doppler_core::{DopplerEngine, EngineConfig};
+use doppler_fleet::{cloud_fleet, BoundedQueue, FleetAssessor, FleetConfig, FleetRequest};
+use doppler_workload::PopulationSpec;
+
+const FLEET_SIZE: usize = 128;
+
+fn catalog() -> Catalog {
+    azure_paas_catalog(&CatalogSpec::default())
+}
+
+fn db_fleet(catalog: &Catalog) -> Vec<FleetRequest> {
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(FLEET_SIZE, 11) };
+    cloud_fleet(&spec, catalog, None).collect()
+}
+
+fn assessor(catalog: &Catalog, workers: usize) -> FleetAssessor {
+    let engine =
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb));
+    let mut config = FleetConfig::with_workers(workers);
+    config.keep_results = false;
+    FleetAssessor::new(engine, config)
+}
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    let catalog = catalog();
+    let fleet = db_fleet(&catalog);
+    let mut group = c.benchmark_group(format!("fleet_assess_{FLEET_SIZE}_instances"));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let assessor = assessor(&catalog, workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &fleet, |b, fleet| {
+            b.iter(|| assessor.assess(std::hint::black_box(fleet.clone())).report)
+        });
+    }
+    group.finish();
+}
+
+fn bench_report_aggregation(c: &mut Criterion) {
+    let catalog = catalog();
+    let engine =
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb));
+    let results =
+        FleetAssessor::new(engine, FleetConfig::with_workers(1)).assess(db_fleet(&catalog)).results;
+    c.bench_function("fleet_report_from_128_results", |b| {
+        b.iter(|| doppler_fleet::FleetReport::from_results(std::hint::black_box(&results)))
+    });
+}
+
+fn bench_queue_handoff(c: &mut Criterion) {
+    c.bench_function("bounded_queue_handoff_1k_items_4_workers", |b| {
+        b.iter(|| {
+            let queue: BoundedQueue<usize> = BoundedQueue::new(64);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut sum = 0usize;
+                        while let Some(i) = queue.pop() {
+                            sum += i;
+                        }
+                        std::hint::black_box(sum)
+                    });
+                }
+                for i in 0..1000 {
+                    queue.push(i).unwrap();
+                }
+                queue.close();
+            });
+        })
+    });
+}
+
+criterion_group!(benches, bench_fleet_throughput, bench_report_aggregation, bench_queue_handoff);
+criterion_main!(benches);

@@ -10,12 +10,8 @@ use doppler_workload::{generate, WorkloadArchetype};
 
 fn bench_summarizers(c: &mut Criterion) {
     let history = generate(&WorkloadArchetype::SpikyCpu.spec(8.0, 14.0), 3);
-    let dims = [
-        PerfDimension::Cpu,
-        PerfDimension::Memory,
-        PerfDimension::Iops,
-        PerfDimension::LogRate,
-    ];
+    let dims =
+        [PerfDimension::Cpu, PerfDimension::Memory, PerfDimension::Iops, PerfDimension::LogRate];
     let mut group = c.benchmark_group("negotiability_summarizers");
     for (name, strategy) in NegotiabilityStrategy::table4_lineup() {
         // STL is orders of magnitude slower; trim its sample budget.

@@ -91,10 +91,7 @@ mod tests {
 
     #[test]
     fn curve_table_lists_every_point() {
-        let pts = vec![
-            ("GP2".to_string(), 368.0, 0.5),
-            ("GP4".to_string(), 736.0, 1.0),
-        ];
+        let pts = vec![("GP2".to_string(), 368.0, 0.5), ("GP4".to_string(), 736.0, 1.0)];
         let t = curve_table(&pts);
         assert_eq!(t.lines().count(), 2);
         assert!(t.contains("GP2"));

@@ -48,7 +48,8 @@ fn main() {
             e.0 += 1;
         }
         // ground-truth group vs assigned group
-        let truth = c.negotiability.iter().enumerate().fold(0usize, |a, (i, &b)| a | ((b as usize) << i));
+        let truth =
+            c.negotiability.iter().enumerate().fold(0usize, |a, (i, &b)| a | ((b as usize) << i));
         *group_match.entry((truth, rec.group)).or_default() += 1;
         if !hit && mismatch_examples.len() < 12 && c.latency_critical {
             mismatch_examples.push(format!(

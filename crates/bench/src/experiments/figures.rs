@@ -11,8 +11,8 @@ use doppler_replay::replay;
 use doppler_stats::{Ecdf, SeededRng, Summary};
 use doppler_telemetry::PerfDimension;
 use doppler_workload::{
-    drift_scenario, generate, onprem_population, BenchmarkFragment, BenchmarkKind,
-    PopulationSpec, SynthesizedWorkload, WorkloadArchetype,
+    drift_scenario, generate, onprem_population, BenchmarkFragment, BenchmarkKind, PopulationSpec,
+    SynthesizedWorkload, WorkloadArchetype,
 };
 
 use crate::ascii::{curve_table, strip_chart};
@@ -69,10 +69,7 @@ pub fn figure5(scale: &ExperimentScale) -> String {
     // A workload engineered for a complex curve: several dimensions spiking
     // at different levels so the envelope climbs in stages.
     let spec = doppler_workload::WorkloadSpec::new("fig5", 14.0)
-        .with_dim(
-            PerfDimension::Cpu,
-            doppler_workload::DimensionProfile::spiky(3.0, 9.0, 4.0, 2),
-        )
+        .with_dim(PerfDimension::Cpu, doppler_workload::DimensionProfile::spiky(3.0, 9.0, 4.0, 2))
         .with_dim(
             PerfDimension::Memory,
             doppler_workload::DimensionProfile::spiky(20.0, 45.0, 2.0, 3),
@@ -114,7 +111,8 @@ pub fn figure5(scale: &ExperimentScale) -> String {
 
 /// Figure 6: ECDFs and raw time series for contrasting archetypes.
 pub fn figure6(scale: &ExperimentScale) -> String {
-    let mut out = String::from("Figure 6 — ECDFs (top) and raw series (bottom) per workload type\n");
+    let mut out =
+        String::from("Figure 6 — ECDFs (top) and raw series (bottom) per workload type\n");
     for (name, arch) in [
         ("steady", WorkloadArchetype::Steady),
         ("spiky", WorkloadArchetype::SpikyCpu),
@@ -125,7 +123,8 @@ pub fn figure6(scale: &ExperimentScale) -> String {
         let cpu = h.values(PerfDimension::Cpu).unwrap();
         let e = Ecdf::new(cpu).expect("nonempty");
         let s = Summary::of(cpu).expect("nonempty");
-        let _ = writeln!(out, "\n[{name}] CPU mean {:.2}, p95 {:.2}, max {:.2}", s.mean, s.p95, s.max);
+        let _ =
+            writeln!(out, "\n[{name}] CPU mean {:.2}, p95 {:.2}, max {:.2}", s.mean, s.p95, s.max);
         out.push_str("  ECDF (x: vCores, y: F(x)):\n");
         for (x, f) in e.grid(8) {
             let bar = (f * 40.0).round() as usize;
@@ -153,9 +152,7 @@ pub fn figure8(scale: &ExperimentScale) -> String {
         let curve = PricePerformanceCurve::generate(&h, &skus);
         let _ = writeln!(out, "\n{name} — classified {:?}", curve.classify());
         // Print a compact curve: every point collapsed to score buckets.
-        out.push_str(&curve_table(
-            &curve_rows(&curve).into_iter().take(12).collect::<Vec<_>>(),
-        ));
+        out.push_str(&curve_table(&curve_rows(&curve).into_iter().take(12).collect::<Vec<_>>()));
     }
     out
 }
@@ -167,27 +164,31 @@ pub fn figure9(scale: &ExperimentScale) -> String {
         "Figure 9 — curve-type breakdown\n\
          Cohort        Flat     Simple   Complex\n",
     );
-    let mut classify_cohort = |label: &str, histories: Vec<(doppler_telemetry::PerfHistory, Option<doppler_catalog::FileLayout>)>, deployment| {
-        let engine = DopplerEngine::untrained(cat.clone(), EngineConfig::production(deployment));
-        let mut counts = [0usize; 3];
-        let total = histories.len();
-        for (h, layout) in histories {
-            let (curve, _) = engine.curve_for(&h, layout.as_ref());
-            match curve.classify() {
-                CurveShape::Flat => counts[0] += 1,
-                CurveShape::Simple => counts[1] += 1,
-                CurveShape::Complex => counts[2] += 1,
+    let mut classify_cohort =
+        |label: &str,
+         histories: Vec<(doppler_telemetry::PerfHistory, Option<doppler_catalog::FileLayout>)>,
+         deployment| {
+            let engine =
+                DopplerEngine::untrained(cat.clone(), EngineConfig::production(deployment));
+            let mut counts = [0usize; 3];
+            let total = histories.len();
+            for (h, layout) in histories {
+                let (curve, _) = engine.curve_for(&h, layout.as_ref());
+                match curve.classify() {
+                    CurveShape::Flat => counts[0] += 1,
+                    CurveShape::Simple => counts[1] += 1,
+                    CurveShape::Complex => counts[2] += 1,
+                }
             }
-        }
-        let pct = |c: usize| 100.0 * c as f64 / total.max(1) as f64;
-        let _ = writeln!(
-            out,
-            "{label:<12} {:>6.1}%  {:>6.1}%  {:>6.1}%",
-            pct(counts[0]),
-            pct(counts[1]),
-            pct(counts[2])
-        );
-    };
+            let pct = |c: usize| 100.0 * c as f64 / total.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{label:<12} {:>6.1}%  {:>6.1}%  {:>6.1}%",
+                pct(counts[0]),
+                pct(counts[1]),
+                pct(counts[2])
+            );
+        };
     let db = PopulationSpec::sql_db(scale.cohort, scale.seed).customers(&cat);
     classify_cohort(
         "SQL DB",
@@ -229,8 +230,11 @@ pub fn figure10(scale: &ExperimentScale) -> String {
             file_layout: None,
         })
         .collect();
-    let engine =
-        DopplerEngine::train(cat.clone(), EngineConfig::production(DeploymentType::SqlDb), &records);
+    let engine = DopplerEngine::train(
+        cat.clone(),
+        EngineConfig::production(DeploymentType::SqlDb),
+        &records,
+    );
 
     let mut out = String::from(
         "Figure 10 — confidence score vs bootstrap window (30-day histories)\n\
@@ -252,11 +256,8 @@ pub fn figure10(scale: &ExperimentScale) -> String {
             })
             .collect();
         let s = Summary::of(&scores).expect("nonempty");
-        let _ = writeln!(
-            out,
-            "{label:<10} {:.3}  {:.3}  {:.3}  {:.3}",
-            s.mean, s.p25, s.median, s.p75
-        );
+        let _ =
+            writeln!(out, "{label:<10} {:.3}  {:.3}  {:.3}  {:.3}", s.mean, s.p25, s.median, s.p75);
     }
     out
 }
@@ -269,9 +270,13 @@ pub fn figure11(scale: &ExperimentScale) -> String {
     let report = detect_drift(&scenario.history, scenario.change_point, &skus, 0.0);
     let mut out = String::from("Figure 11 — curves before (top) and after (bottom) a SKU change\n");
     out.push_str("before:\n");
-    out.push_str(&curve_table(&curve_rows(&report.before_curve).into_iter().take(10).collect::<Vec<_>>()));
+    out.push_str(&curve_table(
+        &curve_rows(&report.before_curve).into_iter().take(10).collect::<Vec<_>>(),
+    ));
     out.push_str("after:\n");
-    out.push_str(&curve_table(&curve_rows(&report.after_curve).into_iter().take(10).collect::<Vec<_>>()));
+    out.push_str(&curve_table(
+        &curve_rows(&report.after_curve).into_iter().take(10).collect::<Vec<_>>(),
+    ));
     let _ = writeln!(
         out,
         "recommendation before: {:?}, after: {:?} (changed: {})",

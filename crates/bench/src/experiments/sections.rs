@@ -5,8 +5,7 @@ use std::fmt::Write as _;
 
 use doppler_catalog::{DeploymentType, SkuId};
 use doppler_core::{
-    rightsize, BaselineStrategy, DopplerEngine, EngineConfig, PricePerformanceCurve,
-    TrainingRecord,
+    rightsize, BaselineStrategy, DopplerEngine, EngineConfig, PricePerformanceCurve, TrainingRecord,
 };
 use doppler_stats::descriptive::{mean, min};
 use doppler_telemetry::PerfDimension;
@@ -32,8 +31,11 @@ pub fn sec5_3(scale: &ExperimentScale) -> String {
             file_layout: None,
         })
         .collect();
-    let engine =
-        DopplerEngine::train(cat.clone(), EngineConfig::production(DeploymentType::SqlDb), &records);
+    let engine = DopplerEngine::train(
+        cat.clone(),
+        EngineConfig::production(DeploymentType::SqlDb),
+        &records,
+    );
     let baseline = BaselineStrategy::p95();
 
     let instances = sec53_instances(7.0, scale.seed ^ 0x53);

@@ -22,10 +22,8 @@ use crate::experiments::ExperimentScale;
 /// operational telemetry; the reproduction demonstrates the counting
 /// harness at the same order of magnitude.
 pub fn table1(scale: &ExperimentScale) -> String {
-    let engine = DopplerEngine::untrained(
-        catalog(),
-        EngineConfig::production(DeploymentType::SqlDb),
-    );
+    let engine =
+        DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlDb));
     let service = AssessmentService::new(SkuRecommendationPipeline::new(engine), 8);
     let mut ledger = AdoptionLedger::default();
     let mut rng = SeededRng::new(scale.seed);

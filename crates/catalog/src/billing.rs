@@ -97,7 +97,10 @@ mod tests {
     fn monthly_is_730_hourly() {
         let r = BillingRates::default();
         let h = r.hourly(DeploymentType::SqlDb, ServiceTier::GeneralPurpose, 8.0);
-        assert!((r.monthly(DeploymentType::SqlDb, ServiceTier::GeneralPurpose, 8.0) - h * 730.0).abs() < 1e-9);
+        assert!(
+            (r.monthly(DeploymentType::SqlDb, ServiceTier::GeneralPurpose, 8.0) - h * 730.0).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -50,10 +50,7 @@ impl Catalog {
     /// Step 1 fallback "restrict our search of relevant SKUs to Business
     /// Critical ones").
     pub fn for_deployment_tier(&self, deployment: DeploymentType, tier: ServiceTier) -> Vec<&Sku> {
-        self.skus
-            .iter()
-            .filter(|s| s.deployment == deployment && s.tier == tier)
-            .collect()
+        self.skus.iter().filter(|s| s.deployment == deployment && s.tier == tier).collect()
     }
 
     /// SKUs sorted by ascending monthly cost — the x-axis of every
@@ -76,9 +73,7 @@ impl Catalog {
         deployment: DeploymentType,
         requirement: &ResourceCaps,
     ) -> Option<&Sku> {
-        self.sorted_by_price(deployment)
-            .into_iter()
-            .find(|s| s.caps.dominates(requirement))
+        self.sorted_by_price(deployment).into_iter().find(|s| s.caps.dominates(requirement))
     }
 
     /// Add a SKU (used by tests and the replay harness to splice in the

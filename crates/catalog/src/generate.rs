@@ -80,9 +80,17 @@ fn build_sku(
         memory_gb: spec.memory_gb_per_vcore * v,
         max_data_gb: max_data_gb(v),
         iops: if bc { spec.bc_iops_per_vcore * v } else { spec.gp_iops_per_vcore * v },
-        log_rate_mbps: if bc { spec.bc_log_mbps_per_vcore * v } else { spec.gp_log_mbps_per_vcore * v },
+        log_rate_mbps: if bc {
+            spec.bc_log_mbps_per_vcore * v
+        } else {
+            spec.gp_log_mbps_per_vcore * v
+        },
         min_io_latency_ms: if bc { spec.bc_latency_ms } else { spec.gp_latency_ms },
-        throughput_mbps: if bc { spec.bc_throughput_per_vcore * v } else { spec.gp_throughput_per_vcore * v },
+        throughput_mbps: if bc {
+            spec.bc_throughput_per_vcore * v
+        } else {
+            spec.gp_throughput_per_vcore * v
+        },
     };
     Sku {
         id: SkuId(format!("{deployment}_{tier}_{vcores}")),
@@ -188,10 +196,7 @@ mod tests {
         let cat = azure_paas_catalog(&CatalogSpec::default());
         for d in [DeploymentType::SqlDb, DeploymentType::SqlMi] {
             for t in [ServiceTier::GeneralPurpose, ServiceTier::BusinessCritical] {
-                assert!(
-                    cat.iter().any(|s| s.deployment == d && s.tier == t),
-                    "missing {d}/{t}"
-                );
+                assert!(cat.iter().any(|s| s.deployment == d && s.tier == t), "missing {d}/{t}");
             }
         }
         assert_eq!(cat.len(), 2 * DB_VCORES.len() + 2 * MI_VCORES.len());
@@ -226,7 +231,9 @@ mod tests {
         let cat = azure_paas_catalog(&CatalogSpec::default());
         let mut gp: Vec<_> = cat
             .iter()
-            .filter(|s| s.deployment == DeploymentType::SqlDb && s.tier == ServiceTier::GeneralPurpose)
+            .filter(|s| {
+                s.deployment == DeploymentType::SqlDb && s.tier == ServiceTier::GeneralPurpose
+            })
             .collect();
         gp.sort_by(|a, b| a.caps.vcores.partial_cmp(&b.caps.vcores).unwrap());
         for w in gp.windows(2) {

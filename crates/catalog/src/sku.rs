@@ -8,7 +8,9 @@
 use std::fmt;
 
 /// Azure SQL PaaS deployment type (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum DeploymentType {
     /// Azure SQL Database: fully managed, isolated single databases.
     SqlDb,
@@ -29,7 +31,9 @@ impl fmt::Display for DeploymentType {
 /// Service tier within the vCore purchasing model (§2): Business Critical
 /// "offers higher transaction rates and lower-latency I/O" than General
 /// Purpose.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum ServiceTier {
     GeneralPurpose,
     BusinessCritical,
@@ -45,7 +49,9 @@ impl fmt::Display for ServiceTier {
 }
 
 /// Identifier of a SKU, unique within a catalog, e.g. `DB_GP_8`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct SkuId(pub String);
 
 impl fmt::Display for SkuId {

@@ -12,7 +12,9 @@ use std::fmt;
 /// A premium-disk storage tier. The four tiers the paper prints in Table 2
 /// (P10, P20, P50, P60) use the paper's numbers verbatim; P30/P40 fill the
 /// elided ". . ." columns with Azure's published limits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum StorageTier {
     P10,
     P20,
@@ -30,8 +32,14 @@ impl fmt::Display for StorageTier {
 
 impl StorageTier {
     /// All tiers, smallest first.
-    pub const ALL: [StorageTier; 6] =
-        [StorageTier::P10, StorageTier::P20, StorageTier::P30, StorageTier::P40, StorageTier::P50, StorageTier::P60];
+    pub const ALL: [StorageTier; 6] = [
+        StorageTier::P10,
+        StorageTier::P20,
+        StorageTier::P30,
+        StorageTier::P40,
+        StorageTier::P50,
+        StorageTier::P60,
+    ];
 
     /// Upper bound of the file-size bracket, GiB (Table 2 row "File size").
     pub fn max_file_gib(&self) -> f64 {
@@ -162,8 +170,11 @@ impl FileLayout {
             }) else {
                 return Some((assignment, false));
             };
-            let next = StorageTier::ALL
-                [StorageTier::ALL.iter().position(|&t| t == assignment.tiers[pick]).expect("tier in ALL") + 1];
+            let next = StorageTier::ALL[StorageTier::ALL
+                .iter()
+                .position(|&t| t == assignment.tiers[pick])
+                .expect("tier in ALL")
+                + 1];
             assignment.tiers[pick] = next;
         }
     }

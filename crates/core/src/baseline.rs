@@ -151,8 +151,7 @@ mod tests {
 
     #[test]
     fn missing_dimensions_default_to_unconstrained() {
-        let h = PerfHistory::new()
-            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 10]));
+        let h = PerfHistory::new().with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 10]));
         let req = BaselineStrategy::p95().requirement(&h);
         assert_eq!(req.memory_gb, 0.0);
         assert!(req.min_io_latency_ms.is_infinite());

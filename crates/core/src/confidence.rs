@@ -65,8 +65,7 @@ mod tests {
     use doppler_telemetry::{PerfDimension, TimeSeries};
 
     fn steady_history(n: usize) -> PerfHistory {
-        PerfHistory::new()
-            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![1.0; n]))
+        PerfHistory::new().with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![1.0; n]))
     }
 
     /// A history whose first half is quiet and second half is busy: short
@@ -122,12 +121,8 @@ mod tests {
 
     #[test]
     fn empty_history_scores_zero() {
-        let c = confidence_score(
-            &PerfHistory::new(),
-            "x",
-            &ConfidenceConfig::default(),
-            toy_recommend,
-        );
+        let c =
+            confidence_score(&PerfHistory::new(), "x", &ConfidenceConfig::default(), toy_recommend);
         assert_eq!(c, 0.0);
     }
 

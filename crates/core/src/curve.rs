@@ -118,10 +118,7 @@ impl PricePerformanceCurve {
         if all_full {
             return CurveShape::Flat;
         }
-        let bifurcated = self
-            .points
-            .iter()
-            .all(|p| p.score >= 1.0 - TOL || p.score <= TOL);
+        let bifurcated = self.points.iter().all(|p| p.score >= 1.0 - TOL || p.score <= TOL);
         if bifurcated {
             CurveShape::Simple
         } else {

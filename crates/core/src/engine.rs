@@ -107,7 +107,11 @@ pub fn profiled_dimensions(deployment: DeploymentType) -> &'static [PerfDimensio
 impl DopplerEngine {
     /// Train on migrated customers: profile each, fit the grouping, learn
     /// each group's preferred operating point.
-    pub fn train(catalog: Catalog, config: EngineConfig, records: &[TrainingRecord]) -> DopplerEngine {
+    pub fn train(
+        catalog: Catalog,
+        config: EngineConfig,
+        records: &[TrainingRecord],
+    ) -> DopplerEngine {
         let dims = profiled_dimensions(config.deployment);
         let weights: Vec<Vec<f64>> =
             records.iter().map(|r| config.negotiability.weights(&r.history, dims)).collect();
@@ -372,11 +376,8 @@ mod tests {
 
     #[test]
     fn train_on_empty_records_matches_untrained() {
-        let a = DopplerEngine::train(
-            catalog(),
-            EngineConfig::production(DeploymentType::SqlDb),
-            &[],
-        );
+        let a =
+            DopplerEngine::train(catalog(), EngineConfig::production(DeploymentType::SqlDb), &[]);
         let rec = a.recommend(&tiny_history(32), None);
         assert_eq!(rec.preferred_p, 0.0);
         assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"));

@@ -63,18 +63,10 @@ pub fn explain(
     };
 
     let mut lines = Vec::new();
-    let negotiable: Vec<String> = profiled
-        .iter()
-        .zip(bits)
-        .filter(|(_, &b)| b)
-        .map(|(d, _)| d.to_string())
-        .collect();
-    let firm: Vec<String> = profiled
-        .iter()
-        .zip(bits)
-        .filter(|(_, &b)| !b)
-        .map(|(d, _)| d.to_string())
-        .collect();
+    let negotiable: Vec<String> =
+        profiled.iter().zip(bits).filter(|(_, &b)| b).map(|(d, _)| d.to_string()).collect();
+    let firm: Vec<String> =
+        profiled.iter().zip(bits).filter(|(_, &b)| !b).map(|(d, _)| d.to_string()).collect();
     if !negotiable.is_empty() {
         lines.push(format!(
             "Negotiable dimensions (rare, short-lived peaks): {}.",
@@ -107,10 +99,7 @@ mod tests {
     use crate::curve::PricePerformanceCurve;
 
     fn curve() -> PricePerformanceCurve {
-        PricePerformanceCurve::from_scored(vec![
-            ("a".into(), 100.0, 0.9),
-            ("b".into(), 200.0, 1.0),
-        ])
+        PricePerformanceCurve::from_scored(vec![("a".into(), 100.0, 0.9), ("b".into(), 200.0, 1.0)])
     }
 
     #[test]
@@ -157,10 +146,7 @@ mod tests {
 
     #[test]
     fn render_produces_bulleted_lines() {
-        let e = Explanation {
-            summary: "S".into(),
-            lines: vec!["one".into(), "two".into()],
-        };
+        let e = Explanation { summary: "S".into(), lines: vec!["one".into(), "two".into()] };
         assert_eq!(e.render(), "S\n  - one\n  - two");
     }
 }

@@ -34,11 +34,7 @@ impl GroupingStrategy {
     /// Fit on the training cohort. `weights[i]` / `bits[i]` describe
     /// customer `i`. Returns the fitted grouping and each training
     /// customer's group label.
-    pub fn fit(
-        &self,
-        weights: &[Vec<f64>],
-        bits: &[Vec<bool>],
-    ) -> (FittedGrouping, Vec<usize>) {
+    pub fn fit(&self, weights: &[Vec<f64>], bits: &[Vec<bool>]) -> (FittedGrouping, Vec<usize>) {
         match *self {
             GroupingStrategy::Enumeration => {
                 let n_dims = bits.first().map_or(0, |b| b.len());
@@ -123,10 +119,8 @@ mod tests {
 
     #[test]
     fn enumeration_group_count_is_two_to_the_dims() {
-        let (g, labels) = GroupingStrategy::Enumeration.fit(
-            &[vec![0.9, 0.1], vec![0.1, 0.9]],
-            &[vec![true, false], vec![false, true]],
-        );
+        let (g, labels) = GroupingStrategy::Enumeration
+            .fit(&[vec![0.9, 0.1], vec![0.1, 0.9]], &[vec![true, false], vec![false, true]]);
         assert_eq!(g.group_count(), 4);
         assert_eq!(labels, vec![1, 2]);
     }
@@ -143,11 +137,9 @@ mod tests {
 
     #[test]
     fn kmeans_grouping_separates_extremes() {
-        let weights: Vec<Vec<f64>> = (0..20)
-            .map(|i| if i < 10 { vec![0.95, 0.9] } else { vec![0.05, 0.1] })
-            .collect();
-        let bits: Vec<Vec<bool>> =
-            (0..20).map(|i| vec![i < 10, i < 10]).collect();
+        let weights: Vec<Vec<f64>> =
+            (0..20).map(|i| if i < 10 { vec![0.95, 0.9] } else { vec![0.05, 0.1] }).collect();
+        let bits: Vec<Vec<bool>> = (0..20).map(|i| vec![i < 10, i < 10]).collect();
         let (g, labels) = GroupingStrategy::KMeans { k: 2, seed: 1 }.fit(&weights, &bits);
         assert_eq!(g.group_count(), 2);
         assert_ne!(labels[0], labels[19]);
@@ -162,8 +154,8 @@ mod tests {
             .map(|i| if i < 6 { vec![0.9 + 0.01 * i as f64] } else { vec![0.1 + 0.01 * i as f64] })
             .collect();
         let bits: Vec<Vec<bool>> = (0..12).map(|i| vec![i < 6]).collect();
-        let (g, labels) = GroupingStrategy::Hierarchical { k: 2, linkage: Linkage::Average }
-            .fit(&weights, &bits);
+        let (g, labels) =
+            GroupingStrategy::Hierarchical { k: 2, linkage: Linkage::Average }.fit(&weights, &bits);
         for (i, w) in weights.iter().enumerate() {
             assert_eq!(g.assign(w, &bits[i]), labels[i], "customer {i}");
         }

@@ -72,8 +72,7 @@ impl CurveHeuristic {
                         best = Some((i, slope));
                     }
                 }
-                best.map(|(i, _)| pts[i].sku_id.clone())
-                    .or_else(|| Some(pts[0].sku_id.clone()))
+                best.map(|(i, _)| pts[i].sku_id.clone()).or_else(|| Some(pts[0].sku_id.clone()))
             }
             CurveHeuristic::PerformanceThreshold { gamma } => {
                 pts.iter().find(|p| p.score >= gamma).map(|p| p.sku_id.clone())
@@ -142,20 +141,14 @@ mod tests {
             ("c".into(), 300.0, 1.0),
         ]);
         // No significant gain anywhere: settle immediately.
-        assert_eq!(
-            CurveHeuristic::largest_performance_increase().select(&curve).unwrap(),
-            "a"
-        );
+        assert_eq!(CurveHeuristic::largest_performance_increase().select(&curve).unwrap(), "a");
         assert_eq!(CurveHeuristic::performance_threshold_95().select(&curve).unwrap(), "a");
     }
 
     #[test]
     fn single_point_curve_selects_it() {
         let curve = PricePerformanceCurve::from_scored(vec![("only".into(), 50.0, 0.7)]);
-        assert_eq!(
-            CurveHeuristic::largest_performance_increase().select(&curve).unwrap(),
-            "only"
-        );
+        assert_eq!(CurveHeuristic::largest_performance_increase().select(&curve).unwrap(), "only");
         assert_eq!(CurveHeuristic::LargestSlope.select(&curve).unwrap(), "only");
     }
 
@@ -167,9 +160,6 @@ mod tests {
             ("c".into(), 300.0, 0.8),
             ("d".into(), 400.0, 1.0),
         ]);
-        assert_eq!(
-            CurveHeuristic::largest_performance_increase().select(&curve).unwrap(),
-            "d"
-        );
+        assert_eq!(CurveHeuristic::largest_performance_increase().select(&curve).unwrap(), "d");
     }
 }

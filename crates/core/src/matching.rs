@@ -85,11 +85,7 @@ impl GroupModel {
             }
         }
         let all: Vec<f64> = operating.iter().flatten().copied().collect();
-        let fallback_p = if all.is_empty() {
-            0.0
-        } else {
-            1.0 - doppler_stats::mean(&all)
-        };
+        let fallback_p = if all.is_empty() { 0.0 } else { 1.0 - doppler_stats::mean(&all) };
         let groups = operating
             .iter()
             .zip(&informative)
@@ -214,10 +210,7 @@ pub fn select_with_slack(
     // comparator treats equal scores as `Greater` so `max_by` keeps the
     // first (cheapest) maximal point instead of its default last-wins.
     curve.points().iter().max_by(|a, b| {
-        a.score
-            .partial_cmp(&b.score)
-            .expect("finite scores")
-            .then(std::cmp::Ordering::Greater)
+        a.score.partial_cmp(&b.score).expect("finite scores").then(std::cmp::Ordering::Greater)
     })
 }
 
@@ -262,13 +255,8 @@ mod tests {
         // members parked at the cheapest SKU; P_g must stay 0.15.
         let model = GroupModel::learn(
             1,
-            vec![
-                (0usize, &complex, "s2"),
-                (0, &flat, "s1"),
-                (0, &flat, "s1"),
-                (0, &flat, "s2"),
-            ]
-            .into_iter(),
+            vec![(0usize, &complex, "s2"), (0, &flat, "s1"), (0, &flat, "s1"), (0, &flat, "s2")]
+                .into_iter(),
         );
         assert!((model.preferred_p(0) - 0.15).abs() < 1e-9);
         assert_eq!(model.stats()[0].n_total, 4);

@@ -53,8 +53,11 @@ pub fn mi_curve(
     // Step 1: storage tiers from size (100 %) and IO demand (95 %).
     let iops_demand = history.values(PerfDimension::Iops).and_then(max).unwrap_or(0.0);
     let throughput_demand = iops_demand / 128.0; // 8 KB pages
-    let (storage, satisfied) =
-        layout.assign_tiers_for_demand(iops_demand, throughput_demand, IOPS_SATISFACTION_FRACTION)?;
+    let (storage, satisfied) = layout.assign_tiers_for_demand(
+        iops_demand,
+        throughput_demand,
+        IOPS_SATISFACTION_FRACTION,
+    )?;
     let restricted_to_bc = !satisfied;
     let gp_iops_limit = storage.total_iops();
 
@@ -132,13 +135,9 @@ mod tests {
     #[test]
     fn impossible_io_demand_restricts_to_bc() {
         let layout = FileLayout::from_sizes(&[100.0]);
-        let a = mi_curve(
-            &history(vec![60_000.0; 20]),
-            &layout,
-            &catalog(),
-            &BillingRates::default(),
-        )
-        .unwrap();
+        let a =
+            mi_curve(&history(vec![60_000.0; 20]), &layout, &catalog(), &BillingRates::default())
+                .unwrap();
         assert!(a.restricted_to_bc);
         assert!(a.curve.points().iter().all(|p| p.sku_id.contains("BC")));
     }
@@ -169,8 +168,8 @@ mod tests {
     fn bc_costs_exclude_premium_disk_rent() {
         let layout = FileLayout::from_sizes(&[100.0]);
         let cat = catalog();
-        let a = mi_curve(&history(vec![200.0; 20]), &layout, &cat, &BillingRates::default())
-            .unwrap();
+        let a =
+            mi_curve(&history(vec![200.0; 20]), &layout, &cat, &BillingRates::default()).unwrap();
         let bc4 = a.curve.point_for("MI_BC_4").expect("BC 4 on curve");
         let compute = cat.get(&"MI_BC_4".into()).unwrap().monthly_cost();
         assert!((bc4.monthly_cost - compute).abs() < 1e-6);

@@ -32,9 +32,7 @@ pub enum NegotiabilityStrategy {
         cut: f64,
     },
     /// Same with max scaling only — "better identifies large spikes".
-    MaxScalerAuc {
-        cut: f64,
-    },
+    MaxScalerAuc { cut: f64 },
     /// Fraction of samples ≥ 3σ from the mean; spiky usage shows outliers.
     OutlierPercentage {
         /// Outlier fraction above this is negotiable.
@@ -50,10 +48,7 @@ pub enum NegotiabilityStrategy {
     },
     /// MinMax AUC features concatenated with thresholding features — the
     /// "adjusted with timeseries" row of Table 4. Bits follow thresholding.
-    MinMaxAucWithThresholding {
-        rho: f64,
-        cut: f64,
-    },
+    MinMaxAucWithThresholding { rho: f64, cut: f64 },
 }
 
 impl NegotiabilityStrategy {
@@ -122,9 +117,7 @@ impl NegotiabilityStrategy {
             }
             NegotiabilityStrategy::MinMaxScalerAuc { cut } => minmax_scaled_auc(values) > cut,
             NegotiabilityStrategy::MaxScalerAuc { cut } => max_scaled_auc(values) > cut,
-            NegotiabilityStrategy::OutlierPercentage { cut } => {
-                outlier_fraction(values, 3.0) > cut
-            }
+            NegotiabilityStrategy::OutlierPercentage { cut } => outlier_fraction(values, 3.0) > cut,
             NegotiabilityStrategy::StlVarianceDecomposition { period, cut } => {
                 stl_decompose(values, &StlConfig { period, ..Default::default() })
                     .map(|d| d.variance_explained())

@@ -57,11 +57,8 @@ pub fn rightsize(
         .iter()
         .find(|p| p.score >= current.score - EPS)
         .expect("the current SKU itself qualifies");
-    let cost_ratio = if target.monthly_cost > 0.0 {
-        current.monthly_cost / target.monthly_cost
-    } else {
-        1.0
-    };
+    let cost_ratio =
+        if target.monthly_cost > 0.0 { current.monthly_cost / target.monthly_cost } else { 1.0 };
     Some(RightsizeReport {
         current_sku: current.sku_id.clone(),
         recommended_sku: target.sku_id.clone(),
@@ -81,9 +78,7 @@ mod tests {
     /// A flat curve over a GP ladder: everything scores 1.0.
     fn flat_ladder() -> PricePerformanceCurve {
         PricePerformanceCurve::from_scored(
-            (1..=10)
-                .map(|i| (format!("GP{}", 2 * i), 370.0 * i as f64, 1.0))
-                .collect(),
+            (1..=10).map(|i| (format!("GP{}", 2 * i), 370.0 * i as f64, 1.0)).collect(),
         )
     }
 

@@ -60,9 +60,7 @@ pub fn throttling_probability(history: &PerfHistory, caps: &ResourceCaps) -> f64
     // Collect (dim, values, cap) triples once to keep the hot loop tight.
     let dims: Vec<(PerfDimension, &[f64], f64)> = history
         .iter()
-        .filter_map(|(dim, series)| {
-            capacity(caps, dim).map(|cap| (dim, series.values(), cap))
-        })
+        .filter_map(|(dim, series)| capacity(caps, dim).map(|cap| (dim, series.values(), cap)))
         .collect();
     let mut throttled = 0usize;
     for t in 0..n {
@@ -178,10 +176,8 @@ mod tests {
 
     #[test]
     fn probability_is_monotone_in_capacity() {
-        let h = history(
-            (0..100).map(|i| (i % 10) as f64).collect(),
-            (0..100).map(|_| 6.0).collect(),
-        );
+        let h =
+            history((0..100).map(|i| (i % 10) as f64).collect(), (0..100).map(|_| 6.0).collect());
         let mut last = 1.0;
         for vcores in [1.0, 3.0, 5.0, 8.0, 12.0] {
             let p = throttling_probability(&h, &caps(vcores, 100.0, 1e6, 5.0));
@@ -200,11 +196,7 @@ mod tests {
         let (dim, frac) = b.bottleneck().unwrap();
         assert_eq!(dim, PerfDimension::Cpu);
         assert_eq!(frac, 0.75);
-        let lat = b
-            .per_dimension
-            .iter()
-            .find(|(d, _)| *d == PerfDimension::IoLatency)
-            .unwrap();
+        let lat = b.per_dimension.iter().find(|(d, _)| *d == PerfDimension::IoLatency).unwrap();
         assert_eq!(lat.1, 0.25);
     }
 

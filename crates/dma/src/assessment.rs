@@ -7,8 +7,7 @@
 //! read-only after training, so assessment parallelizes embarrassingly)
 //! and keeps the same three counters.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::pipeline::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
 
@@ -77,21 +76,21 @@ impl AssessmentService {
         let results: Mutex<Vec<Option<AssessmentResult>>> =
             Mutex::new((0..requests.len()).map(|_| None).collect());
         let next = std::sync::atomic::AtomicUsize::new(0);
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.workers.min(requests.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= requests.len() {
                         break;
                     }
                     let result = self.pipeline.assess(&requests[i]);
-                    results.lock()[i] = Some(result);
+                    results.lock().expect("no worker panicked")[i] = Some(result);
                 });
             }
-        })
-        .expect("assessment workers do not panic");
+        });
         results
             .into_inner()
+            .expect("no worker panicked")
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
@@ -165,16 +164,10 @@ mod tests {
     fn parallel_and_serial_agree() {
         let reqs: Vec<AssessmentRequest> =
             (0..8).map(|i| request(&format!("i{i}"), 0.4 + i as f64)).collect();
-        let serial: Vec<_> = service(1)
-            .assess_batch(&reqs)
-            .into_iter()
-            .map(|r| r.recommendation.sku_id)
-            .collect();
-        let parallel: Vec<_> = service(8)
-            .assess_batch(&reqs)
-            .into_iter()
-            .map(|r| r.recommendation.sku_id)
-            .collect();
+        let serial: Vec<_> =
+            service(1).assess_batch(&reqs).into_iter().map(|r| r.recommendation.sku_id).collect();
+        let parallel: Vec<_> =
+            service(8).assess_batch(&reqs).into_iter().map(|r| r.recommendation.sku_id).collect();
         assert_eq!(serial, parallel);
     }
 
@@ -186,8 +179,7 @@ mod tests {
     #[test]
     fn ledger_counts_instances_databases_recommendations() {
         let svc = service(2);
-        let reqs: Vec<AssessmentRequest> =
-            (0..3).map(|i| request(&format!("i{i}"), 0.5)).collect();
+        let reqs: Vec<AssessmentRequest> = (0..3).map(|i| request(&format!("i{i}"), 0.5)).collect();
         let mut ledger = AdoptionLedger::default();
         svc.assess_and_record("Oct-21", &reqs, &mut ledger);
         let m = ledger.month("Oct-21").unwrap();

@@ -18,6 +18,7 @@
 //!   batch across threads and keeps the adoption counters.
 
 pub mod assessment;
+pub mod json;
 pub mod pipeline;
 pub mod preprocess;
 pub mod report;

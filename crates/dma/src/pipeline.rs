@@ -19,6 +19,30 @@ pub struct AssessmentRequest {
     pub confidence: Option<ConfidenceConfig>,
 }
 
+impl AssessmentRequest {
+    /// Build a request from an already-aggregated instance-level history —
+    /// the entry point batch callers (e.g. `doppler-fleet`) use when no
+    /// per-database raw counters exist. The instance is recorded as one
+    /// database (how DMA represents a server it could not enumerate) whose
+    /// per-database history is left empty: assessment reads only the
+    /// instance-level series and the database *count*, and duplicating a
+    /// multi-week history per request would double fleet memory.
+    pub fn from_history(
+        instance_name: impl Into<String>,
+        instance: PerfHistory,
+        file_sizes_gib: Vec<f64>,
+        confidence: Option<ConfidenceConfig>,
+    ) -> AssessmentRequest {
+        let instance_name = instance_name.into();
+        let databases = vec![(format!("{instance_name}/db0"), PerfHistory::new())];
+        AssessmentRequest {
+            instance_name,
+            input: PreprocessedInstance { instance, databases, file_sizes_gib },
+            confidence,
+        }
+    }
+}
+
 /// One completed assessment.
 #[derive(Debug, Clone)]
 pub struct AssessmentResult {
@@ -116,8 +140,7 @@ mod tests {
     #[test]
     fn confidence_is_attached_when_requested() {
         let mut req = request(vec![]);
-        req.confidence =
-            Some(ConfidenceConfig { replicates: 8, window_samples: 60, seed: 1 });
+        req.confidence = Some(ConfidenceConfig { replicates: 8, window_samples: 60, seed: 1 });
         let result = pipeline(DeploymentType::SqlDb).assess(&req);
         assert_eq!(result.recommendation.confidence, Some(1.0));
     }

@@ -1,0 +1,391 @@
+//! The fleet assessor: shard a fleet of assessment requests across a
+//! worker pool, collect per-instance results order-stably, and aggregate
+//! them into a [`FleetReport`](crate::report::FleetReport).
+//!
+//! Doppler ran as a service issuing hundreds of thousands of SKU
+//! recommendations (§4, Table 1); this module is the reproduction's version
+//! of that serving layer. The trained engine is read-only after
+//! construction, so assessment parallelizes embarrassingly: each worker
+//! holds an `Arc` of the deployment's pipeline, pops tasks from a bounded
+//! queue (so lazily-generated fleets never materialize fully), and streams
+//! results into a channel the collector drains. Results are then ordered by
+//! submission index, making the output — and every aggregate derived from
+//! it — bit-for-bit independent of the worker count.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use doppler_catalog::DeploymentType;
+use doppler_core::DopplerEngine;
+use doppler_dma::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
+
+use crate::queue::BoundedQueue;
+use crate::report::FleetReport;
+
+/// One fleet member: which deployment target it is assessed against, plus
+/// the ordinary DMA assessment request.
+#[derive(Debug, Clone)]
+pub struct FleetRequest {
+    pub deployment: DeploymentType,
+    pub request: AssessmentRequest,
+}
+
+impl FleetRequest {
+    pub fn new(deployment: DeploymentType, request: AssessmentRequest) -> FleetRequest {
+        FleetRequest { deployment, request }
+    }
+}
+
+/// Why an instance produced no [`AssessmentResult`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AssessmentError {
+    pub message: String,
+}
+
+/// One fleet member's outcome, tagged with its submission index.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Position in the input fleet (results are sorted by this).
+    pub index: usize,
+    pub instance_name: String,
+    pub deployment: DeploymentType,
+    pub outcome: Result<AssessmentResult, AssessmentError>,
+}
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded work-queue depth; caps how far the feeder runs ahead of the
+    /// workers when the fleet comes from a lazy iterator.
+    pub queue_depth: usize,
+    /// Keep the full per-instance results in [`FleetAssessment::results`].
+    /// Disable for very large fleets where only the report matters.
+    pub keep_results: bool,
+}
+
+impl FleetConfig {
+    /// `workers` threads with a queue depth of four tasks per worker.
+    pub fn with_workers(workers: usize) -> FleetConfig {
+        let workers = workers.max(1);
+        FleetConfig { workers, queue_depth: workers * 4, keep_results: true }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        FleetConfig::with_workers(workers)
+    }
+}
+
+/// A completed fleet run: the aggregate report plus (optionally) every
+/// per-instance result in submission order.
+#[derive(Debug, Clone)]
+pub struct FleetAssessment {
+    pub report: FleetReport,
+    /// Per-instance results in submission order; empty when
+    /// [`FleetConfig::keep_results`] is false.
+    pub results: Vec<FleetResult>,
+}
+
+/// The fleet-scale batch assessor: one read-only pipeline per deployment
+/// target, shared immutably across the worker pool.
+pub struct FleetAssessor {
+    pipelines: Vec<(DeploymentType, Arc<SkuRecommendationPipeline>)>,
+    config: FleetConfig,
+}
+
+impl FleetAssessor {
+    /// An assessor serving one deployment target, taken from the engine's
+    /// own configuration.
+    pub fn new(engine: DopplerEngine, config: FleetConfig) -> FleetAssessor {
+        let deployment = engine.config().deployment;
+        FleetAssessor {
+            pipelines: vec![(deployment, Arc::new(SkuRecommendationPipeline::new(engine)))],
+            config,
+        }
+    }
+
+    /// Add (or replace) the engine serving `engine.config().deployment` —
+    /// lets one assessor serve a heterogeneous SqlDb + SqlMi fleet.
+    pub fn with_engine(mut self, engine: DopplerEngine) -> FleetAssessor {
+        let deployment = engine.config().deployment;
+        self.pipelines.retain(|(d, _)| *d != deployment);
+        self.pipelines.push((deployment, Arc::new(SkuRecommendationPipeline::new(engine))));
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The pipeline serving `deployment`, if configured.
+    pub fn pipeline_for(
+        &self,
+        deployment: DeploymentType,
+    ) -> Option<&Arc<SkuRecommendationPipeline>> {
+        self.pipelines.iter().find(|(d, _)| *d == deployment).map(|(_, p)| p)
+    }
+
+    /// Assess an entire fleet.
+    ///
+    /// The fleet iterator is consumed lazily from the calling thread and
+    /// fed through a bounded queue to `config.workers` worker threads; a
+    /// panicking or unroutable instance lands in the failure bucket instead
+    /// of poisoning the run. Results stream through an order-restoring
+    /// collector into the aggregator as they complete, so with
+    /// `keep_results = false` peak memory is O(queue depth + workers) plus
+    /// the aggregation state — which includes one name per unplaceable
+    /// instance and one row per failure, so a fleet that fails wholesale
+    /// still accumulates its attention buckets. Output order and every
+    /// aggregate are deterministic: the same fleet yields the same
+    /// [`FleetAssessment`] for any worker count.
+    pub fn assess<I>(&self, fleet: I) -> FleetAssessment
+    where
+        I: IntoIterator<Item = FleetRequest>,
+    {
+        let queue: BoundedQueue<(usize, FleetRequest)> = BoundedQueue::new(self.config.queue_depth);
+        let (tx, rx) = mpsc::channel::<FleetResult>();
+
+        let collector = std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || {
+                    while let Some((index, task)) = queue.pop() {
+                        let result = self.assess_one(index, task);
+                        if tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // The workers hold the only remaining senders: once the queue
+            // closes and drains, the receiver below sees end-of-stream.
+            drop(tx);
+
+            // Close even if the fleet iterator panics mid-feed — otherwise
+            // the workers block on the empty queue forever and the scope's
+            // implicit join deadlocks instead of propagating the panic.
+            struct CloseOnExit<'a, T>(&'a BoundedQueue<T>);
+            impl<T> Drop for CloseOnExit<'_, T> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let close_guard = CloseOnExit(&queue);
+
+            let mut collector = OrderedCollector::new(self.config.keep_results);
+            for (index, task) in fleet.into_iter().enumerate() {
+                if queue.push((index, task)).is_err() {
+                    break;
+                }
+                // Drain whatever the workers have finished so far, keeping
+                // the channel (and, with keep_results off, total memory)
+                // bounded while the feed is still running.
+                while let Ok(result) = rx.try_recv() {
+                    collector.accept(result);
+                }
+            }
+            drop(close_guard);
+
+            for result in rx {
+                collector.accept(result);
+            }
+            collector
+        });
+
+        let (report, results) = collector.finish();
+        FleetAssessment { report, results }
+    }
+
+    fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
+        let FleetRequest { deployment, request } = task;
+        let instance_name = request.instance_name.clone();
+        let outcome = match self.pipeline_for(deployment) {
+            None => Err(AssessmentError {
+                message: format!("no engine configured for deployment {deployment:?}"),
+            }),
+            Some(pipeline) => {
+                std::panic::catch_unwind(AssertUnwindSafe(|| pipeline.assess(&request)))
+                    .map_err(|payload| AssessmentError { message: panic_message(payload) })
+            }
+        };
+        FleetResult { index, instance_name, deployment, outcome }
+    }
+}
+
+/// Restores submission order over the out-of-order completion stream and
+/// folds each result into the aggregator the moment it becomes in-order.
+/// Out-of-orderness is bounded by queue depth + worker count, so the
+/// reorder buffer stays small regardless of fleet size.
+struct OrderedCollector {
+    next: usize,
+    pending: std::collections::BTreeMap<usize, FleetResult>,
+    aggregator: crate::report::FleetAggregator,
+    keep_results: bool,
+    kept: Vec<FleetResult>,
+}
+
+impl OrderedCollector {
+    fn new(keep_results: bool) -> OrderedCollector {
+        OrderedCollector {
+            next: 0,
+            pending: std::collections::BTreeMap::new(),
+            aggregator: crate::report::FleetAggregator::new(),
+            keep_results,
+            kept: Vec::new(),
+        }
+    }
+
+    fn accept(&mut self, result: FleetResult) {
+        self.pending.insert(result.index, result);
+        while let Some(result) = self.pending.remove(&self.next) {
+            self.aggregator.accept(&result);
+            if self.keep_results {
+                self.kept.push(result);
+            }
+            self.next += 1;
+        }
+    }
+
+    fn finish(self) -> (FleetReport, Vec<FleetResult>) {
+        debug_assert!(self.pending.is_empty(), "every submitted index yields one result");
+        (self.aggregator.finish(), self.kept)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("assessment panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("assessment panicked: {s}")
+    } else {
+        "assessment panicked (opaque payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec};
+    use doppler_core::EngineConfig;
+    use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+
+    fn assessor(workers: usize) -> FleetAssessor {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        FleetAssessor::new(engine, FleetConfig::with_workers(workers))
+    }
+
+    fn request(name: &str, cpu: f64) -> FleetRequest {
+        let history = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 96]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+        FleetRequest::new(
+            DeploymentType::SqlDb,
+            AssessmentRequest::from_history(name, history, vec![], None),
+        )
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let fleet: Vec<FleetRequest> =
+            (0..64).map(|i| request(&format!("inst-{i}"), 0.4 + (i % 7) as f64)).collect();
+        let out = assessor(8).assess(fleet);
+        assert_eq!(out.results.len(), 64);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.instance_name, format!("inst-{i}"));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_assessment() {
+        let fleet: Vec<FleetRequest> =
+            (0..48).map(|i| request(&format!("i{i}"), 0.3 + i as f64 * 0.5)).collect();
+        let a = assessor(1).assess(fleet.clone());
+        let b = assessor(7).assess(fleet);
+        assert_eq!(a.report, b.report);
+        let skus = |out: &FleetAssessment| -> Vec<Option<String>> {
+            out.results
+                .iter()
+                .map(|r| r.outcome.as_ref().unwrap().recommendation.sku_id.clone())
+                .collect()
+        };
+        assert_eq!(skus(&a), skus(&b));
+    }
+
+    #[test]
+    fn unroutable_deployments_land_in_the_failure_bucket() {
+        let mut fleet = vec![request("ok", 0.5)];
+        let mut mi = request("mi-stranded", 0.5);
+        mi.deployment = DeploymentType::SqlMi;
+        fleet.push(mi);
+        let out = assessor(2).assess(fleet);
+        assert_eq!(out.report.recommended, 1);
+        assert_eq!(out.report.failed, 1);
+        assert!(out.results[1].outcome.as_ref().unwrap_err().message.contains("SqlMi"));
+    }
+
+    #[test]
+    fn heterogeneous_fleets_route_per_deployment() {
+        let mi_engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlMi),
+        );
+        let assessor = assessor(4).with_engine(mi_engine);
+        let mut mi = request("mi-1", 0.5);
+        mi.deployment = DeploymentType::SqlMi;
+        mi.request.input.file_sizes_gib = vec![64.0, 64.0];
+        let out = assessor.assess(vec![request("db-1", 0.5), mi]);
+        assert_eq!(out.report.failed, 0);
+        let sku_of = |i: usize| {
+            out.results[i].outcome.as_ref().unwrap().recommendation.sku_id.clone().unwrap()
+        };
+        assert!(sku_of(0).starts_with("DB_"));
+        assert!(sku_of(1).starts_with("MI_"));
+    }
+
+    #[test]
+    fn panicking_fleet_iterator_propagates_instead_of_deadlocking() {
+        let assessor = assessor(2);
+        let fleet = (0..8).map(|i| {
+            if i == 4 {
+                panic!("fleet source failed");
+            }
+            request(&format!("i{i}"), 0.5)
+        });
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| assessor.assess(fleet)));
+        assert!(outcome.is_err(), "the feed panic must propagate out of assess()");
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let out = assessor(4).assess(Vec::new());
+        assert_eq!(out.report.fleet_size, 0);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn keep_results_false_retains_only_the_report() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let mut config = FleetConfig::with_workers(2);
+        config.keep_results = false;
+        let out = FleetAssessor::new(engine, config)
+            .assess((0..8).map(|i| request(&format!("i{i}"), 0.5)));
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.fleet_size, 8);
+        assert_eq!(out.report.recommended, 8);
+    }
+}

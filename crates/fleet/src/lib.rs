@@ -1,0 +1,59 @@
+//! # doppler-fleet — concurrent fleet-scale batch assessment
+//!
+//! Doppler shipped as a production service: DMA alone submitted hundreds
+//! of assessment requests daily, and across Azure migration tooling the
+//! engine issued 774K+ SKU recommendations (§4, Table 1). The per-instance
+//! library in `doppler-dma` assesses one instance at a time; this crate is
+//! the serving skeleton above it:
+//!
+//! * [`queue`] — a bounded, closable MPMC work queue, so fleets described
+//!   by lazy iterators (streamed synthetic populations, §5-scale cohorts)
+//!   are assessed in O(queue depth) request memory;
+//! * [`assessor`] — the [`FleetAssessor`]: a `std::thread` worker pool
+//!   sharing the trained engine immutably via `Arc`, routing each request
+//!   to its deployment's pipeline, catching per-instance panics into a
+//!   failure bucket, and collecting results order-stably so output is
+//!   bit-for-bit identical for any worker count;
+//! * [`report`] — the [`FleetReport`] aggregation layer: total monthly
+//!   cost, SKU-mix histogram, curve-shape and confidence distributions,
+//!   per-deployment breakdown, and the unplaceable/failure buckets, with a
+//!   terminal rendering in the style of the bench crate's ASCII figures;
+//! * [`source`] — conversions from `doppler-workload` populations
+//!   (cloud cohorts, on-prem candidates) into fleet request streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+//! use doppler_core::{DopplerEngine, EngineConfig};
+//! use doppler_fleet::{cloud_fleet, FleetAssessor, FleetConfig};
+//! use doppler_workload::PopulationSpec;
+//!
+//! let catalog = azure_paas_catalog(&CatalogSpec::default());
+//! let engine = DopplerEngine::untrained(
+//!     catalog.clone(),
+//!     EngineConfig::production(DeploymentType::SqlDb),
+//! );
+//! let assessor = FleetAssessor::new(engine, FleetConfig::with_workers(4));
+//!
+//! let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(50, 42) };
+//! let assessment = assessor.assess(cloud_fleet(&spec, &catalog, None));
+//!
+//! assert_eq!(assessment.report.fleet_size, 50);
+//! println!("{}", assessment.report.render());
+//! ```
+
+pub mod assessor;
+pub mod queue;
+pub mod report;
+pub mod source;
+
+pub use assessor::{
+    AssessmentError, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest, FleetResult,
+};
+pub use queue::BoundedQueue;
+pub use report::{
+    ConfidenceSummary, DeploymentMixRow, FailureRow, FleetAggregator, FleetReport, ShapeMixRow,
+    SkuMixRow,
+};
+pub use source::{cloud_fleet, customer_request, onprem_fleet, onprem_request};

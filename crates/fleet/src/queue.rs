@@ -1,0 +1,167 @@
+//! A bounded, closable MPMC work queue built on `Mutex` + `Condvar`.
+//!
+//! The fleet assessor feeds instance-assessment tasks through this queue so
+//! that a fleet described by a lazy iterator (e.g. a streamed synthetic
+//! population) is never fully materialized: the feeder blocks once
+//! `capacity` tasks are in flight and resumes as workers drain them.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity queue: `push` blocks while full, `pop` blocks while
+/// empty, and `close` wakes everyone so the pipeline can drain and stop.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` queued items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is at capacity. Returns the
+    /// item back as `Err` if the queue was closed in the meantime.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Dequeue one item, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed *and* drained — the worker shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Close the queue: queued items remain poppable, new pushes fail, and
+    /// blocked workers wake up to observe the drain.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for diagnostics).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_a_pop() {
+        let q = BoundedQueue::new(1);
+        q.push(10).unwrap();
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Blocks until the main thread pops 10.
+                q.push(20).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            popped.store(q.pop().unwrap(), Ordering::SeqCst);
+            assert_eq!(q.pop(), Some(20));
+        });
+        assert_eq!(popped.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = BoundedQueue::new(8);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    while q.pop().is_some() {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                // Close once all 400 have been delivered.
+                while seen.load(Ordering::SeqCst) < 400 {
+                    std::thread::yield_now();
+                }
+                q.close();
+            });
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 400);
+    }
+}

@@ -1,0 +1,500 @@
+//! Fleet-level aggregation: what a migration programme manager looks at
+//! after assessing thousands of instances — the total bill, the SKU mix,
+//! how confident the engine was, and which instances need human attention.
+//!
+//! Everything here is computed from the order-stable result vector, so a
+//! report is bit-for-bit identical for any worker count, and
+//! `FleetReport: PartialEq` makes that property directly testable.
+
+use doppler_catalog::DeploymentType;
+use doppler_core::CurveShape;
+
+use crate::assessor::FleetResult;
+
+/// One SKU's share of the fleet.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SkuMixRow {
+    pub sku_id: String,
+    pub count: usize,
+    /// Sum of the monthly cost over instances recommended this SKU.
+    pub total_monthly_cost: f64,
+}
+
+/// One curve shape's share of the fleet (§5.1's Figure 9 breakdown, now
+/// observable over any assessed fleet).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShapeMixRow {
+    pub shape: CurveShape,
+    pub count: usize,
+}
+
+/// Confidence-score distribution over the instances that carried one.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfidenceSummary {
+    pub scored: usize,
+    pub mean: f64,
+    pub min: f64,
+    /// Counts in `[0, .5)`, `[.5, .75)`, `[.75, .9)`, `[.9, 1)`, `[1]`.
+    pub buckets: [usize; 5],
+}
+
+/// Per-deployment-target breakdown.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeploymentMixRow {
+    pub deployment: DeploymentType,
+    pub fleet: usize,
+    pub recommended: usize,
+    pub unplaceable: usize,
+    pub failed: usize,
+    pub total_monthly_cost: f64,
+}
+
+/// One failed instance: name plus the error that stopped it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FailureRow {
+    pub instance_name: String,
+    pub message: String,
+}
+
+/// The aggregate view of one fleet assessment run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetReport {
+    pub fleet_size: usize,
+    /// Instances with a concrete SKU recommendation.
+    pub recommended: usize,
+    /// Instances assessed successfully but with no feasible SKU (e.g. an
+    /// MI data file larger than any placement).
+    pub unplaceable: usize,
+    /// Instances whose assessment errored or panicked.
+    pub failed: usize,
+    /// Databases covered across all successfully assessed instances.
+    pub databases_assessed: usize,
+    /// Total monthly bill over all recommended instances.
+    pub total_monthly_cost: f64,
+    /// Mean monthly cost per recommended instance.
+    pub mean_monthly_cost: Option<f64>,
+    /// SKU histogram, descending by count then ascending by SKU id.
+    pub sku_mix: Vec<SkuMixRow>,
+    /// Curve-shape histogram in `Flat`, `Simple`, `Complex` order.
+    pub shape_mix: Vec<ShapeMixRow>,
+    /// Present when at least one instance carried a confidence score.
+    pub confidence: Option<ConfidenceSummary>,
+    /// Per-deployment rows in `SqlDb`, `SqlMi` order (present targets only).
+    pub deployments: Vec<DeploymentMixRow>,
+    /// Names of the unplaceable instances, in submission order.
+    pub unplaceable_instances: Vec<String>,
+    /// Failure bucket, in submission order.
+    pub failures: Vec<FailureRow>,
+}
+
+/// Streaming accumulator behind [`FleetReport`]: accepts results one at a
+/// time (in submission order) so the assessor can aggregate on the fly
+/// without buffering the whole fleet. State is O(distinct SKUs + attention
+/// buckets), not O(fleet).
+#[derive(Debug)]
+pub struct FleetAggregator {
+    fleet_size: usize,
+    recommended: usize,
+    databases_assessed: usize,
+    total_monthly_cost: f64,
+    sku_mix: Vec<SkuMixRow>,
+    shape_counts: [usize; 3],
+    confidence_scored: usize,
+    confidence_sum: f64,
+    confidence_min: f64,
+    confidence_buckets: [usize; 5],
+    deployments: Vec<DeploymentMixRow>,
+    unplaceable_instances: Vec<String>,
+    failures: Vec<FailureRow>,
+}
+
+impl Default for FleetAggregator {
+    fn default() -> FleetAggregator {
+        FleetAggregator::new()
+    }
+}
+
+impl FleetAggregator {
+    pub fn new() -> FleetAggregator {
+        FleetAggregator {
+            fleet_size: 0,
+            recommended: 0,
+            databases_assessed: 0,
+            total_monthly_cost: 0.0,
+            sku_mix: Vec::new(),
+            shape_counts: [0; 3],
+            confidence_scored: 0,
+            confidence_sum: 0.0,
+            confidence_min: f64::INFINITY,
+            confidence_buckets: [0; 5],
+            deployments: Vec::new(),
+            unplaceable_instances: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Fold one result in. Callers must feed results in submission order —
+    /// floating-point sums follow feed order, and bit-for-bit report
+    /// equality across worker counts depends on it.
+    pub fn accept(&mut self, r: &FleetResult) {
+        self.fleet_size += 1;
+        let deployment_row = {
+            let d = r.deployment;
+            match self.deployments.iter().position(|row| row.deployment == d) {
+                Some(i) => &mut self.deployments[i],
+                None => {
+                    self.deployments.push(DeploymentMixRow {
+                        deployment: d,
+                        fleet: 0,
+                        recommended: 0,
+                        unplaceable: 0,
+                        failed: 0,
+                        total_monthly_cost: 0.0,
+                    });
+                    self.deployments.last_mut().expect("just pushed")
+                }
+            }
+        };
+        deployment_row.fleet += 1;
+        match &r.outcome {
+            Err(e) => {
+                deployment_row.failed += 1;
+                self.failures.push(FailureRow {
+                    instance_name: r.instance_name.clone(),
+                    message: e.message.clone(),
+                });
+            }
+            Ok(result) => {
+                self.databases_assessed += result.databases_assessed;
+                let rec = &result.recommendation;
+                self.shape_counts[match rec.shape {
+                    CurveShape::Flat => 0,
+                    CurveShape::Simple => 1,
+                    CurveShape::Complex => 2,
+                }] += 1;
+                if let Some(c) = rec.confidence {
+                    self.confidence_scored += 1;
+                    self.confidence_sum += c;
+                    self.confidence_min = self.confidence_min.min(c);
+                    self.confidence_buckets[if c >= 1.0 {
+                        4
+                    } else if c >= 0.9 {
+                        3
+                    } else if c >= 0.75 {
+                        2
+                    } else if c >= 0.5 {
+                        1
+                    } else {
+                        0
+                    }] += 1;
+                }
+                match (&rec.sku_id, rec.monthly_cost) {
+                    (Some(sku_id), cost) => {
+                        self.recommended += 1;
+                        deployment_row.recommended += 1;
+                        let cost = cost.unwrap_or(0.0);
+                        self.total_monthly_cost += cost;
+                        deployment_row.total_monthly_cost += cost;
+                        match self.sku_mix.iter_mut().find(|row| &row.sku_id == sku_id) {
+                            Some(row) => {
+                                row.count += 1;
+                                row.total_monthly_cost += cost;
+                            }
+                            None => self.sku_mix.push(SkuMixRow {
+                                sku_id: sku_id.clone(),
+                                count: 1,
+                                total_monthly_cost: cost,
+                            }),
+                        }
+                    }
+                    (None, _) => {
+                        deployment_row.unplaceable += 1;
+                        self.unplaceable_instances.push(r.instance_name.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize into the report: sort the histograms into their canonical
+    /// orders and close out the summary statistics.
+    pub fn finish(self) -> FleetReport {
+        let FleetAggregator {
+            fleet_size,
+            recommended,
+            databases_assessed,
+            total_monthly_cost,
+            mut sku_mix,
+            shape_counts,
+            confidence_scored,
+            confidence_sum,
+            confidence_min,
+            confidence_buckets,
+            mut deployments,
+            unplaceable_instances,
+            failures,
+        } = self;
+        sku_mix.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.sku_id.cmp(&b.sku_id)));
+        deployments.sort_by_key(|row| match row.deployment {
+            DeploymentType::SqlDb => 0,
+            DeploymentType::SqlMi => 1,
+        });
+        let shape_mix = [CurveShape::Flat, CurveShape::Simple, CurveShape::Complex]
+            .into_iter()
+            .zip(shape_counts)
+            .map(|(shape, count)| ShapeMixRow { shape, count })
+            .collect();
+        let confidence = (confidence_scored > 0).then(|| ConfidenceSummary {
+            scored: confidence_scored,
+            mean: confidence_sum / confidence_scored as f64,
+            min: confidence_min,
+            buckets: confidence_buckets,
+        });
+        FleetReport {
+            fleet_size,
+            recommended,
+            unplaceable: unplaceable_instances.len(),
+            failed: failures.len(),
+            databases_assessed,
+            total_monthly_cost,
+            mean_monthly_cost: (recommended > 0).then(|| total_monthly_cost / recommended as f64),
+            sku_mix,
+            shape_mix,
+            confidence,
+            deployments,
+            unplaceable_instances,
+            failures,
+        }
+    }
+}
+
+impl FleetReport {
+    /// Aggregate a result vector (must already be in submission order —
+    /// [`FleetAssessor::assess`](crate::FleetAssessor::assess) guarantees
+    /// it). Summation follows that order, so equal inputs produce
+    /// bit-for-bit equal reports regardless of how many workers ran.
+    pub fn from_results(results: &[FleetResult]) -> FleetReport {
+        let mut agg = FleetAggregator::new();
+        for r in results {
+            agg.accept(r);
+        }
+        agg.finish()
+    }
+
+    /// Render the report as a terminal dashboard (the fleet-scale analogue
+    /// of the per-instance Resource Use report).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== Fleet Assessment Report ===\n");
+        out.push_str(&format!(
+            "instances: {:>7}   recommended: {:>7}   unplaceable: {:>5}   failed: {:>5}\n",
+            self.fleet_size, self.recommended, self.unplaceable, self.failed
+        ));
+        out.push_str(&format!("databases assessed: {}\n", self.databases_assessed));
+        out.push_str(&format!(
+            "total monthly cost: ${:.2}{}\n",
+            self.total_monthly_cost,
+            match self.mean_monthly_cost {
+                Some(mean) => format!("   (mean ${mean:.2}/instance)"),
+                None => String::new(),
+            }
+        ));
+
+        if !self.sku_mix.is_empty() {
+            out.push_str("\n--- SKU mix ---\n");
+            let max_count = self.sku_mix.iter().map(|r| r.count).max().unwrap_or(1).max(1);
+            for row in &self.sku_mix {
+                out.push_str(&bar_row(
+                    &row.sku_id,
+                    row.count,
+                    max_count,
+                    self.recommended,
+                    &format!("${:.2}/mo", row.total_monthly_cost),
+                ));
+            }
+        }
+
+        let assessed: usize = self.shape_mix.iter().map(|r| r.count).sum();
+        if assessed > 0 {
+            out.push_str("\n--- Curve shapes ---\n");
+            let max_count = self.shape_mix.iter().map(|r| r.count).max().unwrap_or(1).max(1);
+            for row in &self.shape_mix {
+                out.push_str(&bar_row(
+                    &format!("{:?}", row.shape),
+                    row.count,
+                    max_count,
+                    assessed,
+                    "",
+                ));
+            }
+        }
+
+        if let Some(c) = &self.confidence {
+            out.push_str("\n--- Confidence ---\n");
+            out.push_str(&format!(
+                "scored: {}   mean: {:.3}   min: {:.3}\n",
+                c.scored, c.mean, c.min
+            ));
+            let labels = ["[0, .5)", "[.5, .75)", "[.75, .9)", "[.9, 1)", "[1]"];
+            let max_count = c.buckets.iter().copied().max().unwrap_or(1).max(1);
+            for (label, &count) in labels.iter().zip(&c.buckets) {
+                out.push_str(&bar_row(label, count, max_count, c.scored, ""));
+            }
+        }
+
+        if self.deployments.len() > 1 {
+            out.push_str("\n--- Deployments ---\n");
+            for d in &self.deployments {
+                out.push_str(&format!(
+                    "{:>12}   fleet {:>6}   recommended {:>6}   unplaceable {:>5}   failed {:>5}   ${:.2}/mo\n",
+                    format!("{:?}", d.deployment),
+                    d.fleet,
+                    d.recommended,
+                    d.unplaceable,
+                    d.failed,
+                    d.total_monthly_cost
+                ));
+            }
+        }
+
+        render_attention_list(&mut out, "Unplaceable", &self.unplaceable_instances);
+        let failure_lines: Vec<String> =
+            self.failures.iter().map(|f| format!("{}: {}", f.instance_name, f.message)).collect();
+        render_attention_list(&mut out, "Failures", &failure_lines);
+        out
+    }
+}
+
+/// A `label  count |#####     | share%  suffix` row, the idiom the bench
+/// crate's `ascii::curve_table` uses for score bars.
+fn bar_row(label: &str, count: usize, max_count: usize, total: usize, suffix: &str) -> String {
+    const WIDTH: usize = 32;
+    let bar = (count * WIDTH).div_ceil(max_count).min(WIDTH);
+    let share = if total > 0 { 100.0 * count as f64 / total as f64 } else { 0.0 };
+    let mut row = format!(
+        "{label:>12} {count:>7} |{}{}| {share:>5.1}%",
+        "#".repeat(bar),
+        " ".repeat(WIDTH - bar),
+    );
+    if !suffix.is_empty() {
+        row.push_str("  ");
+        row.push_str(suffix);
+    }
+    row.push('\n');
+    row
+}
+
+/// List the first few instances needing attention, with an elision count.
+fn render_attention_list(out: &mut String, title: &str, lines: &[String]) {
+    const SHOWN: usize = 10;
+    if lines.is_empty() {
+        return;
+    }
+    out.push_str(&format!("\n--- {title} ({}) ---\n", lines.len()));
+    for line in lines.iter().take(SHOWN) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    if lines.len() > SHOWN {
+        out.push_str(&format!("  … and {} more\n", lines.len() - SHOWN));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assessor::{AssessmentError, FleetResult};
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec};
+    use doppler_core::{DopplerEngine, EngineConfig};
+    use doppler_dma::{AssessmentRequest, SkuRecommendationPipeline};
+    use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+
+    fn result(index: usize, name: &str, cpu: f64) -> FleetResult {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let pipeline = SkuRecommendationPipeline::new(engine);
+        let history = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 64]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 64]));
+        FleetResult {
+            index,
+            instance_name: name.into(),
+            deployment: DeploymentType::SqlDb,
+            outcome: Ok(pipeline.assess(&AssessmentRequest::from_history(
+                name,
+                history,
+                vec![],
+                None,
+            ))),
+        }
+    }
+
+    fn failed(index: usize, name: &str) -> FleetResult {
+        FleetResult {
+            index,
+            instance_name: name.into(),
+            deployment: DeploymentType::SqlMi,
+            outcome: Err(AssessmentError { message: "boom".into() }),
+        }
+    }
+
+    #[test]
+    fn counts_and_costs_add_up() {
+        let results = vec![result(0, "a", 0.5), result(1, "b", 6.0), failed(2, "c")];
+        let report = FleetReport::from_results(&results);
+        assert_eq!(report.fleet_size, 3);
+        assert_eq!(report.recommended, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.unplaceable, 0);
+        let mix_total: usize = report.sku_mix.iter().map(|r| r.count).sum();
+        assert_eq!(mix_total, 2);
+        let mix_cost: f64 = report.sku_mix.iter().map(|r| r.total_monthly_cost).sum();
+        assert!((mix_cost - report.total_monthly_cost).abs() < 1e-9);
+        assert_eq!(
+            report.failures,
+            vec![FailureRow { instance_name: "c".into(), message: "boom".into() }]
+        );
+    }
+
+    #[test]
+    fn sku_mix_sorts_by_count_then_id() {
+        let results = vec![result(0, "a", 0.5), result(1, "b", 0.5), result(2, "c", 24.0)];
+        let report = FleetReport::from_results(&results);
+        assert!(report.sku_mix[0].count >= report.sku_mix[1].count);
+        assert_eq!(report.sku_mix[0].count, 2);
+    }
+
+    #[test]
+    fn per_deployment_rows_split_the_fleet() {
+        let results = vec![result(0, "a", 0.5), failed(1, "mi")];
+        let report = FleetReport::from_results(&results);
+        assert_eq!(report.deployments.len(), 2);
+        assert_eq!(report.deployments[0].deployment, DeploymentType::SqlDb);
+        assert_eq!(report.deployments[0].recommended, 1);
+        assert_eq!(report.deployments[1].deployment, DeploymentType::SqlMi);
+        assert_eq!(report.deployments[1].failed, 1);
+    }
+
+    #[test]
+    fn render_mentions_the_key_sections() {
+        let results = vec![result(0, "a", 0.5), result(1, "b", 8.0), failed(2, "c")];
+        let report = FleetReport::from_results(&results);
+        let text = report.render();
+        assert!(text.contains("Fleet Assessment Report"));
+        assert!(text.contains("SKU mix"));
+        assert!(text.contains("Curve shapes"));
+        assert!(text.contains("Failures"));
+        assert!(text.contains("DB_GP_2"), "{text}");
+    }
+
+    #[test]
+    fn empty_fleet_renders_without_sections() {
+        let report = FleetReport::from_results(&[]);
+        let text = report.render();
+        assert!(text.contains("instances:       0"));
+        assert!(!text.contains("SKU mix"));
+        assert_eq!(report.mean_monthly_cost, None);
+        assert_eq!(report.confidence, None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Fleet sources: turn `doppler-workload` populations into streams of
+//! [`FleetRequest`]s.
+//!
+//! Conversions are lazy (`Iterator`, not `Vec`): a 10,000-customer cohort
+//! flows through the assessor's bounded queue one instance at a time, so
+//! fleet assessment runs in O(queue depth) request memory, matching the
+//! workload crate's own guidance to stream large cohorts.
+
+use doppler_catalog::{Catalog, DeploymentType};
+use doppler_core::ConfidenceConfig;
+use doppler_dma::AssessmentRequest;
+use doppler_workload::{CloudCustomer, OnPremCandidate, PopulationSpec};
+
+use crate::assessor::FleetRequest;
+
+/// Convert one synthetic cloud customer into a fleet request.
+pub fn customer_request(
+    customer: CloudCustomer,
+    confidence: Option<ConfidenceConfig>,
+) -> FleetRequest {
+    let file_sizes_gib = customer
+        .file_layout
+        .as_ref()
+        .map(|layout| layout.files.iter().map(|f| f.size_gib).collect())
+        .unwrap_or_default();
+    FleetRequest::new(
+        customer.deployment,
+        AssessmentRequest::from_history(
+            format!("customer-{}", customer.id),
+            customer.history,
+            file_sizes_gib,
+            confidence,
+        ),
+    )
+}
+
+/// Stream an entire synthetic cloud cohort as fleet requests. Customers are
+/// generated on demand — nothing is materialized beyond the one being fed.
+pub fn cloud_fleet<'a>(
+    spec: &'a PopulationSpec,
+    catalog: &'a Catalog,
+    confidence: Option<ConfidenceConfig>,
+) -> impl Iterator<Item = FleetRequest> + 'a {
+    spec.stream_customers(catalog).map(move |c| customer_request(c, confidence))
+}
+
+/// Convert one on-prem assessment candidate (§5.3) into a fleet request
+/// targeting `deployment`.
+pub fn onprem_request(
+    candidate: OnPremCandidate,
+    deployment: DeploymentType,
+    confidence: Option<ConfidenceConfig>,
+) -> FleetRequest {
+    FleetRequest::new(
+        deployment,
+        AssessmentRequest::from_history(candidate.name, candidate.history, Vec::new(), confidence),
+    )
+}
+
+/// Stream an on-prem cohort as fleet requests against one target.
+pub fn onprem_fleet(
+    candidates: Vec<OnPremCandidate>,
+    deployment: DeploymentType,
+    confidence: Option<ConfidenceConfig>,
+) -> impl Iterator<Item = FleetRequest> {
+    candidates.into_iter().map(move |c| onprem_request(c, deployment, confidence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec};
+    use doppler_workload::onprem_population;
+
+    #[test]
+    fn cloud_fleet_streams_the_whole_cohort() {
+        let catalog = azure_paas_catalog(&CatalogSpec::default());
+        let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(12, 3) };
+        let requests: Vec<FleetRequest> = cloud_fleet(&spec, &catalog, None).collect();
+        assert_eq!(requests.len(), 12);
+        assert!(requests.iter().all(|r| r.deployment == DeploymentType::SqlDb));
+        assert_eq!(requests[4].request.instance_name, "customer-4");
+        assert_eq!(requests[4].request.input.databases.len(), 1);
+    }
+
+    #[test]
+    fn mi_customers_carry_their_file_sizes() {
+        let catalog = azure_paas_catalog(&CatalogSpec::default());
+        let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_mi(4, 9) };
+        for r in cloud_fleet(&spec, &catalog, None) {
+            assert_eq!(r.deployment, DeploymentType::SqlMi);
+            assert!(!r.request.input.file_sizes_gib.is_empty());
+        }
+    }
+
+    #[test]
+    fn onprem_candidates_become_named_requests() {
+        let requests: Vec<FleetRequest> =
+            onprem_fleet(onprem_population(6, 1.0, 5), DeploymentType::SqlDb, None).collect();
+        assert_eq!(requests.len(), 6);
+        assert!(requests[0].request.instance_name.starts_with("onprem-0"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Fleet-scale determinism: assessing the same 1,000-instance synthetic
+//! population must produce bit-for-bit identical output no matter how many
+//! worker threads share the engine.
+
+use doppler_catalog::{azure_paas_catalog, Catalog, CatalogSpec, DeploymentType};
+use doppler_core::{DopplerEngine, EngineConfig};
+use doppler_fleet::{cloud_fleet, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest};
+use doppler_workload::PopulationSpec;
+
+fn catalog() -> Catalog {
+    azure_paas_catalog(&CatalogSpec::default())
+}
+
+fn thousand_instance_fleet(catalog: &Catalog) -> Vec<FleetRequest> {
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(1000, 20_26) };
+    cloud_fleet(&spec, catalog, None).collect()
+}
+
+fn assess_with(workers: usize, fleet: Vec<FleetRequest>) -> FleetAssessment {
+    let engine =
+        DopplerEngine::untrained(catalog(), EngineConfig::production(DeploymentType::SqlDb));
+    FleetAssessor::new(engine, FleetConfig::with_workers(workers)).assess(fleet)
+}
+
+#[test]
+fn thousand_instances_are_deterministic_across_worker_counts() {
+    let catalog = catalog();
+    let fleet = thousand_instance_fleet(&catalog);
+    assert_eq!(fleet.len(), 1000);
+
+    let single = assess_with(1, fleet.clone());
+    let four = assess_with(4, fleet.clone());
+    let eight = assess_with(8, fleet);
+
+    // The aggregate report is PartialEq over every field — counts, f64
+    // cost sums, histograms, bucket lists — so this is the bit-for-bit
+    // equality the subsystem promises.
+    assert_eq!(single.report, four.report);
+    assert_eq!(single.report, eight.report);
+
+    // Per-instance streams agree too, in submission order.
+    for (a, b) in single.results.iter().zip(&eight.results) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.instance_name, b.instance_name);
+        let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        assert_eq!(ra.recommendation.sku_id, rb.recommendation.sku_id);
+        assert_eq!(ra.recommendation.monthly_cost, rb.recommendation.monthly_cost);
+        assert_eq!(ra.report, rb.report);
+    }
+
+    // Sanity on the aggregates themselves.
+    let report = &single.report;
+    assert_eq!(report.fleet_size, 1000);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.recommended + report.unplaceable, 1000);
+    assert!(report.recommended > 900, "recommended = {}", report.recommended);
+    assert!(report.total_monthly_cost > 0.0);
+    let mix_total: usize = report.sku_mix.iter().map(|r| r.count).sum();
+    assert_eq!(mix_total, report.recommended);
+    let shape_total: usize = report.shape_mix.iter().map(|r| r.count).sum();
+    assert_eq!(shape_total, 1000 - report.failed);
+    // Figure 9: flat curves dominate a calibrated SQL DB cohort.
+    assert!(report.shape_mix[0].count > 600, "flat count = {}", report.shape_mix[0].count);
+
+    // The rendered dashboard reflects the same numbers.
+    let text = report.render();
+    assert!(text.contains("instances:    1000"), "{text}");
+    assert!(text.contains("SKU mix"));
+}
+
+#[test]
+fn streaming_and_materialized_fleets_agree() {
+    let catalog = catalog();
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(100, 7) };
+    let engine =
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb));
+    let assessor = FleetAssessor::new(engine, FleetConfig::with_workers(4));
+
+    // Once through the lazy iterator (bounded-queue backpressure path)…
+    let streamed = assessor.assess(cloud_fleet(&spec, &catalog, None));
+    // …and once through a pre-collected vector.
+    let materialized = assessor.assess(cloud_fleet(&spec, &catalog, None).collect::<Vec<_>>());
+    assert_eq!(streamed.report, materialized.report);
+}

@@ -170,8 +170,7 @@ mod tests {
         let demand = workload().demand_trace(19);
         let sku = &replay_skus()[0];
         let out = replay(&demand, sku);
-        let cpu_demand =
-            doppler_stats::mean(demand.values(PerfDimension::Cpu).unwrap());
+        let cpu_demand = doppler_stats::mean(demand.values(PerfDimension::Cpu).unwrap());
         if cpu_demand > sku.caps.vcores {
             assert!(
                 (out.mean_vcores - sku.caps.vcores).abs() < 0.2,

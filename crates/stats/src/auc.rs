@@ -119,10 +119,7 @@ mod tests {
         let steady: Vec<f64> = (0..1000).map(|i| 0.6 + 0.2 * ((i % 10) as f64 / 10.0)).collect();
         let a_spiky = minmax_scaled_auc(&spiky);
         let a_steady = minmax_scaled_auc(&steady);
-        assert!(
-            a_spiky > a_steady,
-            "spiky auc {a_spiky} should exceed steady auc {a_steady}"
-        );
+        assert!(a_spiky > a_steady, "spiky auc {a_spiky} should exceed steady auc {a_steady}");
     }
 
     #[test]

@@ -67,11 +67,7 @@ impl Ecdf {
         let span = hi - lo;
         (0..points)
             .map(|i| {
-                let x = if span == 0.0 {
-                    lo
-                } else {
-                    lo + span * i as f64 / (points - 1) as f64
-                };
+                let x = if span == 0.0 { lo } else { lo + span * i as f64 / (points - 1) as f64 };
                 (x, self.eval(x))
             })
             .collect()

@@ -165,8 +165,7 @@ mod tests {
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
             let labels = hierarchical_cluster(&pts, 2, linkage);
             assert_ne!(labels[0], labels[9], "{linkage:?}");
-            let transitions =
-                labels.windows(2).filter(|w| w[0] != w[1]).count();
+            let transitions = labels.windows(2).filter(|w| w[0] != w[1]).count();
             assert_eq!(transitions, 1, "{linkage:?}: clusters not contiguous: {labels:?}");
         }
     }

@@ -136,8 +136,7 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
                 max_shift = f64::INFINITY;
                 continue;
             }
-            let new: Vec<f64> =
-                sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
             max_shift = max_shift.max(euclidean_sq(&new, &centroids[c]));
             centroids[c] = new;
         }
@@ -147,11 +146,8 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
         }
     }
 
-    let inertia = assignments
-        .iter()
-        .zip(points)
-        .map(|(&a, p)| euclidean_sq(p, &centroids[a]))
-        .sum();
+    let inertia =
+        assignments.iter().zip(points).map(|(&a, p)| euclidean_sq(p, &centroids[a])).sum();
     KMeansResult { centroids, assignments, inertia, iterations }
 }
 

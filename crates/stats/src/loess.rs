@@ -103,7 +103,9 @@ mod tests {
         // Line + deterministic pseudo-noise: the smoother should track the
         // line and shrink the residual spread.
         let ys: Vec<f64> = (0..500)
-            .map(|i| 10.0 + 0.1 * i as f64 + (((i * 2_654_435_761_usize) % 1000) as f64 / 1000.0 - 0.5))
+            .map(|i| {
+                10.0 + 0.1 * i as f64 + (((i * 2_654_435_761_usize) % 1000) as f64 / 1000.0 - 0.5)
+            })
             .collect();
         let out = loess_smooth(&ys, 0.15);
         let resid_raw: Vec<f64> =

@@ -52,9 +52,8 @@ impl StlDecomposition {
     /// (fully explained).
     pub fn variance_explained(&self) -> f64 {
         let n = self.trend.len();
-        let observed: Vec<f64> = (0..n)
-            .map(|i| self.trend[i] + self.seasonal[i] + self.residual[i])
-            .collect();
+        let observed: Vec<f64> =
+            (0..n).map(|i| self.trend[i] + self.seasonal[i] + self.residual[i]).collect();
         let var_r = crate::descriptive::variance(&observed);
         if var_r == 0.0 {
             return 1.0;
@@ -118,13 +117,11 @@ pub fn stl_decompose(series: &[f64], config: &StlConfig) -> Option<StlDecomposit
         }
 
         // 4. Deseasonalize and re-fit the trend.
-        let deseasonalized: Vec<f64> =
-            series.iter().zip(&seasonal).map(|(r, s)| r - s).collect();
+        let deseasonalized: Vec<f64> = series.iter().zip(&seasonal).map(|(r, s)| r - s).collect();
         trend = loess_smooth(&deseasonalized, config.trend_span);
     }
 
-    let residual: Vec<f64> =
-        (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
+    let residual: Vec<f64> = (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
     Some(StlDecomposition { trend, seasonal, residual })
 }
 
@@ -186,13 +183,9 @@ mod tests {
         let seasonal = sine_with_trend(960, 48);
         let noise: Vec<f64> =
             (0..960).map(|i| ((i * 1_103_515_245_usize + 12_345) % 10_000) as f64).collect();
-        let dv_seasonal =
-            stl_decompose(&seasonal, &config(48)).unwrap().variance_explained();
+        let dv_seasonal = stl_decompose(&seasonal, &config(48)).unwrap().variance_explained();
         let dv_noise = stl_decompose(&noise, &config(48)).unwrap().variance_explained();
-        assert!(
-            dv_seasonal > dv_noise,
-            "seasonal {dv_seasonal} should exceed noise {dv_noise}"
-        );
+        assert!(dv_seasonal > dv_noise, "seasonal {dv_seasonal} should exceed noise {dv_noise}");
     }
 
     #[test]

@@ -103,9 +103,7 @@ mod tests {
     #[test]
     fn buckets_average_multiple_samples() {
         let agg = PreAggregator::default();
-        let s = agg
-            .aggregate(&samples(&[(0.0, 2.0), (5.0, 4.0), (12.0, 10.0)]), 20.0)
-            .unwrap();
+        let s = agg.aggregate(&samples(&[(0.0, 2.0), (5.0, 4.0), (12.0, 10.0)]), 20.0).unwrap();
         assert_eq!(s.values(), &[3.0, 10.0]);
     }
 
@@ -127,9 +125,7 @@ mod tests {
     #[test]
     fn nan_samples_are_dropped() {
         let agg = PreAggregator::default();
-        let s = agg
-            .aggregate(&samples(&[(0.0, f64::NAN), (5.0, 6.0)]), 10.0)
-            .unwrap();
+        let s = agg.aggregate(&samples(&[(0.0, f64::NAN), (5.0, 6.0)]), 10.0).unwrap();
         assert_eq!(s.values(), &[6.0]);
     }
 
@@ -142,9 +138,7 @@ mod tests {
     #[test]
     fn out_of_range_samples_ignored() {
         let agg = PreAggregator::default();
-        let s = agg
-            .aggregate(&samples(&[(-5.0, 100.0), (5.0, 1.0), (99.0, 100.0)]), 10.0)
-            .unwrap();
+        let s = agg.aggregate(&samples(&[(-5.0, 100.0), (5.0, 1.0), (99.0, 100.0)]), 10.0).unwrap();
         assert_eq!(s.values(), &[1.0]);
     }
 

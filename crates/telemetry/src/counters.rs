@@ -17,7 +17,9 @@ use crate::series::TimeSeries;
 /// operations/second, latency in milliseconds *observed/required* (lower is
 /// better — the engine inverts it per Eq. 1), log rate in MB/s, and storage
 /// in GB allocated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum PerfDimension {
     /// Compute demand, vCores.
     Cpu,
@@ -224,7 +226,12 @@ mod tests {
     fn core_dimensions_match_paper() {
         assert_eq!(
             PerfDimension::CORE,
-            [PerfDimension::Cpu, PerfDimension::Memory, PerfDimension::Iops, PerfDimension::IoLatency]
+            [
+                PerfDimension::Cpu,
+                PerfDimension::Memory,
+                PerfDimension::Iops,
+                PerfDimension::IoLatency
+            ]
         );
     }
 

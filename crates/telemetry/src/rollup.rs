@@ -12,7 +12,9 @@
 use crate::counters::{PerfDimension, PerfHistory};
 
 /// Granularity of an aggregated history (Figure 2's roll-up ladder).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum AggregationLevel {
     File,
     Database,
@@ -35,8 +37,7 @@ pub fn rollup(children: &[PerfHistory]) -> PerfHistory {
     let len = first.len();
 
     for dim in PerfDimension::ALL {
-        let present: Vec<&PerfHistory> =
-            children.iter().filter(|c| c.get(dim).is_some()).collect();
+        let present: Vec<&PerfHistory> = children.iter().filter(|c| c.get(dim).is_some()).collect();
         if present.is_empty() {
             continue;
         }
@@ -72,10 +73,8 @@ mod tests {
 
     #[test]
     fn cpu_sums_across_children() {
-        let merged = rollup(&[
-            child(vec![1.0, 2.0], vec![5.0, 5.0]),
-            child(vec![0.5, 0.5], vec![9.0, 9.0]),
-        ]);
+        let merged =
+            rollup(&[child(vec![1.0, 2.0], vec![5.0, 5.0]), child(vec![0.5, 0.5], vec![9.0, 9.0])]);
         assert_eq!(merged.values(PerfDimension::Cpu), Some(&[1.5, 2.5][..]));
     }
 

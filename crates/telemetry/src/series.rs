@@ -63,7 +63,10 @@ impl TimeSeries {
     pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
         let end = end.min(self.values.len());
         let start = start.min(end);
-        TimeSeries { interval_minutes: self.interval_minutes, values: self.values[start..end].to_vec() }
+        TimeSeries {
+            interval_minutes: self.interval_minutes,
+            values: self.values[start..end].to_vec(),
+        }
     }
 
     /// Number of samples in a wall-clock duration at this interval,

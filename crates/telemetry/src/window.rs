@@ -29,7 +29,10 @@ mod tests {
     fn history() -> PerfHistory {
         PerfHistory::new()
             .with(PerfDimension::Cpu, TimeSeries::ten_minute((0..10).map(|i| i as f64).collect()))
-            .with(PerfDimension::Iops, TimeSeries::ten_minute((0..10).map(|i| 10.0 * i as f64).collect()))
+            .with(
+                PerfDimension::Iops,
+                TimeSeries::ten_minute((0..10).map(|i| 10.0 * i as f64).collect()),
+            )
     }
 
     #[test]

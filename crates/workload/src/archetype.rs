@@ -91,7 +91,10 @@ impl WorkloadArchetype {
             WorkloadArchetype::Diurnal => w
                 .with_dim(Cpu, DimensionProfile::steady(0.45 * s, 0.04 * s).with_diurnal(0.3 * s))
                 .with_dim(Memory, DimensionProfile::steady(3.0 * s, 0.1 * s))
-                .with_dim(Iops, DimensionProfile::steady(180.0 * s, 12.0 * s).with_diurnal(110.0 * s))
+                .with_dim(
+                    Iops,
+                    DimensionProfile::steady(180.0 * s, 12.0 * s).with_diurnal(110.0 * s),
+                )
                 .with_dim(IoLatency, DimensionProfile::steady(5.0, 0.25).with_floor(0.5))
                 .with_dim(LogRate, DimensionProfile::steady(1.1 * s, 0.1 * s).with_diurnal(0.6 * s))
                 .with_dim(Storage, DimensionProfile::constant(120.0 * s)),
@@ -119,7 +122,10 @@ impl WorkloadArchetype {
             WorkloadArchetype::OltpLike => w
                 .with_dim(Cpu, DimensionProfile::steady(0.5 * s, 0.06 * s).with_diurnal(0.15 * s))
                 .with_dim(Memory, DimensionProfile::steady(2.8 * s, 0.1 * s))
-                .with_dim(Iops, DimensionProfile::steady(550.0 * s, 40.0 * s).with_diurnal(150.0 * s))
+                .with_dim(
+                    Iops,
+                    DimensionProfile::steady(550.0 * s, 40.0 * s).with_diurnal(150.0 * s),
+                )
                 .with_dim(IoLatency, DimensionProfile::steady(1.2, 0.1).with_floor(0.4))
                 .with_dim(LogRate, DimensionProfile::steady(3.2 * s, 0.3 * s))
                 .with_dim(Storage, DimensionProfile::constant(70.0 * s)),

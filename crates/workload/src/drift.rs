@@ -68,10 +68,7 @@ pub fn drift_scenario(days: f64, seed: u64) -> DriftScenario {
     for (dim, series) in before.iter() {
         let mut values = series.values().to_vec();
         values.extend_from_slice(after.values(dim).expect("same dims both phases"));
-        history.insert(
-            dim,
-            doppler_telemetry::TimeSeries::new(series.interval_minutes(), values),
-        );
+        history.insert(dim, doppler_telemetry::TimeSeries::new(series.interval_minutes(), values));
     }
     DriftScenario { history, change_point }
 }

@@ -18,7 +18,8 @@ fn generate_dimension(
         let day = t as f64 / samples_per_day;
         let diurnal = profile.diurnal_amplitude
             * (2.0 * std::f64::consts::PI * (t as f64) / samples_per_day).sin();
-        let noise = if profile.noise_sd > 0.0 { rng.normal_with(0.0, profile.noise_sd) } else { 0.0 };
+        let noise =
+            if profile.noise_sd > 0.0 { rng.normal_with(0.0, profile.noise_sd) } else { 0.0 };
         values.push(profile.base + profile.trend_per_day * day + diurnal + noise);
     }
 

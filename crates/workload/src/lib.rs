@@ -30,6 +30,8 @@ pub mod synth;
 pub use archetype::WorkloadArchetype;
 pub use drift::{drift_scenario, DriftScenario};
 pub use generate::generate;
-pub use population::{onprem_population, sec53_instances, CloudCustomer, OnPremCandidate, PopulationSpec, ShapeClass};
+pub use population::{
+    onprem_population, sec53_instances, CloudCustomer, OnPremCandidate, PopulationSpec, ShapeClass,
+};
 pub use spec::{DimensionProfile, SpikeTrain, WorkloadSpec};
 pub use synth::{BenchmarkFragment, BenchmarkKind, SynthesizedWorkload};

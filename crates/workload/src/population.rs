@@ -160,11 +160,8 @@ impl PopulationSpec {
         // MI customers fix a file layout up front (§3.2): split the data
         // across 1-4 files. The layout exists *before* the SKU choice.
         let file_layout = (self.deployment == DeploymentType::SqlMi).then(|| {
-            let total = history
-                .values(PerfDimension::Storage)
-                .and_then(max)
-                .unwrap_or(64.0)
-                .max(1.0);
+            let total =
+                history.values(PerfDimension::Storage).and_then(max).unwrap_or(64.0).max(1.0);
             let k = 1 + rng.index(4);
             FileLayout::from_sizes(&vec![total / k as f64; k])
         });
@@ -245,10 +242,20 @@ impl PopulationSpec {
     }
 
     /// Materialize the whole cohort. For large cohorts prefer
-    /// [`PopulationSpec::customer`] in a streaming loop — a cohort holds
+    /// [`PopulationSpec::stream_customers`] — a materialized cohort holds
     /// `n x days x 144 x 6` floats.
     pub fn customers(&self, catalog: &Catalog) -> Vec<CloudCustomer> {
-        (0..self.n_customers).map(|i| self.customer(i, catalog)).collect()
+        self.stream_customers(catalog).collect()
+    }
+
+    /// Generate the cohort lazily, one customer at a time — the fleet-scale
+    /// entry point: feeding this straight into a bounded-queue consumer
+    /// (e.g. `doppler-fleet`) keeps memory independent of cohort size.
+    pub fn stream_customers<'a>(
+        &'a self,
+        catalog: &'a Catalog,
+    ) -> impl Iterator<Item = CloudCustomer> + 'a {
+        (0..self.n_customers).map(move |i| self.customer(i, catalog))
     }
 
     fn build_spec(
@@ -382,8 +389,7 @@ pub fn requirement_caps(
         .values(PerfDimension::IoLatency)
         .and_then(|v| quantile(v, 0.02))
         .unwrap_or(f64::INFINITY);
-    let storage_req =
-        history.values(PerfDimension::Storage).and_then(max).unwrap_or(0.0);
+    let storage_req = history.values(PerfDimension::Storage).and_then(max).unwrap_or(0.0);
     let iops_req = dim_req(PerfDimension::Iops);
     ResourceCaps {
         vcores: dim_req(PerfDimension::Cpu),
@@ -463,7 +469,10 @@ pub fn sec53_instances(days: f64, seed: u64) -> Vec<OnPremCandidate> {
         let spec = WorkloadSpec::new(format!("critical-{id}"), days)
             .with_dim(PerfDimension::Cpu, DimensionProfile::saturating(0.55 * scale, 0.04 * scale))
             .with_dim(PerfDimension::Memory, DimensionProfile::saturating(3.0 * scale, 0.1 * scale))
-            .with_dim(PerfDimension::Iops, DimensionProfile::saturating(260.0 * scale, 18.0 * scale))
+            .with_dim(
+                PerfDimension::Iops,
+                DimensionProfile::saturating(260.0 * scale, 18.0 * scale),
+            )
             .with_dim(
                 PerfDimension::IoLatency,
                 DimensionProfile {
@@ -480,7 +489,10 @@ pub fn sec53_instances(days: f64, seed: u64) -> Vec<OnPremCandidate> {
                     ceiling: None,
                 },
             )
-            .with_dim(PerfDimension::LogRate, DimensionProfile::saturating(1.8 * scale, 0.15 * scale))
+            .with_dim(
+                PerfDimension::LogRate,
+                DimensionProfile::saturating(1.8 * scale, 0.15 * scale),
+            )
             .with_dim(PerfDimension::Storage, DimensionProfile::constant(45.0 * scale));
         out.push(OnPremCandidate {
             id: id as usize,
@@ -564,11 +576,8 @@ mod tests {
     fn flat_customers_dominate_the_mix() {
         let cat = catalog();
         let spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_db(120, 5) };
-        let flat = spec
-            .customers(&cat)
-            .iter()
-            .filter(|c| c.shape_class == ShapeClass::Flat)
-            .count();
+        let flat =
+            spec.customers(&cat).iter().filter(|c| c.shape_class == ShapeClass::Flat).count();
         let frac = flat as f64 / 120.0;
         assert!((0.6..0.9).contains(&frac), "flat fraction = {frac}");
     }

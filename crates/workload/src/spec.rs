@@ -80,7 +80,12 @@ impl DimensionProfile {
     }
 
     /// A spiky profile: low base with rare excursions to `base + amplitude`.
-    pub fn spiky(base: f64, amplitude: f64, rate_per_day: f64, duration_samples: usize) -> DimensionProfile {
+    pub fn spiky(
+        base: f64,
+        amplitude: f64,
+        rate_per_day: f64,
+        duration_samples: usize,
+    ) -> DimensionProfile {
         DimensionProfile {
             base,
             noise_sd: base * 0.05,
@@ -179,7 +184,8 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = DimensionProfile::steady(4.0, 0.2).with_diurnal(1.0).with_trend(0.1).with_floor(0.5);
+        let p =
+            DimensionProfile::steady(4.0, 0.2).with_diurnal(1.0).with_trend(0.1).with_floor(0.5);
         assert_eq!(p.base, 4.0);
         assert_eq!(p.diurnal_amplitude, 1.0);
         assert_eq!(p.trend_per_day, 0.1);

@@ -1,0 +1,59 @@
+//! Fleet assessment: push a whole synthetic customer fleet — SQL DB and
+//! SQL MI together — through the concurrent batch assessor and print the
+//! fleet dashboard.
+//!
+//! ```text
+//! cargo run --release --example assess_fleet
+//! ```
+//!
+//! Flags via env (keeps the example dependency-free):
+//! `FLEET_SIZE` (default 600 DB + 200 MI), `FLEET_WORKERS` (default: all
+//! cores).
+
+use std::time::Instant;
+
+use doppler::fleet::cloud_fleet;
+use doppler::prelude::*;
+
+fn main() {
+    let db_size: usize =
+        std::env::var("FLEET_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(600);
+    let mi_size = db_size / 3;
+    let workers: usize = std::env::var("FLEET_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    // 1. One engine per deployment target, sharing the PaaS catalog. Both
+    //    are read-only after construction, so the worker pool shares them
+    //    without copies.
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let assessor = FleetAssessor::new(
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb)),
+        FleetConfig::with_workers(workers),
+    )
+    .with_engine(DopplerEngine::untrained(
+        catalog.clone(),
+        EngineConfig::production(DeploymentType::SqlMi),
+    ));
+
+    // 2. A heterogeneous fleet: a calibrated SQL DB cohort chained with a
+    //    SQL MI cohort, streamed lazily through the bounded work queue —
+    //    nothing is materialized beyond the queue depth.
+    let db_spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_db(db_size, 42) };
+    let mi_spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_mi(mi_size, 43) };
+    let fleet = cloud_fleet(&db_spec, &catalog, None).chain(cloud_fleet(&mi_spec, &catalog, None));
+
+    // 3. Assess and time it.
+    let start = Instant::now();
+    let assessment = assessor.assess(fleet);
+    let elapsed = start.elapsed();
+
+    // 4. The fleet dashboard: totals, SKU mix, shapes, per-deployment rows.
+    println!("{}", assessment.report.render());
+    let n = assessment.report.fleet_size;
+    println!(
+        "assessed {n} instances on {workers} worker(s) in {elapsed:.2?} ({:.1} instances/s)",
+        n as f64 / elapsed.as_secs_f64()
+    );
+}

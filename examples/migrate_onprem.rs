@@ -83,11 +83,8 @@ fn main() {
         })
         .collect();
     println!("trained on {} migrated customers", records.len());
-    let engine = DopplerEngine::train(
-        catalog,
-        EngineConfig::production(DeploymentType::SqlDb),
-        &records,
-    );
+    let engine =
+        DopplerEngine::train(catalog, EngineConfig::production(DeploymentType::SqlDb), &records);
 
     // --- Assess. ----------------------------------------------------------
     let pipeline = SkuRecommendationPipeline::new(engine);

@@ -27,7 +27,10 @@ fn main() {
 
     println!("fleet of {} customers: {} over-provisioned", fleet.len(), flagged.len());
     println!("\ntop savings opportunities:");
-    println!("{:<12} -> {:<12} {:>12} {:>14}", "current", "right-sized", "cost ratio", "annual saving");
+    println!(
+        "{:<12} -> {:<12} {:>12} {:>14}",
+        "current", "right-sized", "cost ratio", "annual saving"
+    );
     for r in flagged.iter().take(10) {
         println!(
             "{:<12} -> {:<12} {:>11.1}x {:>13.0}$",

@@ -13,6 +13,7 @@
 //! | [`replay`] | `doppler-replay` | machine simulator for workload replay |
 //! | [`engine`] | `doppler-core` | the Doppler engine: curves, profiling, matching, confidence |
 //! | [`dma`] | `doppler-dma` | Data Migration Assistant integration |
+//! | [`fleet`] | `doppler-fleet` | concurrent fleet-scale batch assessment |
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@
 pub use doppler_catalog as catalog;
 pub use doppler_core as engine;
 pub use doppler_dma as dma;
+pub use doppler_fleet as fleet;
 pub use doppler_replay as replay;
 pub use doppler_stats as stats;
 pub use doppler_telemetry as telemetry;
@@ -53,6 +55,9 @@ pub mod prelude {
     };
     pub use doppler_dma::{
         AssessmentRequest, AssessmentResult, AssessmentService, SkuRecommendationPipeline,
+    };
+    pub use doppler_fleet::{
+        FleetAssessment, FleetAssessor, FleetConfig, FleetReport, FleetRequest,
     };
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
     pub use doppler_workload::{PopulationSpec, WorkloadArchetype, WorkloadSpec};

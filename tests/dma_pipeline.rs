@@ -118,8 +118,8 @@ fn reports_render_and_serialize() {
     assert!(text.contains("Confidence"));
     let json = result.report.to_json();
     assert!(json.contains("curve_rows"));
-    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert!(parsed["recommended_sku"].is_string());
+    let parsed = doppler::dma::json::Json::parse(&json).unwrap();
+    assert!(parsed.get("recommended_sku").and_then(|v| v.as_str()).is_some());
 }
 
 #[test]

@@ -43,8 +43,7 @@ fn trained_engine_beats_untrained_on_backtest() {
         if engine.recommend(&c.history, None).sku_id.as_deref() == Some(c.chosen_sku.0.as_str()) {
             trained_hits += 1;
         }
-        if untrained.recommend(&c.history, None).sku_id.as_deref()
-            == Some(c.chosen_sku.0.as_str())
+        if untrained.recommend(&c.history, None).sku_id.as_deref() == Some(c.chosen_sku.0.as_str())
         {
             untrained_hits += 1;
         }
@@ -76,9 +75,10 @@ fn latency_critical_workloads_get_business_critical() {
 #[test]
 fn flat_customers_get_the_cheapest_satisfying_sku() {
     let (engine, customers) = train_db(60, 13);
-    for c in customers.iter().filter(|c| {
-        c.shape_class == ShapeClass::Flat && !c.latency_critical && !c.over_provisioned
-    }) {
+    for c in customers
+        .iter()
+        .filter(|c| c.shape_class == ShapeClass::Flat && !c.latency_critical && !c.over_provisioned)
+    {
         let rec = engine.recommend(&c.history, None);
         assert_eq!(rec.shape, CurveShape::Flat, "customer {}", c.id);
         // The cheapest point on a flat curve is the recommendation.
@@ -160,8 +160,5 @@ fn engine_explanations_name_the_profiled_dimensions() {
     let rec = engine.recommend(&customers[0].history, None);
     let text = rec.explanation.render();
     assert!(text.contains("group"), "{text}");
-    assert!(
-        text.contains("Negotiable") || text.contains("Non-negotiable"),
-        "{text}"
-    );
+    assert!(text.contains("Negotiable") || text.contains("Non-negotiable"), "{text}");
 }

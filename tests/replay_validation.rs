@@ -94,17 +94,13 @@ fn synthesis_fit_reproduces_trace_statistics() {
     // Fit fragments to a generated OLTP trace, re-emit, and compare means —
     // the paper's "performance traces of these synthesized workloads mimic
     // that of the original".
-    let original =
-        doppler::workload::generate(&WorkloadArchetype::OltpLike.spec(4.0, 3.0), 99);
+    let original = doppler::workload::generate(&WorkloadArchetype::OltpLike.spec(4.0, 3.0), 99);
     let fitted = SynthesizedWorkload::fit(&original, 3.0);
     let reproduced = fitted.demand_trace(7);
     for dim in [PerfDimension::Cpu, PerfDimension::Iops] {
         let want = doppler::stats::mean(original.values(dim).unwrap());
         let got = doppler::stats::mean(reproduced.values(dim).unwrap());
-        assert!(
-            (got - want).abs() / want < 0.5,
-            "{dim}: fitted mean {got} vs original {want}"
-        );
+        assert!((got - want).abs() / want < 0.5, "{dim}: fitted mean {got} vs original {want}");
     }
 }
 

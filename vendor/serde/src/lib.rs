@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `serde` cannot be vendored. This stub keeps the workspace's
+//! `#[derive(serde::Serialize, serde::Deserialize)]` attributes compiling:
+//! the derive macros (re-exported from the sibling `serde_derive` stub)
+//! expand to nothing, and the traits below exist purely as names. Dropping
+//! the real serde back in requires only a manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
