@@ -1,0 +1,106 @@
+//! Streaming-service hot paths: submission round-trip latency, streamed
+//! cohort throughput against the one-shot assessor, and the cost of the
+//! mid-run snapshot a dashboard polls.
+//!
+//! The one-shot assessor now drives a `FleetService` internally, so
+//! `one_shot` vs `streamed` isolates exactly the ticket bookkeeping the
+//! streaming front-end adds — on any host the two should be within noise
+//! of each other, and `snapshot` should stay microseconds-cheap no matter
+//! how much has been aggregated.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{azure_paas_catalog, Catalog, CatalogSpec, DeploymentType};
+use doppler_core::{DopplerEngine, EngineConfig};
+use doppler_fleet::{
+    cloud_fleet, FleetAssessor, FleetConfig, FleetRequest, FleetService, TicketQueue,
+};
+use doppler_workload::PopulationSpec;
+
+const COHORT: usize = 128;
+
+fn catalog() -> Catalog {
+    azure_paas_catalog(&CatalogSpec::default())
+}
+
+fn db_fleet(catalog: &Catalog) -> Vec<FleetRequest> {
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(COHORT, 11) };
+    cloud_fleet(&spec, catalog, None).collect()
+}
+
+fn assessor(catalog: &Catalog, workers: usize) -> FleetAssessor {
+    let engine =
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb));
+    let mut config = FleetConfig::with_workers(workers);
+    config.keep_results = false;
+    FleetAssessor::new(engine, config)
+}
+
+/// Stream the cohort through a long-lived service: submit with interleaved
+/// draining, then block out the tail.
+fn stream_cohort(service: &FleetService, fleet: &[FleetRequest]) -> usize {
+    let mut tickets = TicketQueue::new();
+    let mut done = 0usize;
+    for request in fleet {
+        tickets.push(service.submit(request.clone()).expect("service open"));
+        while tickets.try_next().is_some() {
+            done += 1;
+        }
+    }
+    while tickets.next_blocking().is_some() {
+        done += 1;
+    }
+    done
+}
+
+fn bench_streamed_vs_one_shot(c: &mut Criterion) {
+    let catalog = catalog();
+    let fleet = db_fleet(&catalog);
+    let mut group = c.benchmark_group(format!("service_cohort_{COHORT}_instances"));
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let one_shot = assessor(&catalog, workers);
+        group.bench_with_input(BenchmarkId::new("one_shot", workers), &fleet, |b, fleet| {
+            b.iter(|| one_shot.assess(std::hint::black_box(fleet.clone())).report)
+        });
+        // One long-lived service reused across iterations — the steady-state
+        // serving shape (no thread spawn per batch).
+        let service = assessor(&catalog, workers).into_service();
+        group.bench_with_input(BenchmarkId::new("streamed", workers), &fleet, |b, fleet| {
+            b.iter(|| stream_cohort(&service, std::hint::black_box(fleet)))
+        });
+        let report = service.shutdown();
+        assert_eq!(report.fleet_size % COHORT, 0);
+    }
+    group.finish();
+}
+
+fn bench_single_submission_latency(c: &mut Criterion) {
+    let catalog = catalog();
+    let request = db_fleet(&catalog).into_iter().next().expect("non-empty cohort");
+    let service = assessor(&catalog, 1).into_service();
+    c.bench_function("service_submit_recv_round_trip", |b| {
+        b.iter(|| {
+            let ticket = service.submit(std::hint::black_box(request.clone())).expect("open");
+            ticket.recv().expect("assessed")
+        })
+    });
+}
+
+fn bench_snapshot_cost(c: &mut Criterion) {
+    let catalog = catalog();
+    let service = assessor(&catalog, 2).into_service();
+    let done = stream_cohort(&service, &db_fleet(&catalog));
+    assert_eq!(done, COHORT);
+    c.bench_function(format!("service_report_snapshot_after_{COHORT}"), |b| {
+        b.iter(|| std::hint::black_box(service.report_snapshot()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_streamed_vs_one_shot,
+    bench_single_submission_latency,
+    bench_snapshot_cost
+);
+criterion_main!(benches);

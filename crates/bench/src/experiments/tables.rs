@@ -8,9 +8,9 @@ use doppler_core::{
     DopplerEngine, EngineConfig, GroupingStrategy, NegotiabilityStrategy, TrainingRecord,
 };
 use doppler_dma::{
-    AdoptionLedger, AssessmentRequest, AssessmentService, PreprocessedInstance,
-    SkuRecommendationPipeline,
+    AdoptionLedger, AssessmentRequest, PreprocessedInstance, SkuRecommendationPipeline,
 };
+use doppler_fleet::AssessmentService;
 use doppler_stats::SeededRng;
 use doppler_workload::{PopulationSpec, WorkloadArchetype};
 

@@ -22,7 +22,7 @@
 //! Around those sit the SQL MI storage-tier flow ([`mi`], §3.2), the naive
 //! baseline Doppler replaced ([`baseline`], §2), the curve-shape heuristics
 //! the paper shows to be inadequate ([`heuristics`], §3.2), right-sizing of
-//! over-provisioned cloud customers ([`rightsize`], §5.1), SKU-change
+//! over-provisioned cloud customers ([`mod@rightsize`], §5.1), SKU-change
 //! detection ([`driftdetect`], §5.2.3), and the human-readable explanations
 //! ([`explain`]) that make the recommendation auditable. [`engine`] ties
 //! everything into the [`engine::DopplerEngine`] façade the DMA pipeline

@@ -1,15 +1,12 @@
-//! The batch assessment service and adoption accounting.
+//! Adoption accounting for the batch assessment service.
 //!
 //! DMA "receives hundreds of assessment requests daily" (abstract) and
 //! Table 1 reports its adoption: unique instances assessed, unique
 //! databases assessed, and total recommendations generated, per month.
-//! This module processes request batches across threads (the engine is
-//! read-only after training, so assessment parallelizes embarrassingly)
-//! and keeps the same three counters.
-
-use std::sync::Mutex;
-
-use crate::pipeline::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
+//! This module keeps those three counters. The batch execution itself —
+//! once a bespoke atomic-counter thread fan-out here — is served by the
+//! `doppler-fleet` worker pool: see `doppler_fleet::AssessmentService`,
+//! which records into this ledger.
 
 /// One month's adoption counters (a Table 1 row).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -54,149 +51,43 @@ impl AdoptionLedger {
     }
 }
 
-/// The batch service: a pipeline plus worker fan-out.
-pub struct AssessmentService {
-    pipeline: SkuRecommendationPipeline,
-    workers: usize,
-}
-
-impl AssessmentService {
-    /// A service over a pipeline with the given worker count (clamped to
-    /// at least 1).
-    pub fn new(pipeline: SkuRecommendationPipeline, workers: usize) -> AssessmentService {
-        AssessmentService { pipeline, workers: workers.max(1) }
-    }
-
-    /// Process a batch of requests in parallel, preserving input order in
-    /// the output.
-    pub fn assess_batch(&self, requests: &[AssessmentRequest]) -> Vec<AssessmentResult> {
-        if requests.is_empty() {
-            return Vec::new();
-        }
-        let results: Mutex<Vec<Option<AssessmentResult>>> =
-            Mutex::new((0..requests.len()).map(|_| None).collect());
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(requests.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= requests.len() {
-                        break;
-                    }
-                    let result = self.pipeline.assess(&requests[i]);
-                    results.lock().expect("no worker panicked")[i] = Some(result);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("no worker panicked")
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
-    }
-
-    /// Process a batch and record it against a ledger month. Each assessed
-    /// instance contributes one recommendation per curve point scored at
-    /// 1.0 or, when none reach it, a single best-effort recommendation —
-    /// matching DMA's behaviour of surfacing every eligible target.
-    pub fn assess_and_record(
-        &self,
-        month: &str,
-        requests: &[AssessmentRequest],
-        ledger: &mut AdoptionLedger,
-    ) -> Vec<AssessmentResult> {
-        let results = self.assess_batch(requests);
-        for r in &results {
-            let eligible =
-                r.recommendation.curve.points().iter().filter(|p| p.score >= 1.0 - 1e-9).count();
-            ledger.record(month, r.databases_assessed, eligible.max(1));
-        }
-        results
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::preprocess::PreprocessedInstance;
-    use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
-    use doppler_core::engine::EngineConfig;
-    use doppler_core::DopplerEngine;
-    use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
-
-    fn service(workers: usize) -> AssessmentService {
-        let engine = DopplerEngine::untrained(
-            azure_paas_catalog(&CatalogSpec::default()),
-            EngineConfig::production(DeploymentType::SqlDb),
-        );
-        AssessmentService::new(SkuRecommendationPipeline::new(engine), workers)
-    }
-
-    fn request(name: &str, cpu: f64) -> AssessmentRequest {
-        let h = PerfHistory::new()
-            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 128]))
-            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 128]));
-        AssessmentRequest {
-            instance_name: name.into(),
-            input: PreprocessedInstance {
-                instance: h.clone(),
-                databases: vec![("d1".into(), h.clone()), ("d2".into(), h)],
-                file_sizes_gib: vec![],
-            },
-            confidence: None,
-        }
-    }
-
-    #[test]
-    fn batch_preserves_order() {
-        let svc = service(4);
-        let reqs: Vec<AssessmentRequest> =
-            (0..16).map(|i| request(&format!("inst-{i}"), 0.5)).collect();
-        let results = svc.assess_batch(&reqs);
-        assert_eq!(results.len(), 16);
-        for (i, r) in results.iter().enumerate() {
-            assert_eq!(r.instance_name, format!("inst-{i}"));
-        }
-    }
-
-    #[test]
-    fn parallel_and_serial_agree() {
-        let reqs: Vec<AssessmentRequest> =
-            (0..8).map(|i| request(&format!("i{i}"), 0.4 + i as f64)).collect();
-        let serial: Vec<_> =
-            service(1).assess_batch(&reqs).into_iter().map(|r| r.recommendation.sku_id).collect();
-        let parallel: Vec<_> =
-            service(8).assess_batch(&reqs).into_iter().map(|r| r.recommendation.sku_id).collect();
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn empty_batch_is_fine() {
-        assert!(service(2).assess_batch(&[]).is_empty());
-    }
 
     #[test]
     fn ledger_counts_instances_databases_recommendations() {
-        let svc = service(2);
-        let reqs: Vec<AssessmentRequest> = (0..3).map(|i| request(&format!("i{i}"), 0.5)).collect();
         let mut ledger = AdoptionLedger::default();
-        svc.assess_and_record("Oct-21", &reqs, &mut ledger);
+        for _ in 0..3 {
+            ledger.record("Oct-21", 2, 4);
+        }
         let m = ledger.month("Oct-21").unwrap();
         assert_eq!(m.unique_instances, 3);
         assert_eq!(m.unique_databases, 6);
-        // Tiny workloads: every SKU is eligible, so recommendations exceed
-        // instances — the Table 1 pattern.
-        assert!(m.recommendations_generated > m.unique_instances);
+        assert_eq!(m.recommendations_generated, 12);
     }
 
     #[test]
-    fn ledger_accumulates_across_batches() {
-        let svc = service(2);
+    fn ledger_accumulates_across_batches_within_a_month() {
         let mut ledger = AdoptionLedger::default();
-        svc.assess_and_record("Nov-21", &[request("a", 0.5)], &mut ledger);
-        svc.assess_and_record("Nov-21", &[request("b", 0.5)], &mut ledger);
+        ledger.record("Nov-21", 1, 1);
+        ledger.record("Nov-21", 1, 1);
         assert_eq!(ledger.month("Nov-21").unwrap().unique_instances, 2);
         assert_eq!(ledger.rows().count(), 1);
+    }
+
+    #[test]
+    fn months_read_in_first_seen_order() {
+        let mut ledger = AdoptionLedger::default();
+        for month in ["Oct-21", "Nov-21", "Dec-21", "Nov-21"] {
+            ledger.record(month, 1, 1);
+        }
+        let order: Vec<&str> = ledger.rows().map(|(m, _)| m).collect();
+        assert_eq!(order, vec!["Oct-21", "Nov-21", "Dec-21"]);
+    }
+
+    #[test]
+    fn unknown_month_is_none() {
+        assert_eq!(AdoptionLedger::default().month("Jan-22"), None);
     }
 }

@@ -13,9 +13,11 @@
 //!   dashboards plus the price-performance curve, "so that customers can
 //!   understand why they received a specific SKU recommendation"; exports
 //!   to plain text and JSON;
-//! * [`assessment`] — the batch assessment service: DMA receives hundreds
-//!   of assessment requests daily (Table 1); this module fans a request
-//!   batch across threads and keeps the adoption counters.
+//! * [`assessment`] — adoption accounting: DMA receives hundreds of
+//!   assessment requests daily (Table 1); this module keeps the monthly
+//!   adoption counters. The batch fan-out itself is served by the
+//!   `doppler-fleet` worker pool (`doppler_fleet::AssessmentService`),
+//!   which records into the [`AdoptionLedger`] kept here.
 
 pub mod assessment;
 pub mod json;
@@ -23,7 +25,7 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod report;
 
-pub use assessment::{AdoptionLedger, AssessmentService, MonthlyAdoption};
+pub use assessment::{AdoptionLedger, MonthlyAdoption};
 pub use pipeline::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
 pub use preprocess::{DatabaseTelemetry, PreprocessedInstance, RawCounterSet};
 pub use report::{render_text_report, ResourceUseReport};

@@ -70,6 +70,12 @@ impl SkuRecommendationPipeline {
         &self.engine
     }
 
+    /// The deployment target this pipeline's engine was configured for —
+    /// the routing key batch layers (e.g. `doppler-fleet`) shard on.
+    pub fn deployment(&self) -> DeploymentType {
+        self.engine.config().deployment
+    }
+
     /// Assess one instance.
     pub fn assess(&self, request: &AssessmentRequest) -> AssessmentResult {
         let history: &PerfHistory = &request.input.instance;
@@ -143,6 +149,12 @@ mod tests {
         req.confidence = Some(ConfidenceConfig { replicates: 8, window_samples: 60, seed: 1 });
         let result = pipeline(DeploymentType::SqlDb).assess(&req);
         assert_eq!(result.recommendation.confidence, Some(1.0));
+    }
+
+    #[test]
+    fn pipeline_reports_its_deployment() {
+        assert_eq!(pipeline(DeploymentType::SqlMi).deployment(), DeploymentType::SqlMi);
+        assert_eq!(pipeline(DeploymentType::SqlDb).deployment(), DeploymentType::SqlDb);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The fleet assessor: shard a fleet of assessment requests across a
 //! worker pool, collect per-instance results order-stably, and aggregate
-//! them into a [`FleetReport`](crate::report::FleetReport).
+//! them into a [`FleetReport`].
 //!
 //! Doppler ran as a service issuing hundreds of thousands of SKU
 //! recommendations (§4, Table 1); this module is the reproduction's version
@@ -8,20 +8,25 @@
 //! construction, so assessment parallelizes embarrassingly: each worker
 //! holds an `Arc` of the deployment's pipeline, pops tasks from a bounded
 //! queue (so lazily-generated fleets never materialize fully), and streams
-//! results into a channel the collector drains. Results are then ordered by
-//! submission index, making the output — and every aggregate derived from
-//! it — bit-for-bit independent of the worker count.
+//! results back in completion order. Results are then folded in submission
+//! order, making the output — and every aggregate derived from it —
+//! bit-for-bit independent of the worker count.
+//!
+//! Since the streaming front-end landed, [`FleetAssessor::assess`] is a
+//! one-shot convenience over [`FleetService`]: it spins up a service, feeds
+//! the fleet through with backpressure, drains the tickets in order, and
+//! shuts the service down. The worker pool itself lives in
+//! [`crate::service`].
 
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc;
 use std::sync::Arc;
 
 use doppler_catalog::DeploymentType;
 use doppler_core::DopplerEngine;
 use doppler_dma::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
 
-use crate::queue::BoundedQueue;
 use crate::report::FleetReport;
+use crate::service::{FleetService, TicketQueue};
 
 /// One fleet member: which deployment target it is assessed against, plus
 /// the ordinary DMA assessment request.
@@ -91,119 +96,41 @@ pub struct FleetAssessment {
     pub results: Vec<FleetResult>,
 }
 
-/// The fleet-scale batch assessor: one read-only pipeline per deployment
-/// target, shared immutably across the worker pool.
-pub struct FleetAssessor {
+/// The per-deployment routing table: one read-only pipeline per deployment
+/// target, shared immutably (via `Arc`) across however many worker threads
+/// — scoped or long-lived — the serving layer runs.
+///
+/// This is the single place a fleet request turns into a [`FleetResult`]:
+/// both the one-shot [`FleetAssessor`] and the streaming
+/// [`FleetService`](crate::service::FleetService) route through it, so the
+/// two paths cannot drift apart.
+#[derive(Clone)]
+pub(crate) struct EngineSet {
     pipelines: Vec<(DeploymentType, Arc<SkuRecommendationPipeline>)>,
-    config: FleetConfig,
 }
 
-impl FleetAssessor {
-    /// An assessor serving one deployment target, taken from the engine's
-    /// own configuration.
-    pub fn new(engine: DopplerEngine, config: FleetConfig) -> FleetAssessor {
-        let deployment = engine.config().deployment;
-        FleetAssessor {
-            pipelines: vec![(deployment, Arc::new(SkuRecommendationPipeline::new(engine)))],
-            config,
-        }
+impl EngineSet {
+    pub(crate) fn new() -> EngineSet {
+        EngineSet { pipelines: Vec::new() }
     }
 
-    /// Add (or replace) the engine serving `engine.config().deployment` —
-    /// lets one assessor serve a heterogeneous SqlDb + SqlMi fleet.
-    pub fn with_engine(mut self, engine: DopplerEngine) -> FleetAssessor {
-        let deployment = engine.config().deployment;
+    /// Add (or replace) the pipeline serving its engine's deployment.
+    pub(crate) fn insert(&mut self, pipeline: Arc<SkuRecommendationPipeline>) {
+        let deployment = pipeline.deployment();
         self.pipelines.retain(|(d, _)| *d != deployment);
-        self.pipelines.push((deployment, Arc::new(SkuRecommendationPipeline::new(engine))));
-        self
+        self.pipelines.push((deployment, pipeline));
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &FleetConfig {
-        &self.config
-    }
-
-    /// The pipeline serving `deployment`, if configured.
-    pub fn pipeline_for(
+    pub(crate) fn pipeline_for(
         &self,
         deployment: DeploymentType,
     ) -> Option<&Arc<SkuRecommendationPipeline>> {
         self.pipelines.iter().find(|(d, _)| *d == deployment).map(|(_, p)| p)
     }
 
-    /// Assess an entire fleet.
-    ///
-    /// The fleet iterator is consumed lazily from the calling thread and
-    /// fed through a bounded queue to `config.workers` worker threads; a
-    /// panicking or unroutable instance lands in the failure bucket instead
-    /// of poisoning the run. Results stream through an order-restoring
-    /// collector into the aggregator as they complete, so with
-    /// `keep_results = false` peak memory is O(queue depth + workers) plus
-    /// the aggregation state — which includes one name per unplaceable
-    /// instance and one row per failure, so a fleet that fails wholesale
-    /// still accumulates its attention buckets. Output order and every
-    /// aggregate are deterministic: the same fleet yields the same
-    /// [`FleetAssessment`] for any worker count.
-    pub fn assess<I>(&self, fleet: I) -> FleetAssessment
-    where
-        I: IntoIterator<Item = FleetRequest>,
-    {
-        let queue: BoundedQueue<(usize, FleetRequest)> = BoundedQueue::new(self.config.queue_depth);
-        let (tx, rx) = mpsc::channel::<FleetResult>();
-
-        let collector = std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
-                let tx = tx.clone();
-                let queue = &queue;
-                scope.spawn(move || {
-                    while let Some((index, task)) = queue.pop() {
-                        let result = self.assess_one(index, task);
-                        if tx.send(result).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            // The workers hold the only remaining senders: once the queue
-            // closes and drains, the receiver below sees end-of-stream.
-            drop(tx);
-
-            // Close even if the fleet iterator panics mid-feed — otherwise
-            // the workers block on the empty queue forever and the scope's
-            // implicit join deadlocks instead of propagating the panic.
-            struct CloseOnExit<'a, T>(&'a BoundedQueue<T>);
-            impl<T> Drop for CloseOnExit<'_, T> {
-                fn drop(&mut self) {
-                    self.0.close();
-                }
-            }
-            let close_guard = CloseOnExit(&queue);
-
-            let mut collector = OrderedCollector::new(self.config.keep_results);
-            for (index, task) in fleet.into_iter().enumerate() {
-                if queue.push((index, task)).is_err() {
-                    break;
-                }
-                // Drain whatever the workers have finished so far, keeping
-                // the channel (and, with keep_results off, total memory)
-                // bounded while the feed is still running.
-                while let Ok(result) = rx.try_recv() {
-                    collector.accept(result);
-                }
-            }
-            drop(close_guard);
-
-            for result in rx {
-                collector.accept(result);
-            }
-            collector
-        });
-
-        let (report, results) = collector.finish();
-        FleetAssessment { report, results }
-    }
-
-    fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
+    /// Assess one routed request; panics and missing routes become `Err`
+    /// outcomes instead of poisoning the worker.
+    pub(crate) fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
         let FleetRequest { deployment, request } = task;
         let instance_name = request.instance_name.clone();
         let outcome = match self.pipeline_for(deployment) {
@@ -219,43 +146,113 @@ impl FleetAssessor {
     }
 }
 
-/// Restores submission order over the out-of-order completion stream and
-/// folds each result into the aggregator the moment it becomes in-order.
-/// Out-of-orderness is bounded by queue depth + worker count, so the
-/// reorder buffer stays small regardless of fleet size.
-struct OrderedCollector {
-    next: usize,
-    pending: std::collections::BTreeMap<usize, FleetResult>,
-    aggregator: crate::report::FleetAggregator,
-    keep_results: bool,
-    kept: Vec<FleetResult>,
+/// The fleet-scale batch assessor: one read-only pipeline per deployment
+/// target, shared immutably across the worker pool.
+pub struct FleetAssessor {
+    engines: EngineSet,
+    config: FleetConfig,
 }
 
-impl OrderedCollector {
-    fn new(keep_results: bool) -> OrderedCollector {
-        OrderedCollector {
-            next: 0,
-            pending: std::collections::BTreeMap::new(),
-            aggregator: crate::report::FleetAggregator::new(),
-            keep_results,
-            kept: Vec::new(),
-        }
+impl FleetAssessor {
+    /// An assessor serving one deployment target, taken from the engine's
+    /// own configuration.
+    pub fn new(engine: DopplerEngine, config: FleetConfig) -> FleetAssessor {
+        FleetAssessor::from_pipeline(Arc::new(SkuRecommendationPipeline::new(engine)), config)
     }
 
-    fn accept(&mut self, result: FleetResult) {
-        self.pending.insert(result.index, result);
-        while let Some(result) = self.pending.remove(&self.next) {
-            self.aggregator.accept(&result);
-            if self.keep_results {
-                self.kept.push(result);
+    /// An assessor over an already-built (and possibly shared) pipeline —
+    /// the warm-start path: no engine retraining, no catalog copies, just a
+    /// reference-count bump.
+    pub fn from_pipeline(
+        pipeline: Arc<SkuRecommendationPipeline>,
+        config: FleetConfig,
+    ) -> FleetAssessor {
+        let mut engines = EngineSet::new();
+        engines.insert(pipeline);
+        FleetAssessor { engines, config }
+    }
+
+    /// Add (or replace) the engine serving `engine.config().deployment` —
+    /// lets one assessor serve a heterogeneous SqlDb + SqlMi fleet.
+    pub fn with_engine(self, engine: DopplerEngine) -> FleetAssessor {
+        self.with_pipeline(Arc::new(SkuRecommendationPipeline::new(engine)))
+    }
+
+    /// Add (or replace) a shared pipeline for its deployment target.
+    pub fn with_pipeline(mut self, pipeline: Arc<SkuRecommendationPipeline>) -> FleetAssessor {
+        self.engines.insert(pipeline);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The pipeline serving `deployment`, if configured.
+    pub fn pipeline_for(
+        &self,
+        deployment: DeploymentType,
+    ) -> Option<&Arc<SkuRecommendationPipeline>> {
+        self.engines.pipeline_for(deployment)
+    }
+
+    /// Convert into the long-lived streaming front-end, keeping the engine
+    /// set and configuration.
+    pub fn into_service(self) -> FleetService {
+        let FleetAssessor { engines, config } = self;
+        FleetService::from_parts(engines, config)
+    }
+
+    /// Assess an entire fleet.
+    ///
+    /// The fleet iterator is consumed lazily from the calling thread and
+    /// fed through a bounded queue to `config.workers` worker threads; a
+    /// panicking or unroutable instance lands in the failure bucket instead
+    /// of poisoning the run. Completed results are drained in submission
+    /// order while the feed is still running, so with
+    /// `keep_results = false` peak memory is O(queue depth + workers) plus
+    /// the aggregation state — which includes one name per unplaceable
+    /// instance and one row per failure, so a fleet that fails wholesale
+    /// still accumulates its attention buckets. Output order and every
+    /// aggregate are deterministic: the same fleet yields the same
+    /// [`FleetAssessment`] for any worker count.
+    pub fn assess<I>(&self, fleet: I) -> FleetAssessment
+    where
+        I: IntoIterator<Item = FleetRequest>,
+    {
+        let service = FleetService::from_parts(self.engines.clone(), self.config);
+        let keep = self.config.keep_results;
+        let mut kept = Vec::new();
+        let mut outstanding = TicketQueue::new();
+
+        // Feed with backpressure (submit blocks at queue capacity). With
+        // keep_results on, retire tickets from the front as they resolve so
+        // the outstanding window normally tracks the service's out-of-order
+        // window (the kept vector is O(fleet) by request — and so is the
+        // ticket buffer in the worst case, e.g. when the very first
+        // assessment is the slowest). With keep_results off, tickets are
+        // dropped at submission: no per-request buffering at all, and the
+        // report alone flows out of the service. If the fleet iterator
+        // panics mid-feed, dropping `service` closes the queue and joins
+        // the workers, so the panic propagates instead of deadlocking.
+        for request in fleet {
+            match service.submit(request) {
+                Ok(ticket) if keep => outstanding.push(ticket),
+                Ok(_) => {}
+                Err(_) => unreachable!("the service queue is not closed until the feed ends"),
             }
-            self.next += 1;
+            while let Some(result) = outstanding.try_next() {
+                kept.push(result);
+            }
         }
-    }
 
-    fn finish(self) -> (FleetReport, Vec<FleetResult>) {
-        debug_assert!(self.pending.is_empty(), "every submitted index yields one result");
-        (self.aggregator.finish(), self.kept)
+        service.close();
+        while let Some(result) = outstanding.next_blocking() {
+            kept.push(result);
+        }
+        let report = service.shutdown();
+        FleetAssessment { report, results: kept }
     }
 }
 
@@ -387,5 +384,24 @@ mod tests {
         assert!(out.results.is_empty());
         assert_eq!(out.report.fleet_size, 8);
         assert_eq!(out.report.recommended, 8);
+    }
+
+    #[test]
+    fn shared_pipelines_warm_start_without_retraining() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let pipeline = Arc::new(SkuRecommendationPipeline::new(engine));
+        let a = FleetAssessor::from_pipeline(Arc::clone(&pipeline), FleetConfig::with_workers(2));
+        let b = FleetAssessor::from_pipeline(Arc::clone(&pipeline), FleetConfig::with_workers(4));
+        // Both assessors reference the identical pipeline allocation.
+        assert!(Arc::ptr_eq(
+            a.pipeline_for(DeploymentType::SqlDb).unwrap(),
+            b.pipeline_for(DeploymentType::SqlDb).unwrap()
+        ));
+        let fleet: Vec<FleetRequest> =
+            (0..12).map(|i| request(&format!("w{i}"), 0.5 + i as f64 * 0.3)).collect();
+        assert_eq!(a.assess(fleet.clone()).report, b.assess(fleet).report);
     }
 }

@@ -9,11 +9,16 @@
 //! * [`queue`] — a bounded, closable MPMC work queue, so fleets described
 //!   by lazy iterators (streamed synthetic populations, §5-scale cohorts)
 //!   are assessed in O(queue depth) request memory;
-//! * [`assessor`] — the [`FleetAssessor`]: a `std::thread` worker pool
-//!   sharing the trained engine immutably via `Arc`, routing each request
-//!   to its deployment's pipeline, catching per-instance panics into a
+//! * [`assessor`] — the [`FleetAssessor`]: the one-shot batch entry point,
+//!   sharing trained engines immutably via `Arc`, routing each request to
+//!   its deployment's pipeline, catching per-instance panics into a
 //!   failure bucket, and collecting results order-stably so output is
 //!   bit-for-bit identical for any worker count;
+//! * [`service`] — the [`FleetService`] streaming front-end: a long-lived
+//!   worker pool accepting [`submit`](FleetService::submit)ted requests
+//!   continuously, resolving them through [`Ticket`] handles, and
+//!   publishing incremental [`FleetReport`] snapshots mid-run; also home to
+//!   the DMA-facing [`AssessmentService`] batch wrapper;
 //! * [`report`] — the [`FleetReport`] aggregation layer: total monthly
 //!   cost, SKU-mix histogram, curve-shape and confidence distributions,
 //!   per-deployment breakdown, and the unplaceable/failure buckets, with a
@@ -42,10 +47,41 @@
 //! assert_eq!(assessment.report.fleet_size, 50);
 //! println!("{}", assessment.report.render());
 //! ```
+//!
+//! ## Streaming
+//!
+//! For continuous operation, convert the assessor into a [`FleetService`]
+//! and submit requests as they arrive:
+//!
+//! ```
+//! use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+//! use doppler_core::{DopplerEngine, EngineConfig};
+//! use doppler_fleet::{cloud_fleet, FleetAssessor, FleetConfig};
+//! use doppler_workload::PopulationSpec;
+//!
+//! let catalog = azure_paas_catalog(&CatalogSpec::default());
+//! let engine = DopplerEngine::untrained(
+//!     catalog.clone(),
+//!     EngineConfig::production(DeploymentType::SqlDb),
+//! );
+//! let service =
+//!     FleetAssessor::new(engine, FleetConfig::with_workers(2)).into_service();
+//!
+//! let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(10, 42) };
+//! let tickets = service.submit_all(cloud_fleet(&spec, &catalog, None)).unwrap();
+//! for ticket in tickets {
+//!     let result = ticket.recv().expect("assessed");
+//!     assert!(result.outcome.is_ok());
+//! }
+//! // `report_snapshot()` would render the same numbers mid-run.
+//! let report = service.shutdown();
+//! assert_eq!(report.fleet_size, 10);
+//! ```
 
 pub mod assessor;
 pub mod queue;
 pub mod report;
+pub mod service;
 pub mod source;
 
 pub use assessor::{
@@ -53,7 +89,8 @@ pub use assessor::{
 };
 pub use queue::BoundedQueue;
 pub use report::{
-    ConfidenceSummary, DeploymentMixRow, FailureRow, FleetAggregator, FleetReport, ShapeMixRow,
-    SkuMixRow,
+    ConfidenceSummary, DeploymentMixRow, DigestOutcome, FailureRow, FleetAggregator, FleetReport,
+    ResultDigest, ShapeMixRow, SkuMixRow,
 };
+pub use service::{AssessmentService, FleetService, ServiceProgress, Ticket, TicketQueue};
 pub use source::{cloud_fleet, customer_request, onprem_fleet, onprem_request};

@@ -83,6 +83,17 @@ impl<T> BoundedQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Whether [`close`](BoundedQueue::close) has been called. Queued items
+    /// may still be poppable; new pushes are already rejected.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 #[cfg(test)]
@@ -105,9 +116,12 @@ mod tests {
     #[test]
     fn close_drains_then_stops() {
         let q = BoundedQueue::new(4);
+        assert!(!q.is_closed());
+        assert_eq!(q.capacity(), 4);
         q.push(1).unwrap();
         q.push(2).unwrap();
         q.close();
+        assert!(q.is_closed());
         assert_eq!(q.push(3), Err(3));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));

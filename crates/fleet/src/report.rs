@@ -56,6 +56,55 @@ pub struct FailureRow {
     pub message: String,
 }
 
+/// The slice of a [`FleetResult`] the aggregator actually reads — a few
+/// scalars and short strings, not the per-instance resource-use report and
+/// price-performance curve the full result carries. Reorder buffers hold
+/// digests so an out-of-order completion never deep-clones its result (the
+/// ticket keeps the full result for the submitter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultDigest {
+    pub instance_name: String,
+    pub deployment: DeploymentType,
+    pub outcome: DigestOutcome,
+}
+
+/// Outcome projection inside a [`ResultDigest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DigestOutcome {
+    /// Assessment errored or panicked.
+    Failed { message: String },
+    /// Assessed; `sku` is `Some((sku_id, monthly_cost))` when placed.
+    Assessed {
+        databases_assessed: usize,
+        shape: CurveShape,
+        confidence: Option<f64>,
+        sku: Option<(String, f64)>,
+    },
+}
+
+impl ResultDigest {
+    pub fn of(result: &FleetResult) -> ResultDigest {
+        let outcome = match &result.outcome {
+            Err(e) => DigestOutcome::Failed { message: e.message.clone() },
+            Ok(r) => DigestOutcome::Assessed {
+                databases_assessed: r.databases_assessed,
+                shape: r.recommendation.shape,
+                confidence: r.recommendation.confidence,
+                sku: r
+                    .recommendation
+                    .sku_id
+                    .clone()
+                    .map(|sku_id| (sku_id, r.recommendation.monthly_cost.unwrap_or(0.0))),
+            },
+        };
+        ResultDigest {
+            instance_name: result.instance_name.clone(),
+            deployment: result.deployment,
+            outcome,
+        }
+    }
+}
+
 /// The aggregate view of one fleet assessment run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -91,7 +140,10 @@ pub struct FleetReport {
 /// time (in submission order) so the assessor can aggregate on the fly
 /// without buffering the whole fleet. State is O(distinct SKUs + attention
 /// buckets), not O(fleet).
-#[derive(Debug)]
+///
+/// `Clone` exists so a long-lived service can publish point-in-time
+/// [`snapshot`](FleetAggregator::snapshot)s while results keep streaming in.
+#[derive(Debug, Clone)]
 pub struct FleetAggregator {
     fleet_size: usize,
     recommended: usize,
@@ -137,6 +189,14 @@ impl FleetAggregator {
     /// floating-point sums follow feed order, and bit-for-bit report
     /// equality across worker counts depends on it.
     pub fn accept(&mut self, r: &FleetResult) {
+        // One fold implementation: the by-result and by-digest entry points
+        // route through the same arithmetic so they cannot drift apart.
+        self.accept_digest(&ResultDigest::of(r));
+    }
+
+    /// Fold one digested result in; same ordering contract as
+    /// [`accept`](FleetAggregator::accept).
+    pub fn accept_digest(&mut self, r: &ResultDigest) {
         self.fleet_size += 1;
         let deployment_row = {
             let d = r.deployment;
@@ -157,22 +217,21 @@ impl FleetAggregator {
         };
         deployment_row.fleet += 1;
         match &r.outcome {
-            Err(e) => {
+            DigestOutcome::Failed { message } => {
                 deployment_row.failed += 1;
                 self.failures.push(FailureRow {
                     instance_name: r.instance_name.clone(),
-                    message: e.message.clone(),
+                    message: message.clone(),
                 });
             }
-            Ok(result) => {
-                self.databases_assessed += result.databases_assessed;
-                let rec = &result.recommendation;
-                self.shape_counts[match rec.shape {
+            DigestOutcome::Assessed { databases_assessed, shape, confidence, sku } => {
+                self.databases_assessed += databases_assessed;
+                self.shape_counts[match shape {
                     CurveShape::Flat => 0,
                     CurveShape::Simple => 1,
                     CurveShape::Complex => 2,
                 }] += 1;
-                if let Some(c) = rec.confidence {
+                if let Some(c) = *confidence {
                     self.confidence_scored += 1;
                     self.confidence_sum += c;
                     self.confidence_min = self.confidence_min.min(c);
@@ -188,11 +247,11 @@ impl FleetAggregator {
                         0
                     }] += 1;
                 }
-                match (&rec.sku_id, rec.monthly_cost) {
-                    (Some(sku_id), cost) => {
+                match sku {
+                    Some((sku_id, cost)) => {
                         self.recommended += 1;
                         deployment_row.recommended += 1;
-                        let cost = cost.unwrap_or(0.0);
+                        let cost = *cost;
                         self.total_monthly_cost += cost;
                         deployment_row.total_monthly_cost += cost;
                         match self.sku_mix.iter_mut().find(|row| &row.sku_id == sku_id) {
@@ -207,13 +266,28 @@ impl FleetAggregator {
                             }),
                         }
                     }
-                    (None, _) => {
+                    None => {
                         deployment_row.unplaceable += 1;
                         self.unplaceable_instances.push(r.instance_name.clone());
                     }
                 }
             }
         }
+    }
+
+    /// Results folded in so far.
+    pub fn accepted(&self) -> usize {
+        self.fleet_size
+    }
+
+    /// A point-in-time [`FleetReport`] over the results accepted so far,
+    /// without consuming the accumulator — the incremental view a dashboard
+    /// polls while a fleet run is still in flight. Because acceptance is in
+    /// submission order, a snapshot is always the report of an exact prefix
+    /// of the fleet, so two snapshots at the same prefix length are
+    /// bit-for-bit equal regardless of worker count or timing.
+    pub fn snapshot(&self) -> FleetReport {
+        self.clone().finish()
     }
 
     /// Finalize into the report: sort the histograms into their canonical
@@ -455,6 +529,18 @@ mod tests {
             report.failures,
             vec![FailureRow { instance_name: "c".into(), message: "boom".into() }]
         );
+    }
+
+    #[test]
+    fn digest_fold_matches_full_fold() {
+        let results = vec![result(0, "a", 0.5), result(1, "b", 6.0), failed(2, "c")];
+        let mut by_result = FleetAggregator::new();
+        let mut by_digest = FleetAggregator::new();
+        for r in &results {
+            by_result.accept(r);
+            by_digest.accept_digest(&ResultDigest::of(r));
+        }
+        assert_eq!(by_result.finish(), by_digest.finish());
     }
 
     #[test]

@@ -1,0 +1,786 @@
+//! The streaming fleet front-end: a long-lived, submission-based service
+//! over the worker pool.
+//!
+//! The paper frames Doppler as an ongoing pipeline — DMA "receives hundreds
+//! of assessment requests daily", not one batch a quarter — so the serving
+//! layer should accept requests continuously. [`FleetService`] is that
+//! front-end:
+//!
+//! * [`submit`](FleetService::submit) /
+//!   [`submit_all`](FleetService::submit_all) enqueue assessment requests
+//!   at any time (blocking only on the bounded queue's backpressure) and
+//!   hand back a [`Ticket`] per request;
+//! * a pool of long-lived worker threads pops from the shared
+//!   [`BoundedQueue`], routes each request through the per-deployment
+//!   engine set, and delivers the result to its ticket;
+//! * every completion is also folded — in submission order — into a
+//!   [`FleetAggregator`], so [`report_snapshot`](FleetService::report_snapshot)
+//!   yields a mid-run [`FleetReport`] a dashboard can render while results
+//!   are still streaming in;
+//! * [`shutdown`](FleetService::shutdown) (or `Drop`) closes the queue,
+//!   lets the workers drain every accepted request, and joins them —
+//!   dropping a service with in-flight tickets never deadlocks, and the
+//!   buffered results stay receivable from the tickets afterwards.
+//!
+//! [`AssessmentService`] — the DMA batch API from the seed — lives here too
+//! as a thin wrapper: one deployment target, `Arc`-shared pipeline, each
+//! `assess_batch` call a submit-all/collect-all round trip through the same
+//! worker pool. The old atomic-counter thread fan-out it used to carry is
+//! gone; there is exactly one worker-pool implementation in the workspace.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use doppler_catalog::DeploymentType;
+use doppler_dma::{AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
+
+use crate::assessor::{EngineSet, FleetAssessor, FleetConfig, FleetRequest, FleetResult};
+use crate::queue::BoundedQueue;
+use crate::report::{FleetAggregator, FleetReport, ResultDigest};
+
+/// One enqueued request: its submission index, the routed request, and the
+/// channel its result is delivered on.
+struct Task {
+    index: usize,
+    request: FleetRequest,
+    reply: mpsc::Sender<FleetResult>,
+}
+
+/// Everything the worker threads share with the front-end handle.
+struct ServiceShared {
+    queue: BoundedQueue<Task>,
+    engines: EngineSet,
+    progress: Mutex<Progress>,
+}
+
+/// Submission/completion tracking: allocates submission indices, restores
+/// submission order over the out-of-order completion stream, and folds
+/// each result into the aggregator the moment it becomes in-order.
+/// Out-of-orderness is bounded by queue depth + worker count, so the
+/// reorder buffer stays small regardless of fleet size.
+///
+/// Everything lives under one mutex so [`FleetService::progress`] reads a
+/// consistent snapshot, and that mutex is never held across the queue's
+/// blocking backpressure wait — an allocated index whose push then loses
+/// to a concurrent close is recorded as a tombstone (`None` in `pending`)
+/// so the in-order cursor skips it instead of stalling forever.
+struct Progress {
+    /// Indices handed out so far (the next submission gets this value).
+    allocated: usize,
+    /// Allocated indices whose enqueue failed (service closed mid-submit).
+    abandoned: usize,
+    next: usize,
+    /// Early arrivals keyed by index, digested down to the fields the
+    /// aggregator reads (the full result travels on the ticket instead of
+    /// being deep-cloned here); `None` marks an abandoned index.
+    pending: BTreeMap<usize, Option<ResultDigest>>,
+    aggregator: FleetAggregator,
+    completed: usize,
+}
+
+impl Progress {
+    fn new() -> Progress {
+        Progress {
+            allocated: 0,
+            abandoned: 0,
+            next: 0,
+            pending: BTreeMap::new(),
+            aggregator: FleetAggregator::new(),
+            completed: 0,
+        }
+    }
+
+    fn allocate(&mut self) -> usize {
+        let index = self.allocated;
+        self.allocated += 1;
+        index
+    }
+
+    /// Requests actually accepted into the queue (allocations whose push
+    /// did not fail).
+    fn submitted(&self) -> usize {
+        self.allocated - self.abandoned
+    }
+
+    /// Fold `result` in. In-order results fold immediately; early arrivals
+    /// are buffered — as digests, not full-result clones — until the gap
+    /// before them fills.
+    fn accept(&mut self, result: &FleetResult) {
+        self.completed += 1;
+        if result.index == self.next {
+            self.aggregator.accept(result);
+            self.next += 1;
+            self.drain_ready();
+        } else {
+            debug_assert!(result.index > self.next, "each submission index completes once");
+            self.pending.insert(result.index, Some(ResultDigest::of(result)));
+        }
+    }
+
+    /// Mark an allocated index as never-enqueued so in-order aggregation
+    /// steps over it.
+    fn abandon(&mut self, index: usize) {
+        self.abandoned += 1;
+        if index == self.next {
+            self.next += 1;
+            self.drain_ready();
+        } else {
+            self.pending.insert(index, None);
+        }
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some(entry) = self.pending.remove(&self.next) {
+            if let Some(digest) = entry {
+                self.aggregator.accept_digest(&digest);
+            }
+            self.next += 1;
+        }
+    }
+}
+
+fn lock_progress(shared: &ServiceShared) -> std::sync::MutexGuard<'_, Progress> {
+    // A worker that panicked mid-assessment is already contained by
+    // `EngineSet::assess_one`; tolerate a poisoned lock rather than
+    // cascading panics through shutdown and snapshots.
+    shared.progress.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn worker_loop(shared: &ServiceShared) {
+    while let Some(Task { index, request, reply }) = shared.queue.pop() {
+        let result = shared.engines.assess_one(index, request);
+        lock_progress(shared).accept(&result);
+        // The submitter may have dropped its ticket; that just means nobody
+        // is listening, not that the work failed.
+        let _ = reply.send(result);
+    }
+}
+
+/// A claim on one submitted request's eventual [`FleetResult`].
+///
+/// Each ticket owns a private channel the worker delivers into, so results
+/// remain receivable even after the service itself has been shut down or
+/// dropped. Dropping a ticket is fine — the assessment still runs and still
+/// counts toward the service's aggregate report.
+#[derive(Debug)]
+pub struct Ticket {
+    index: usize,
+    instance_name: String,
+    rx: mpsc::Receiver<FleetResult>,
+}
+
+impl Ticket {
+    /// The submission index this ticket resolves to ([`FleetResult::index`]).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The instance the request named, for labelling dashboards.
+    pub fn instance_name(&self) -> &str {
+        &self.instance_name
+    }
+
+    /// Block until the result is ready. Returns `None` only if the service
+    /// was torn down before the request was assessed — which a normal
+    /// [`FleetService::shutdown`]/`Drop` never does, since both drain the
+    /// queue first.
+    pub fn recv(self) -> Option<FleetResult> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll: `Some` exactly once, when the result has been
+    /// delivered; `None` while it is still in flight.
+    pub fn try_recv(&mut self) -> Option<FleetResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A FIFO of outstanding [`Ticket`]s with front-first draining — the
+/// bookkeeping every streaming caller otherwise rewrites by hand: push each
+/// ticket as you submit, pull completed results in submission order with
+/// [`try_next`](TicketQueue::try_next) while feeding, then block out the
+/// tail with [`next_blocking`](TicketQueue::next_blocking). Interleaving
+/// the two keeps the outstanding window bounded by the service's queue
+/// depth + worker count.
+#[derive(Debug, Default)]
+pub struct TicketQueue {
+    tickets: VecDeque<Ticket>,
+}
+
+impl TicketQueue {
+    pub fn new() -> TicketQueue {
+        TicketQueue { tickets: VecDeque::new() }
+    }
+
+    /// Append a freshly submitted ticket.
+    pub fn push(&mut self, ticket: Ticket) {
+        self.tickets.push_back(ticket);
+    }
+
+    /// Tickets still queued (resolved ones are removed as they drain).
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// The next in-submission-order result if it is already available,
+    /// without blocking. A ticket whose service died before assessing it
+    /// (not reachable through normal shutdown) is discarded rather than
+    /// wedging the queue.
+    pub fn try_next(&mut self) -> Option<FleetResult> {
+        loop {
+            let front = self.tickets.front_mut()?;
+            match front.rx.try_recv() {
+                Ok(result) => {
+                    self.tickets.pop_front();
+                    return Some(result);
+                }
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.tickets.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Block for the next in-submission-order result; `None` once every
+    /// queued ticket has drained (lost tickets are skipped, as in
+    /// [`try_next`](TicketQueue::try_next)).
+    pub fn next_blocking(&mut self) -> Option<FleetResult> {
+        while let Some(ticket) = self.tickets.pop_front() {
+            if let Some(result) = ticket.recv() {
+                return Some(result);
+            }
+        }
+        None
+    }
+}
+
+/// Point-in-time counters for a running service. The three fields are read
+/// under one lock, so they are mutually consistent (`completed` never
+/// exceeds `submitted`); workers keep completing the moment the lock is
+/// released, of course.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceProgress {
+    /// Requests accepted by [`FleetService::submit`] so far.
+    pub submitted: usize,
+    /// Requests fully assessed so far.
+    pub completed: usize,
+    /// Completed results already folded into the snapshot aggregate (the
+    /// in-submission-order prefix; trails `completed` by at most the
+    /// out-of-order window).
+    pub aggregated: usize,
+}
+
+impl ServiceProgress {
+    /// Submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.submitted - self.completed
+    }
+}
+
+/// The long-lived streaming front-end over the fleet worker pool. See the
+/// [module docs](crate::service) for the lifecycle.
+pub struct FleetService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FleetService {
+    /// Spin up the worker pool of an assessor's engine set. Equivalent to
+    /// [`FleetAssessor::into_service`].
+    pub fn new(assessor: FleetAssessor) -> FleetService {
+        assessor.into_service()
+    }
+
+    pub(crate) fn from_parts(engines: EngineSet, config: FleetConfig) -> FleetService {
+        let shared = Arc::new(ServiceShared {
+            queue: BoundedQueue::new(config.queue_depth),
+            engines,
+            progress: Mutex::new(Progress::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fleet-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        FleetService { shared, workers }
+    }
+
+    /// Enqueue one request, blocking while the bounded queue is at capacity
+    /// (backpressure, not unbounded buffering). Returns the request back as
+    /// `Err` if the service has been [`close`](FleetService::close)d.
+    // The Err variant is deliberately the rejected request itself — same
+    // contract as `BoundedQueue::push` — so a caller can reroute it to
+    // another service without having cloned it up front.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, request: FleetRequest) -> Result<Ticket, FleetRequest> {
+        let (reply, rx) = mpsc::channel();
+        let instance_name = request.request.instance_name.clone();
+        // Allocate the index in its own short critical section — the
+        // progress lock must not be held across the queue's backpressure
+        // wait, or every dashboard poll would stall with the feeder.
+        let index = lock_progress(&self.shared).allocate();
+        match self.shared.queue.push(Task { index, request, reply }) {
+            Ok(()) => Ok(Ticket { index, instance_name, rx }),
+            Err(task) => {
+                // The push lost to a concurrent close: tombstone the index
+                // so in-order aggregation steps over it.
+                lock_progress(&self.shared).abandon(index);
+                Err(task.request)
+            }
+        }
+    }
+
+    /// Enqueue a whole stream of requests (lazily, with the same
+    /// backpressure as [`submit`](FleetService::submit)), returning one
+    /// ticket per request. On a closed service the rejected request comes
+    /// back as `Err`; requests already submitted keep their tickets with
+    /// the workers.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_all<I>(&self, fleet: I) -> Result<Vec<Ticket>, FleetRequest>
+    where
+        I: IntoIterator<Item = FleetRequest>,
+    {
+        let mut tickets = Vec::new();
+        for request in fleet {
+            tickets.push(self.submit(request)?);
+        }
+        Ok(tickets)
+    }
+
+    /// Current submission/completion counters, read as one consistent
+    /// snapshot.
+    pub fn progress(&self) -> ServiceProgress {
+        let progress = lock_progress(&self.shared);
+        ServiceProgress {
+            submitted: progress.submitted(),
+            completed: progress.completed,
+            aggregated: progress.aggregator.accepted(),
+        }
+    }
+
+    /// A mid-run [`FleetReport`] over every completion that is part of the
+    /// contiguous submission-order prefix — the incremental dashboard view.
+    /// Once the service is drained this is the final report; mid-run it is
+    /// always the exact report of the first
+    /// [`ServiceProgress::aggregated`] submissions, so rendering it never
+    /// shows a worker-count-dependent aggregate.
+    /// Cost note: the clone under the lock is O(aggregation state) —
+    /// normally a handful of histogram rows, but one name per unplaceable
+    /// instance and one row per failure, so hot-polling a dashboard over a
+    /// fleet failing wholesale contends with the workers. Poll at human
+    /// rates, not per-completion.
+    pub fn report_snapshot(&self) -> FleetReport {
+        // Clone the accumulator inside the lock, but do the finishing work
+        // (histogram sorts, summary stats) outside it — workers delivering
+        // results contend on this same mutex.
+        let aggregator = lock_progress(&self.shared).aggregator.clone();
+        aggregator.finish()
+    }
+
+    /// Finish and return the report of everything aggregated since the last
+    /// drain (or service start), resetting the accumulator — the
+    /// billing-period rollover for continuous operation. Without periodic
+    /// drains a service that runs forever grows its attention buckets (one
+    /// row per failure, one name per unplaceable instance) forever;
+    /// draining bounds the state to one period. Subsequent
+    /// [`report_snapshot`](FleetService::report_snapshot)s and
+    /// [`ServiceProgress::aggregated`] cover the new period only.
+    pub fn drain_report(&self) -> FleetReport {
+        let aggregator = std::mem::take(&mut lock_progress(&self.shared).aggregator);
+        aggregator.finish()
+    }
+
+    /// Stop accepting new submissions. Requests already queued still run;
+    /// idle workers exit once the queue drains.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Whether [`close`](FleetService::close) has been called — after which
+    /// every [`submit`](FleetService::submit) returns its request back.
+    pub fn is_closed(&self) -> bool {
+        self.shared.queue.is_closed()
+    }
+
+    /// Close, drain every accepted request, join the workers, and return
+    /// the final aggregate report (of the current period, if
+    /// [`drain_report`](FleetService::drain_report) was used).
+    pub fn shutdown(mut self) -> FleetReport {
+        self.join_workers();
+        // Workers are joined: nothing else reads the aggregator, so
+        // consume it instead of cloning.
+        let aggregator = {
+            let mut progress = lock_progress(&self.shared);
+            debug_assert!(progress.pending.is_empty(), "drained services have no reorder gap");
+            std::mem::take(&mut progress.aggregator)
+        };
+        aggregator.finish()
+    }
+
+    fn join_workers(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            // A worker that somehow panicked outside the per-assessment
+            // catch still must not break teardown for the others.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+/// The DMA batch assessment service (§4, Table 1), now a thin wrapper over
+/// [`FleetService`]: one deployment target, the pipeline shared via `Arc`
+/// (no retraining), and the seed-visible `assess_batch` semantics — input
+/// order preserved, a panicking assessment propagates to the caller —
+/// provided by ticket round trips through the shared worker pool.
+pub struct AssessmentService {
+    service: FleetService,
+    deployment: DeploymentType,
+}
+
+impl AssessmentService {
+    /// A service over a pipeline with the given worker count (clamped to
+    /// at least 1).
+    pub fn new(pipeline: SkuRecommendationPipeline, workers: usize) -> AssessmentService {
+        AssessmentService::over(Arc::new(pipeline), FleetConfig::with_workers(workers))
+    }
+
+    /// A service over an already-shared pipeline — the warm-start path for
+    /// callers that run several services off one trained engine.
+    pub fn over(
+        pipeline: Arc<SkuRecommendationPipeline>,
+        config: FleetConfig,
+    ) -> AssessmentService {
+        let deployment = pipeline.deployment();
+        let service = FleetAssessor::from_pipeline(pipeline, config).into_service();
+        AssessmentService { service, deployment }
+    }
+
+    /// Process a batch of requests in parallel, preserving input order in
+    /// the output.
+    ///
+    /// Each request is cloned at submission: the seed API lends a slice,
+    /// but the long-lived worker pool needs owned tasks. Callers for whom
+    /// the telemetry copy matters should build `FleetRequest`s themselves
+    /// and feed a [`FleetService`] (or [`FleetAssessor`]) directly, which
+    /// moves the requests instead.
+    pub fn assess_batch(&self, requests: &[AssessmentRequest]) -> Vec<AssessmentResult> {
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|request| {
+                self.service
+                    .submit(FleetRequest::new(self.deployment, request.clone()))
+                    .unwrap_or_else(|_| unreachable!("the wrapper never closes its own service"))
+            })
+            .collect();
+        let results = tickets
+            .into_iter()
+            .map(|ticket| {
+                let result = ticket.recv().expect("the worker pool outlives the batch");
+                match result.outcome {
+                    Ok(result) => result,
+                    // The old fan-out let a panicking assessment unwind into
+                    // the caller; keep that contract rather than silently
+                    // dropping the instance from the batch.
+                    Err(e) => panic!("{}", e.message),
+                }
+            })
+            .collect();
+        // The wrapper never exposes the fleet report, so reset the
+        // aggregation each batch — a wrapper serving requests for months
+        // must not accumulate attention buckets forever.
+        let _ = self.service.drain_report();
+        results
+    }
+
+    /// Process a batch and record it against a ledger month. Each assessed
+    /// instance contributes one recommendation per curve point scored at
+    /// 1.0 or, when none reach it, a single best-effort recommendation —
+    /// matching DMA's behaviour of surfacing every eligible target.
+    pub fn assess_and_record(
+        &self,
+        month: &str,
+        requests: &[AssessmentRequest],
+        ledger: &mut AdoptionLedger,
+    ) -> Vec<AssessmentResult> {
+        let results = self.assess_batch(requests);
+        for r in &results {
+            let eligible =
+                r.recommendation.curve.points().iter().filter(|p| p.score >= 1.0 - 1e-9).count();
+            ledger.record(month, r.databases_assessed, eligible.max(1));
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use doppler_catalog::{azure_paas_catalog, CatalogSpec};
+    use doppler_core::{DopplerEngine, EngineConfig};
+    use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+
+    fn service(workers: usize) -> FleetService {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        FleetAssessor::new(engine, FleetConfig::with_workers(workers)).into_service()
+    }
+
+    fn request(name: &str, cpu: f64) -> FleetRequest {
+        let history = PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 96]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+        FleetRequest::new(
+            DeploymentType::SqlDb,
+            AssessmentRequest::from_history(name, history, vec![], None),
+        )
+    }
+
+    #[test]
+    fn tickets_resolve_with_their_own_results() {
+        let service = service(4);
+        let tickets =
+            service.submit_all((0..16).map(|i| request(&format!("inst-{i}"), 0.5))).unwrap();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.index(), i);
+            assert_eq!(ticket.instance_name(), format!("inst-{i}"));
+            let result = ticket.recv().expect("assessed");
+            assert_eq!(result.index, i);
+            assert_eq!(result.instance_name, format!("inst-{i}"));
+            assert!(result.outcome.is_ok());
+        }
+        let report = service.shutdown();
+        assert_eq!(report.fleet_size, 16);
+        assert_eq!(report.recommended, 16);
+    }
+
+    #[test]
+    fn snapshot_is_an_exact_prefix_report() {
+        let service = service(2);
+        let tickets = service.submit_all((0..12).map(|i| request(&format!("s{i}"), 0.5))).unwrap();
+        // Wait for everything, then snapshot: must equal the final report.
+        let mut queue = TicketQueue::new();
+        tickets.into_iter().for_each(|t| queue.push(t));
+        let mut results = Vec::new();
+        while results.len() < 12 {
+            match queue.try_next() {
+                Some(result) => results.push(result),
+                None => std::thread::yield_now(),
+            }
+        }
+        assert!(queue.is_empty());
+        let snapshot = service.report_snapshot();
+        assert_eq!(snapshot.fleet_size, 12);
+        let final_report = service.shutdown();
+        assert_eq!(snapshot, final_report);
+    }
+
+    #[test]
+    fn progress_counters_track_the_run() {
+        let service = service(2);
+        assert_eq!(
+            service.progress(),
+            ServiceProgress { submitted: 0, completed: 0, aggregated: 0 }
+        );
+        let tickets = service.submit_all((0..8).map(|i| request(&format!("p{i}"), 0.5))).unwrap();
+        assert_eq!(service.progress().submitted, 8);
+        for t in tickets {
+            t.recv().unwrap();
+        }
+        let progress = service.progress();
+        assert_eq!(progress.completed, 8);
+        assert_eq!(progress.in_flight(), 0);
+        // Aggregation trails completion by at most the reorder window; by
+        // the time every ticket resolved, the prefix must have caught up
+        // eventually — shutdown proves it.
+        assert_eq!(service.shutdown().fleet_size, 8);
+    }
+
+    #[test]
+    fn submit_after_close_returns_the_request() {
+        let service = service(1);
+        assert!(!service.is_closed());
+        service.close();
+        assert!(service.is_closed());
+        let rejected = service.submit(request("late", 0.5)).unwrap_err();
+        assert_eq!(rejected.request.instance_name, "late");
+        assert_eq!(service.progress().submitted, 0, "rejected submissions burn no index");
+        assert_eq!(service.shutdown().fleet_size, 0);
+    }
+
+    #[test]
+    fn drain_report_rolls_the_period_over() {
+        let service = service(2);
+        for t in service.submit_all((0..6).map(|i| request(&format!("p1-{i}"), 0.5))).unwrap() {
+            t.recv().unwrap();
+        }
+        // Workers fold before delivering, so once every ticket resolved the
+        // first period is fully aggregated.
+        let first = service.drain_report();
+        assert_eq!(first.fleet_size, 6);
+        for t in service.submit_all((0..4).map(|i| request(&format!("p2-{i}"), 0.5))).unwrap() {
+            t.recv().unwrap();
+        }
+        let second = service.shutdown();
+        assert_eq!(second.fleet_size, 4, "the drained period does not leak into the next");
+    }
+
+    #[test]
+    fn rejected_submissions_do_not_stall_aggregation() {
+        let service = service(1);
+        let tickets = service.submit_all((0..8).map(|i| request(&format!("r{i}"), 0.5))).unwrap();
+        service.close();
+        // Rejected while earlier submissions may still be in flight: the
+        // tombstoned index must not wedge the in-order cursor, and the
+        // consistent progress snapshot must not count it.
+        assert!(service.submit(request("late", 0.5)).is_err());
+        for ticket in tickets {
+            ticket.recv().unwrap();
+        }
+        let progress = service.progress();
+        assert_eq!(progress.submitted, 8);
+        assert_eq!(progress.completed, 8);
+        assert_eq!(progress.in_flight(), 0);
+        assert_eq!(service.shutdown().fleet_size, 8);
+    }
+
+    #[test]
+    fn dropping_the_service_with_inflight_tickets_joins_cleanly() {
+        let service = service(2);
+        let tickets = service.submit_all((0..24).map(|i| request(&format!("d{i}"), 0.5))).unwrap();
+        // Drop the service while (potentially) none of the tickets have
+        // been received: Drop closes the queue, drains the 24 accepted
+        // requests, and joins — no deadlock, no panic, and the buffered
+        // results stay receivable afterwards.
+        drop(service);
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let result = ticket.recv().expect("drained before join");
+            assert_eq!(result.index, i);
+            assert!(result.outcome.is_ok());
+        }
+    }
+
+    #[test]
+    fn dropping_tickets_first_never_wedges_the_workers() {
+        let service = service(2);
+        let tickets = service.submit_all((0..16).map(|i| request(&format!("t{i}"), 0.5))).unwrap();
+        drop(tickets);
+        // Workers deliver into dropped receivers (a no-op) and keep going;
+        // the aggregate still counts every submission.
+        let report = service.shutdown();
+        assert_eq!(report.fleet_size, 16);
+        assert_eq!(report.recommended, 16);
+    }
+
+    #[test]
+    fn unroutable_submissions_resolve_to_error_outcomes() {
+        let service = service(2);
+        let mut mi = request("mi-stranded", 0.5);
+        mi.deployment = DeploymentType::SqlMi;
+        let ticket = service.submit(mi).unwrap();
+        let result = ticket.recv().unwrap();
+        assert!(result.outcome.unwrap_err().message.contains("SqlMi"));
+        let report = service.shutdown();
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn interleaved_submit_and_recv_streams_continuously() {
+        let service = service(3);
+        let mut queue = TicketQueue::new();
+        let mut results = Vec::new();
+        for i in 0..40 {
+            queue.push(service.submit(request(&format!("c{i}"), 0.4)).unwrap());
+            while let Some(result) = queue.try_next() {
+                results.push(result);
+            }
+        }
+        assert_eq!(queue.len() + results.len(), 40);
+        while let Some(result) = queue.next_blocking() {
+            results.push(result);
+        }
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert_eq!(service.shutdown().fleet_size, 40);
+    }
+
+    #[test]
+    fn assessment_service_preserves_batch_order() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let svc = AssessmentService::new(SkuRecommendationPipeline::new(engine), 4);
+        let requests: Vec<AssessmentRequest> =
+            (0..16).map(|i| request(&format!("inst-{i}"), 0.5).request).collect();
+        let results = svc.assess_batch(&requests);
+        assert_eq!(results.len(), 16);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.instance_name, format!("inst-{i}"));
+        }
+        // Batches larger than the queue depth must not deadlock the
+        // submit-everything-then-collect pattern.
+        let big: Vec<AssessmentRequest> =
+            (0..64).map(|i| request(&format!("big-{i}"), 0.5).request).collect();
+        assert_eq!(svc.assess_batch(&big).len(), 64);
+    }
+
+    #[test]
+    fn assessment_service_empty_batch_is_fine() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let svc = AssessmentService::new(SkuRecommendationPipeline::new(engine), 2);
+        assert!(svc.assess_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn assessment_service_ledger_counts_instances_databases_recommendations() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let svc = AssessmentService::new(SkuRecommendationPipeline::new(engine), 2);
+        let requests: Vec<AssessmentRequest> = (0..3)
+            .map(|i| {
+                let mut r = request(&format!("i{i}"), 0.5).request;
+                // Two databases per instance, as the old dma test had.
+                r.input.databases =
+                    vec![("d1".into(), PerfHistory::new()), ("d2".into(), PerfHistory::new())];
+                r
+            })
+            .collect();
+        let mut ledger = AdoptionLedger::default();
+        svc.assess_and_record("Oct-21", &requests, &mut ledger);
+        let m = ledger.month("Oct-21").unwrap();
+        assert_eq!(m.unique_instances, 3);
+        assert_eq!(m.unique_databases, 6);
+        // Tiny workloads: every SKU is eligible, so recommendations exceed
+        // instances — the Table 1 pattern.
+        assert!(m.recommendations_generated > m.unique_instances);
+        svc.assess_and_record("Nov-21", &requests[..1], &mut ledger);
+        svc.assess_and_record("Nov-21", &requests[1..2], &mut ledger);
+        assert_eq!(ledger.month("Nov-21").unwrap().unique_instances, 2);
+        assert_eq!(ledger.rows().count(), 2);
+    }
+}

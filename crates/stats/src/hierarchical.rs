@@ -1,4 +1,4 @@
-//! Agglomerative hierarchical clustering — reference [18] of the paper,
+//! Agglomerative hierarchical clustering — reference \[18\] of the paper,
 //! offered alongside k-means as a grouping strategy for the Customer
 //! Profiler (§3.3).
 //!

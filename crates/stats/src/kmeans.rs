@@ -1,4 +1,4 @@
-//! Lloyd's k-means with k-means++ seeding — reference [16] of the paper.
+//! Lloyd's k-means with k-means++ seeding — reference \[16\] of the paper.
 //!
 //! §3.3: "A range of standard ML clustering algorithms such as k-means and
 //! hierarchical clustering can then be executed on the resulting g_n in

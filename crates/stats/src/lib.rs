@@ -10,7 +10,7 @@
 //! * outlier fractions ([`outlier`]) — the *outlier percentage* summarizer,
 //! * Seasonal-Trend decomposition by Loess ([`stl`], [`loess`]) — the *STL
 //!   variance decomposition* summarizer,
-//! * k-means and agglomerative clustering ([`kmeans`], [`hierarchical`]) —
+//! * k-means and agglomerative clustering ([`mod@kmeans`], [`hierarchical`]) —
 //!   the grouping step of the Customer Profiler,
 //! * contiguous-window bootstrapping ([`bootstrap`]) — the confidence score
 //!   of §3.4.

@@ -1,5 +1,5 @@
 //! Seasonal-Trend decomposition using Loess (STL), after Cleveland et al.
-//! (1990) — reference [6] of the Doppler paper.
+//! (1990) — reference \[6\] of the Doppler paper.
 //!
 //! The *STL variance decomposition* negotiability summarizer (§3.3)
 //! decomposes each perf-counter series `R` into trend `T`, seasonal `S`, and

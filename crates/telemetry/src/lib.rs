@@ -10,8 +10,8 @@
 //!   [`PerfHistory`] bundle of aligned series the engine consumes,
 //! * [`collect`] — the pre-aggregator: bucketing raw, possibly gappy
 //!   samples into clean 10-minute intervals,
-//! * [`rollup`] — file → database → instance aggregation,
-//! * [`window`] — contiguous-window extraction for bootstrapping and
+//! * [`mod@rollup`] — file → database → instance aggregation,
+//! * [`mod@window`] — contiguous-window extraction for bootstrapping and
 //!   before/after drift comparisons.
 
 pub mod collect;

@@ -7,7 +7,7 @@
 //! reproduction, so this crate builds the closest synthetic equivalents —
 //! the substitutions are catalogued in DESIGN.md §2:
 //!
-//! * [`spec`] / [`generate`] — a parametric trace generator producing the
+//! * [`spec`] / [`mod@generate`] — a parametric trace generator producing the
 //!   statistical features Doppler actually consumes: baselines, diurnal
 //!   seasonality, trends, noise, and spike trains per perf dimension,
 //! * [`archetype`] — named workload shapes (steady, spiky-CPU, diurnal,

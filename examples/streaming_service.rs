@@ -1,0 +1,94 @@
+//! Streaming fleet assessment: run the long-lived `FleetService`, submit a
+//! heterogeneous cohort as a continuous request stream, and poll the
+//! incremental report snapshot the way a migration dashboard would —
+//! mid-run, while tickets are still resolving.
+//!
+//! ```text
+//! cargo run --release --example streaming_service
+//! ```
+//!
+//! Flags via env (keeps the example dependency-free):
+//! `FLEET_SIZE` (default 400 DB + ~130 MI), `FLEET_WORKERS` (default: all
+//! cores).
+
+use std::time::Instant;
+
+use doppler::fleet::cloud_fleet;
+use doppler::prelude::*;
+
+fn main() {
+    let db_size: usize =
+        std::env::var("FLEET_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let mi_size = db_size / 3;
+    let workers: usize = std::env::var("FLEET_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    // 1. One long-lived service over both deployment targets. The engines
+    //    are read-only after construction and shared by Arc, so spinning
+    //    the pool up is cheap and nothing retrains.
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let service = FleetAssessor::new(
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb)),
+        FleetConfig::with_workers(workers),
+    )
+    .with_engine(DopplerEngine::untrained(
+        catalog.clone(),
+        EngineConfig::production(DeploymentType::SqlMi),
+    ))
+    .into_service();
+
+    // 2. The request stream: a SQL DB cohort chained with a SQL MI cohort,
+    //    submitted one at a time exactly as a telemetry pipeline would hand
+    //    them over. `submit` applies backpressure at the bounded queue, so
+    //    the stream never materializes beyond queue depth.
+    let db_spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_db(db_size, 42) };
+    let mi_spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_mi(mi_size, 43) };
+    let stream = cloud_fleet(&db_spec, &catalog, None).chain(cloud_fleet(&mi_spec, &catalog, None));
+
+    let start = Instant::now();
+    let mut tickets = TicketQueue::new();
+    let mut resolved = 0usize;
+    let mut next_progress_mark = 1usize;
+    for request in stream {
+        tickets.push(service.submit(request).expect("service accepts while open"));
+        // Drain whatever has completed, keeping the outstanding-ticket
+        // window bounded by the service's queue depth + worker count.
+        while tickets.try_next().is_some() {
+            resolved += 1;
+        }
+        // 3. Mid-run dashboard: poll the snapshot a few times as the run
+        //    progresses. The snapshot is always the exact report of the
+        //    first `aggregated` submissions — never a half-updated view.
+        let progress = service.progress();
+        if progress.aggregated >= next_progress_mark * (db_size + mi_size) / 4 {
+            next_progress_mark += 1;
+            let snapshot = service.report_snapshot();
+            println!(
+                "[{:>6.2?}] submitted {:>4}  in flight {:>3}  aggregated {:>4}  ${:>10.2}/mo so far",
+                start.elapsed(),
+                progress.submitted,
+                progress.in_flight(),
+                progress.aggregated,
+                snapshot.total_monthly_cost,
+            );
+        }
+    }
+
+    // 4. End of stream: stop intake, block out the tail of tickets.
+    service.close();
+    while tickets.next_blocking().is_some() {
+        resolved += 1;
+    }
+    let elapsed = start.elapsed();
+
+    // 5. Final dashboard — identical to what a one-shot batch run of the
+    //    same cohort would report.
+    let report = service.shutdown();
+    println!("\n{}", report.render());
+    println!(
+        "streamed {resolved} instances on {workers} worker(s) in {elapsed:.2?} ({:.1} instances/s)",
+        resolved as f64 / elapsed.as_secs_f64()
+    );
+}

@@ -35,12 +35,21 @@
 
 pub use doppler_catalog as catalog;
 pub use doppler_core as engine;
-pub use doppler_dma as dma;
 pub use doppler_fleet as fleet;
 pub use doppler_replay as replay;
 pub use doppler_stats as stats;
 pub use doppler_telemetry as telemetry;
 pub use doppler_workload as workload;
+
+/// Data Migration Assistant integration, plus the batch
+/// [`AssessmentService`](doppler_fleet::AssessmentService), which kept its
+/// seed path here when its worker fan-out was folded onto the
+/// `doppler-fleet` pool (dependency order puts the implementation in
+/// [`fleet`], since fleet builds on dma).
+pub mod dma {
+    pub use doppler_dma::*;
+    pub use doppler_fleet::AssessmentService;
+}
 
 /// The types most programs need, in one import.
 pub mod prelude {
@@ -54,10 +63,11 @@ pub mod prelude {
         TrainingRecord,
     };
     pub use doppler_dma::{
-        AssessmentRequest, AssessmentResult, AssessmentService, SkuRecommendationPipeline,
+        AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline,
     };
     pub use doppler_fleet::{
-        FleetAssessment, FleetAssessor, FleetConfig, FleetReport, FleetRequest,
+        AssessmentService, FleetAssessment, FleetAssessor, FleetConfig, FleetReport, FleetRequest,
+        FleetService, Ticket, TicketQueue,
     };
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
     pub use doppler_workload::{PopulationSpec, WorkloadArchetype, WorkloadSpec};

@@ -1,0 +1,196 @@
+//! Service/batch equivalence: the streaming `FleetService` front-end, the
+//! one-shot `FleetAssessor::assess`, and the DMA `assess_batch` wrapper are
+//! three entrances to the same worker pool — for the same cohort they must
+//! produce bit-for-bit identical reports, identical per-instance results,
+//! and identical `AdoptionLedger` entries, at every worker count.
+//!
+//! CI runs this alongside `fleet_determinism` in the dedicated determinism
+//! job with `--test-threads=1`; the 1/4/8-worker sweep lives inside each
+//! test.
+
+use doppler::dma::preprocess::PreprocessedInstance;
+use doppler::fleet::{FleetResult, ServiceProgress};
+use doppler::prelude::*;
+use proptest::prelude::*;
+
+const WORKER_SWEEP: [usize; 3] = [1, 4, 8];
+
+fn engine() -> DopplerEngine {
+    DopplerEngine::untrained(
+        azure_paas_catalog(&CatalogSpec::default()),
+        EngineConfig::production(DeploymentType::SqlDb),
+    )
+}
+
+fn request(name: &str, cpu: f64, databases: usize) -> AssessmentRequest {
+    let history = PerfHistory::new()
+        .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 96]))
+        .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+    AssessmentRequest {
+        instance_name: name.into(),
+        input: PreprocessedInstance {
+            instance: history,
+            databases: (0..databases.max(1))
+                .map(|d| (format!("{name}/db{d}"), PerfHistory::new()))
+                .collect(),
+            file_sizes_gib: vec![],
+        },
+        confidence: None,
+    }
+}
+
+fn cohort(cpus: &[f64]) -> Vec<AssessmentRequest> {
+    cpus.iter().enumerate().map(|(i, &cpu)| request(&format!("inst-{i}"), cpu, 1 + i % 4)).collect()
+}
+
+/// The ground-truth path: one pipeline, one thread, input order.
+fn serial_reference(requests: &[AssessmentRequest]) -> Vec<AssessmentResult> {
+    let pipeline = SkuRecommendationPipeline::new(engine());
+    requests.iter().map(|r| pipeline.assess(r)).collect()
+}
+
+/// Record `results` against a ledger exactly the way
+/// `AssessmentService::assess_and_record` does.
+fn reference_ledger(month: &str, results: &[AssessmentResult]) -> AdoptionLedger {
+    let mut ledger = AdoptionLedger::default();
+    for r in results {
+        let eligible =
+            r.recommendation.curve.points().iter().filter(|p| p.score >= 1.0 - 1e-9).count();
+        ledger.record(month, r.databases_assessed, eligible.max(1));
+    }
+    ledger
+}
+
+fn assert_results_identical(a: &AssessmentResult, b: &AssessmentResult) {
+    assert_eq!(a.instance_name, b.instance_name);
+    assert_eq!(a.databases_assessed, b.databases_assessed);
+    assert_eq!(a.recommendation.sku_id, b.recommendation.sku_id);
+    assert_eq!(a.recommendation.monthly_cost, b.recommendation.monthly_cost);
+    assert_eq!(a.recommendation.shape, b.recommendation.shape);
+    assert_eq!(a.report, b.report);
+}
+
+/// Stream a cohort through a `FleetService` one submission at a time with
+/// interleaved non-blocking receives — the continuous-operation shape — and
+/// return the in-order results plus the final report.
+fn stream_through_service(
+    workers: usize,
+    requests: &[AssessmentRequest],
+) -> (Vec<FleetResult>, FleetReport) {
+    let service = FleetAssessor::new(engine(), FleetConfig::with_workers(workers)).into_service();
+    let mut tickets = TicketQueue::new();
+    let mut results = Vec::new();
+    for r in requests {
+        let ticket = service
+            .submit(FleetRequest::new(DeploymentType::SqlDb, r.clone()))
+            .unwrap_or_else(|_| unreachable!("service is open"));
+        tickets.push(ticket);
+        while let Some(result) = tickets.try_next() {
+            results.push(result);
+        }
+    }
+    service.close();
+    while let Some(result) = tickets.next_blocking() {
+        results.push(result);
+    }
+    let progress = service.progress();
+    assert_eq!(
+        progress,
+        ServiceProgress {
+            submitted: requests.len(),
+            completed: requests.len(),
+            aggregated: requests.len()
+        }
+    );
+    (results, service.shutdown())
+}
+
+#[test]
+fn streaming_service_and_one_shot_assessor_agree_across_worker_counts() {
+    let requests = cohort(&(0..48).map(|i| 0.3 + (i % 9) as f64 * 0.7).collect::<Vec<f64>>());
+    let fleet: Vec<FleetRequest> =
+        requests.iter().map(|r| FleetRequest::new(DeploymentType::SqlDb, r.clone())).collect();
+    let baseline = FleetAssessor::new(engine(), FleetConfig::with_workers(1)).assess(fleet.clone());
+    for workers in WORKER_SWEEP {
+        let one_shot =
+            FleetAssessor::new(engine(), FleetConfig::with_workers(workers)).assess(fleet.clone());
+        assert_eq!(one_shot.report, baseline.report, "one-shot report at {workers} workers");
+
+        let (streamed, streamed_report) = stream_through_service(workers, &requests);
+        assert_eq!(streamed_report, baseline.report, "streamed report at {workers} workers");
+        assert_eq!(streamed.len(), baseline.results.len());
+        for (s, b) in streamed.iter().zip(&baseline.results) {
+            assert_eq!(s.index, b.index);
+            assert_eq!(s.instance_name, b.instance_name);
+            assert_results_identical(s.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        }
+    }
+}
+
+#[test]
+fn batch_wrapper_matches_the_serial_reference_and_ledger() {
+    let requests = cohort(&(0..32).map(|i| 0.4 + (i % 6) as f64).collect::<Vec<f64>>());
+    let reference = serial_reference(&requests);
+    let expected_ledger = reference_ledger("Oct-21", &reference);
+    for workers in WORKER_SWEEP {
+        let service = AssessmentService::new(SkuRecommendationPipeline::new(engine()), workers);
+        let mut ledger = AdoptionLedger::default();
+        let results = service.assess_and_record("Oct-21", &requests, &mut ledger);
+        assert_eq!(results.len(), reference.len());
+        for (got, want) in results.iter().zip(&reference) {
+            assert_results_identical(got, want);
+        }
+        assert_eq!(ledger, expected_ledger, "ledger at {workers} workers");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any random cohort: streaming submission, the one-shot assessor, and
+    /// the DMA batch wrapper agree bit-for-bit — reports, results, ledger —
+    /// at 1, 4, and 8 workers.
+    #[test]
+    fn any_cohort_is_path_and_worker_count_invariant(
+        cpus in prop::collection::vec(0.1..24.0f64, 1..24),
+        month_seed in 0u8..3,
+    ) {
+        let month = ["Oct-21", "Nov-21", "Jan-22"][month_seed as usize];
+        let requests = cohort(&cpus);
+        let reference = serial_reference(&requests);
+        let expected_ledger = reference_ledger(month, &reference);
+        let fleet: Vec<FleetRequest> = requests
+            .iter()
+            .map(|r| FleetRequest::new(DeploymentType::SqlDb, r.clone()))
+            .collect();
+        let baseline =
+            FleetAssessor::new(engine(), FleetConfig::with_workers(1)).assess(fleet.clone());
+
+        for workers in WORKER_SWEEP {
+            // Path 1: the one-shot assessor.
+            let one_shot = FleetAssessor::new(engine(), FleetConfig::with_workers(workers))
+                .assess(fleet.clone());
+            prop_assert_eq!(&one_shot.report, &baseline.report);
+
+            // Path 2: streaming submission through the service.
+            let (streamed, streamed_report) = stream_through_service(workers, &requests);
+            prop_assert_eq!(&streamed_report, &baseline.report);
+            for (s, want) in streamed.iter().zip(&reference) {
+                let got = s.outcome.as_ref().unwrap();
+                prop_assert_eq!(&got.recommendation.sku_id, &want.recommendation.sku_id);
+                prop_assert_eq!(got.recommendation.monthly_cost, want.recommendation.monthly_cost);
+            }
+
+            // Path 3: the DMA batch wrapper, with adoption recording.
+            let service =
+                AssessmentService::new(SkuRecommendationPipeline::new(engine()), workers);
+            let mut ledger = AdoptionLedger::default();
+            let results = service.assess_and_record(month, &requests, &mut ledger);
+            for (got, want) in results.iter().zip(&reference) {
+                prop_assert_eq!(&got.recommendation.sku_id, &want.recommendation.sku_id);
+                prop_assert_eq!(&got.report, &want.report);
+            }
+            prop_assert_eq!(&ledger, &expected_ledger);
+        }
+    }
+}

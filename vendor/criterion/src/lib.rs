@@ -16,6 +16,12 @@
 //! mode CI uses) runs every benchmark body exactly once without measuring.
 //! Note that plain `cargo test` does *not* execute `harness = false` bench
 //! binaries at all — smoke coverage needs the explicit invocation.
+//!
+//! When the `CRITERION_JSON_LOG` environment variable names a file, every
+//! reported measurement is *also* appended there as one JSON object per
+//! line (`{"label": ..., "ns_per_iter": ..., "iters_per_sec": ...}`), so a
+//! CI run can collect machine-readable results across bench binaries into
+//! a single artifact without parsing the human-oriented table.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -59,7 +65,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measure `routine`: ramp the iteration count geometrically until one
-    /// timed window reaches [`TARGET_WINDOW`], then record its mean.
+    /// timed window reaches the 200 ms target window, then record its mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if self.test_mode {
             std::hint::black_box(routine());
@@ -104,6 +110,52 @@ fn report(label: &str, b: &Bencher) {
             );
         }
         _ => println!("{label:<56} ok (test mode)"),
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON_LOG") {
+        if !path.is_empty() {
+            append_json_log(&path, label, b.ns_per_iter);
+        }
+    }
+}
+
+/// One measurement as a JSON-lines record.
+fn json_line(label: &str, ns_per_iter: Option<f64>) -> String {
+    match ns_per_iter {
+        Some(ns) if ns > 0.0 => format!(
+            "{{\"label\":\"{}\",\"ns_per_iter\":{:.1},\"iters_per_sec\":{:.3}}}",
+            json_escape(label),
+            ns,
+            1e9 / ns
+        ),
+        _ => format!("{{\"label\":\"{}\",\"test_mode\":true}}", json_escape(label)),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn append_json_log(path: &str, label: &str, ns_per_iter: Option<f64>) {
+    use std::io::Write as _;
+    let record = json_line(label, ns_per_iter);
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{record}"));
+    if let Err(e) = appended {
+        eprintln!("criterion stub: cannot append to CRITERION_JSON_LOG={path}: {e}");
     }
 }
 
@@ -287,5 +339,31 @@ mod tests {
     fn benchmark_ids_compose() {
         assert_eq!(BenchmarkId::new("f", 4).label, "f/4");
         assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        assert_eq!(
+            json_line("group/bench/4", Some(2000.0)),
+            "{\"label\":\"group/bench/4\",\"ns_per_iter\":2000.0,\"iters_per_sec\":500000.000}"
+        );
+        assert_eq!(json_line("smoke", None), "{\"label\":\"smoke\",\"test_mode\":true}");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn json_log_appends_one_record_per_report() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-stub-{}.jsonl", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        append_json_log(path, "first", Some(10.0));
+        append_json_log(path, "second", None);
+        let log = std::fs::read_to_string(path).expect("log written");
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"first\""));
+        assert!(lines[1].contains("\"test_mode\":true"));
+        let _ = std::fs::remove_file(path);
     }
 }
