@@ -15,16 +15,25 @@
 //!   machines of Table 6 used for workload replay,
 //! * [`billing`] — hourly/monthly pricing (the "billing interface" of §4),
 //! * [`catalog`] — the query API the engine uses to enumerate and filter
-//!   candidates.
+//!   candidates,
+//! * [`provider`] — catalog *resolution*: a [`CatalogKey`]
+//!   `(deployment, region, version)` resolves through a
+//!   [`CatalogProvider`] to the `Arc`-shared catalog and billing rates
+//!   serving that offer, with content fingerprints engine caches key on.
 
 pub mod billing;
 pub mod catalog;
 pub mod generate;
+pub mod provider;
 pub mod sku;
 pub mod storage;
 
 pub use billing::{BillingRates, HOURS_PER_MONTH};
 pub use catalog::Catalog;
 pub use generate::{azure_paas_catalog, replay_skus, CatalogSpec};
+pub use provider::{
+    CatalogKey, CatalogProvider, CatalogVersion, Fingerprint, InMemoryCatalogProvider, Region,
+    ResolvedCatalog,
+};
 pub use sku::{DeploymentType, ResourceCaps, ServiceTier, Sku, SkuId};
 pub use storage::{DataFile, FileLayout, StorageTier, TierAssignment};

@@ -1,0 +1,523 @@
+//! Catalog resolution: from a `(deployment, region, version)` key to the
+//! SKU catalog and billing rates that serve it.
+//!
+//! Production Doppler recommends against *many* offer catalogs, not one:
+//! each Azure region prices the same compute shapes differently, and the
+//! catalog itself is versioned as Azure adds rungs and revises limits
+//! (§4's "real-time pricing associated with each SKU" is a per-region
+//! feed). This module is the seam that keeps the engine agnostic of where
+//! its catalog came from:
+//!
+//! * [`CatalogKey`] — the full identity of one offer catalog:
+//!   deployment target, [`Region`], and [`CatalogVersion`];
+//! * [`CatalogProvider`] — the resolution trait: key → [`ResolvedCatalog`]
+//!   (an `Arc`-shared [`Catalog`], its [`BillingRates`], and a content
+//!   [`fingerprint`](Catalog::fingerprint) that downstream caches key on);
+//! * [`InMemoryCatalogProvider`] — the multi-region in-memory
+//!   implementation: one generated Azure catalog per region at a
+//!   region-specific price multiplier (the Lorentz-style abstraction of
+//!   the candidate/pricing source).
+//!
+//! # Example
+//!
+//! ```
+//! use doppler_catalog::{
+//!     CatalogKey, CatalogProvider, CatalogSpec, CatalogVersion, DeploymentType,
+//!     InMemoryCatalogProvider, Region,
+//! };
+//!
+//! // East US at list price, West Europe 8 % above it.
+//! let provider = InMemoryCatalogProvider::new()
+//!     .with_region(Region::new("eastus"), CatalogVersion::INITIAL, &CatalogSpec::default(), 1.0)
+//!     .with_region(Region::new("westeurope"), CatalogVersion::INITIAL, &CatalogSpec::default(), 1.08);
+//!
+//! let east = CatalogKey::new(DeploymentType::SqlDb, Region::new("eastus"), CatalogVersion::INITIAL);
+//! let west = CatalogKey::new(DeploymentType::SqlDb, Region::new("westeurope"), CatalogVersion::INITIAL);
+//! let cheap = provider.resolve(&east).unwrap();
+//! let dear = provider.resolve(&west).unwrap();
+//! assert!(dear.rates.db_gp > cheap.rates.db_gp);
+//! assert_ne!(cheap.fingerprint, dear.fingerprint);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::billing::BillingRates;
+use crate::catalog::Catalog;
+use crate::generate::{azure_paas_catalog, CatalogSpec};
+use crate::sku::DeploymentType;
+
+/// An Azure-style region label (`"eastus"`, `"westeurope"`, …). Plain
+/// newtype, so multi-cloud scenarios can mint their own namespaces
+/// (`"aws/us-east-1"`) without touching the engine.
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct Region(pub String);
+
+impl Region {
+    /// A region from any string-ish label.
+    pub fn new(label: impl Into<String>) -> Region {
+        Region(label.into())
+    }
+
+    /// The region used when a caller never says — the single-catalog
+    /// behaviour the seed shipped with.
+    pub fn global() -> Region {
+        Region("global".to_string())
+    }
+
+    /// The label.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Region {
+    fn from(s: &str) -> Region {
+        Region::new(s)
+    }
+}
+
+/// A monotonically increasing catalog revision. Azure revises limits and
+/// adds rungs; pinning the version in the key means an engine trained
+/// against `v1` is never served a `v2` catalog by accident.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct CatalogVersion(pub u32);
+
+impl CatalogVersion {
+    /// The first published revision.
+    pub const INITIAL: CatalogVersion = CatalogVersion(1);
+
+    /// The next revision after this one.
+    pub fn next(self) -> CatalogVersion {
+        CatalogVersion(self.0 + 1)
+    }
+}
+
+impl Default for CatalogVersion {
+    fn default() -> CatalogVersion {
+        CatalogVersion::INITIAL
+    }
+}
+
+impl fmt::Display for CatalogVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The full identity of one offer catalog: which deployment family it
+/// serves, in which [`Region`], at which [`CatalogVersion`].
+///
+/// This is the unit engines are trained and cached per: two fleets
+/// assessing the same deployment in different regions resolve different
+/// keys and therefore different prices, while two fleets sharing a key
+/// share one trained engine.
+///
+/// ```
+/// use doppler_catalog::{CatalogKey, CatalogVersion, DeploymentType, Region};
+///
+/// let key = CatalogKey::new(DeploymentType::SqlMi, Region::new("eastus"), CatalogVersion::INITIAL);
+/// assert_eq!(key.to_string(), "MI@eastus#v1");
+/// assert_eq!(CatalogKey::production(DeploymentType::SqlDb).region, Region::global());
+/// ```
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct CatalogKey {
+    pub deployment: DeploymentType,
+    pub region: Region,
+    pub version: CatalogVersion,
+}
+
+impl CatalogKey {
+    pub fn new(deployment: DeploymentType, region: Region, version: CatalogVersion) -> CatalogKey {
+        CatalogKey { deployment, region, version }
+    }
+
+    /// The default key for a deployment: the [`Region::global`] catalog at
+    /// its initial version — what single-catalog callers resolve.
+    pub fn production(deployment: DeploymentType) -> CatalogKey {
+        CatalogKey::new(deployment, Region::global(), CatalogVersion::INITIAL)
+    }
+
+    /// The same key against another region.
+    pub fn in_region(mut self, region: Region) -> CatalogKey {
+        self.region = region;
+        self
+    }
+
+    /// The same key at another catalog version.
+    pub fn at_version(mut self, version: CatalogVersion) -> CatalogKey {
+        self.version = version;
+        self
+    }
+}
+
+impl fmt::Display for CatalogKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}#{}", self.deployment, self.region, self.version)
+    }
+}
+
+/// A streaming FNV-1a 64-bit hasher for content fingerprints.
+///
+/// Deliberately *not* `std::hash::Hasher`: fingerprints are stable
+/// identities that cross thread and (in principle) process boundaries, so
+/// they must not depend on `RandomState` seeding, and `f64`s are hashed by
+/// bit pattern explicitly rather than through a blanket impl.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Fingerprint {
+        Fingerprint(Self::OFFSET_BASIS)
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hash an `f64` by bit pattern (`-0.0` and `0.0` therefore differ —
+    /// fingerprints identify inputs, they do not define numeric equality).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Hash a string length-prefixed, so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+impl BillingRates {
+    /// Rates scaled by a region price multiplier (West Europe lists ~8 %
+    /// above East US; sovereign clouds run higher still).
+    pub fn scaled(&self, multiplier: f64) -> BillingRates {
+        BillingRates {
+            db_gp: self.db_gp * multiplier,
+            db_bc: self.db_bc * multiplier,
+            mi_gp: self.mi_gp * multiplier,
+            mi_bc: self.mi_bc * multiplier,
+        }
+    }
+
+    /// Fold these rates into a content fingerprint.
+    pub fn write_fingerprint(&self, fp: &mut Fingerprint) {
+        fp.write_f64(self.db_gp);
+        fp.write_f64(self.db_bc);
+        fp.write_f64(self.mi_gp);
+        fp.write_f64(self.mi_bc);
+    }
+}
+
+impl Catalog {
+    /// A deterministic content fingerprint over every SKU's identity,
+    /// capacities, and price — two catalogs fingerprint equal iff their
+    /// contents are bit-for-bit equal. Engine caches key on this, so a
+    /// revised catalog can never serve a stale engine.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_usize(self.len());
+        for sku in self.iter() {
+            fp.write_str(&sku.id.0);
+            fp.write_u8(sku.deployment as u8);
+            fp.write_u8(sku.tier as u8);
+            fp.write_f64(sku.caps.vcores);
+            fp.write_f64(sku.caps.memory_gb);
+            fp.write_f64(sku.caps.max_data_gb);
+            fp.write_f64(sku.caps.iops);
+            fp.write_f64(sku.caps.log_rate_mbps);
+            fp.write_f64(sku.caps.min_io_latency_ms);
+            fp.write_f64(sku.caps.throughput_mbps);
+            fp.write_f64(sku.price_per_hour);
+        }
+        fp.finish()
+    }
+}
+
+/// One resolved catalog: the shared SKU universe, the billing rates that
+/// priced it, and the content fingerprint caches key on.
+#[derive(Debug, Clone)]
+pub struct ResolvedCatalog {
+    pub catalog: Arc<Catalog>,
+    pub rates: BillingRates,
+    /// Covers the catalog contents *and* the rates — precomputed at
+    /// registration so the warm resolution path never rehashes 40+ SKUs.
+    pub fingerprint: u64,
+}
+
+impl ResolvedCatalog {
+    /// Bundle a catalog with its rates, computing the fingerprint once.
+    pub fn new(catalog: Arc<Catalog>, rates: BillingRates) -> ResolvedCatalog {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(catalog.fingerprint());
+        rates.write_fingerprint(&mut fp);
+        ResolvedCatalog { catalog, rates, fingerprint: fp.finish() }
+    }
+}
+
+/// The resolution seam between engines and their catalog source.
+///
+/// Implementations must be cheap on the warm path — `resolve` is called
+/// once per engine lookup, so a map access plus an `Arc` bump is the
+/// budget. `Send + Sync` because one provider serves every worker of a
+/// fleet.
+pub trait CatalogProvider: Send + Sync {
+    /// The catalog serving `key`, or `None` when no such offer exists.
+    fn resolve(&self, key: &CatalogKey) -> Option<ResolvedCatalog>;
+
+    /// Every key this provider can resolve, in deterministic order.
+    /// Default: unknown (empty) — providers backed by remote feeds cannot
+    /// enumerate.
+    fn keys(&self) -> Vec<CatalogKey> {
+        Vec::new()
+    }
+}
+
+/// An in-memory multi-region [`CatalogProvider`]: one entry per
+/// [`CatalogKey`], typically generated per region from a [`CatalogSpec`]
+/// at a region price multiplier.
+///
+/// Both deployments of a region share one `Arc<Catalog>` allocation — the
+/// key narrows *which* SKUs an engine enumerates, not which catalog object
+/// it holds.
+#[derive(Default)]
+pub struct InMemoryCatalogProvider {
+    entries: HashMap<CatalogKey, ResolvedCatalog>,
+}
+
+impl InMemoryCatalogProvider {
+    pub fn new() -> InMemoryCatalogProvider {
+        InMemoryCatalogProvider::default()
+    }
+
+    /// A provider holding only the default production catalog (both
+    /// deployments, [`Region::global`], [`CatalogVersion::INITIAL`]) — the
+    /// drop-in equivalent of the seed's single hard-coded catalog.
+    pub fn production() -> InMemoryCatalogProvider {
+        InMemoryCatalogProvider::new().with_region(
+            Region::global(),
+            CatalogVersion::INITIAL,
+            &CatalogSpec::default(),
+            1.0,
+        )
+    }
+
+    /// Register (or replace) one key's catalog and rates.
+    pub fn insert(&mut self, key: CatalogKey, catalog: Arc<Catalog>, rates: BillingRates) {
+        self.entries.insert(key, ResolvedCatalog::new(catalog, rates));
+    }
+
+    /// Builder-style [`insert`](InMemoryCatalogProvider::insert).
+    pub fn with_catalog(
+        mut self,
+        key: CatalogKey,
+        catalog: Arc<Catalog>,
+        rates: BillingRates,
+    ) -> InMemoryCatalogProvider {
+        self.insert(key, catalog, rates);
+        self
+    }
+
+    /// Generate and register a whole region at a price multiplier: the
+    /// Azure PaaS universe of `spec` is expanded once with the scaled
+    /// rates, shared across both deployment keys of the region.
+    pub fn with_region(
+        mut self,
+        region: Region,
+        version: CatalogVersion,
+        spec: &CatalogSpec,
+        price_multiplier: f64,
+    ) -> InMemoryCatalogProvider {
+        let rates = spec.rates.scaled(price_multiplier);
+        let regional_spec = CatalogSpec { rates, ..*spec };
+        let catalog = Arc::new(azure_paas_catalog(&regional_spec));
+        for deployment in [DeploymentType::SqlDb, DeploymentType::SqlMi] {
+            self.insert(
+                CatalogKey::new(deployment, region.clone(), version),
+                Arc::clone(&catalog),
+                rates,
+            );
+        }
+        self
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl CatalogProvider for InMemoryCatalogProvider {
+    fn resolve(&self, key: &CatalogKey) -> Option<ResolvedCatalog> {
+        self.entries.get(key).cloned()
+    }
+
+    fn keys(&self) -> Vec<CatalogKey> {
+        let mut keys: Vec<CatalogKey> = self.entries.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CatalogSpec {
+        CatalogSpec::default()
+    }
+
+    #[test]
+    fn key_display_reads_compactly() {
+        let key = CatalogKey::production(DeploymentType::SqlDb);
+        assert_eq!(key.to_string(), "DB@global#v1");
+        let key = key.in_region(Region::new("eastus")).at_version(CatalogVersion(3));
+        assert_eq!(key.to_string(), "DB@eastus#v3");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let a = azure_paas_catalog(&spec());
+        let b = azure_paas_catalog(&spec());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let pricier = CatalogSpec { rates: spec().rates.scaled(1.01), ..spec() };
+        assert_ne!(a.fingerprint(), azure_paas_catalog(&pricier).fingerprint());
+
+        let extra = a.clone().with_extra(
+            b.iter()
+                .next()
+                .cloned()
+                .map(|mut s| {
+                    s.id = crate::sku::SkuId("DB_GP_custom".into());
+                    s
+                })
+                .unwrap(),
+        );
+        assert_ne!(a.fingerprint(), extra.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_write_str_is_length_prefixed() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn region_multiplier_scales_every_price() {
+        let provider = InMemoryCatalogProvider::new()
+            .with_region(Region::new("eastus"), CatalogVersion::INITIAL, &spec(), 1.0)
+            .with_region(Region::new("westeurope"), CatalogVersion::INITIAL, &spec(), 1.08);
+        let east = provider
+            .resolve(&CatalogKey::new(
+                DeploymentType::SqlDb,
+                Region::new("eastus"),
+                CatalogVersion::INITIAL,
+            ))
+            .unwrap();
+        let west = provider
+            .resolve(&CatalogKey::new(
+                DeploymentType::SqlDb,
+                Region::new("westeurope"),
+                CatalogVersion::INITIAL,
+            ))
+            .unwrap();
+        assert_eq!(east.catalog.len(), west.catalog.len());
+        for (e, w) in east.catalog.iter().zip(west.catalog.iter()) {
+            assert_eq!(e.id, w.id);
+            assert!((w.price_per_hour - e.price_per_hour * 1.08).abs() < 1e-9, "{}", e.id);
+        }
+        assert!((west.rates.mi_bc - east.rates.mi_bc * 1.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_deployments_of_a_region_share_one_catalog_allocation() {
+        let provider = InMemoryCatalogProvider::production();
+        let db = provider.resolve(&CatalogKey::production(DeploymentType::SqlDb)).unwrap();
+        let mi = provider.resolve(&CatalogKey::production(DeploymentType::SqlMi)).unwrap();
+        assert!(Arc::ptr_eq(&db.catalog, &mi.catalog));
+        assert_eq!(db.fingerprint, mi.fingerprint);
+    }
+
+    #[test]
+    fn unknown_keys_resolve_to_none() {
+        let provider = InMemoryCatalogProvider::production();
+        let missing = CatalogKey::production(DeploymentType::SqlDb).in_region("mars".into());
+        assert!(provider.resolve(&missing).is_none());
+        let stale = CatalogKey::production(DeploymentType::SqlDb).at_version(CatalogVersion(2));
+        assert!(provider.resolve(&stale).is_none());
+    }
+
+    #[test]
+    fn keys_enumerate_sorted() {
+        let provider = InMemoryCatalogProvider::new()
+            .with_region(Region::new("b"), CatalogVersion::INITIAL, &spec(), 1.0)
+            .with_region(Region::new("a"), CatalogVersion::INITIAL, &spec(), 1.0);
+        let keys = provider.keys();
+        assert_eq!(keys.len(), 4);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn versions_advance() {
+        assert_eq!(CatalogVersion::INITIAL.next(), CatalogVersion(2));
+        assert_eq!(CatalogVersion::default(), CatalogVersion::INITIAL);
+        assert!(CatalogVersion(2) > CatalogVersion::INITIAL);
+    }
+}

@@ -26,7 +26,9 @@
 //! detection ([`driftdetect`], §5.2.3), and the human-readable explanations
 //! ([`explain`]) that make the recommendation auditable. [`engine`] ties
 //! everything into the [`engine::DopplerEngine`] façade the DMA pipeline
-//! calls.
+//! calls, and [`registry`] memoizes trained engines per
+//! `(catalog key, template, training set)` so a whole fleet shares one
+//! training run per distinct key.
 
 pub mod baseline;
 pub mod confidence;
@@ -39,6 +41,7 @@ pub mod heuristics;
 pub mod matching;
 pub mod mi;
 pub mod profile;
+pub mod registry;
 pub mod rightsize;
 pub mod throttling;
 
@@ -52,5 +55,6 @@ pub use heuristics::CurveHeuristic;
 pub use matching::GroupModel;
 pub use mi::{mi_curve, MiAssessment};
 pub use profile::NegotiabilityStrategy;
+pub use registry::{EngineRegistry, EngineTemplate, RegistryError, RegistryStats, TrainingSet};
 pub use rightsize::{rightsize, RightsizeReport};
 pub use throttling::{throttling_probability, ThrottleBreakdown};

@@ -1,0 +1,753 @@
+//! The [`EngineRegistry`]: one trained [`DopplerEngine`] per
+//! `(catalog key, engine template, training set)`, shared fleet-wide.
+//!
+//! Doppler served hundreds of thousands of recommendations (§4, Table 1)
+//! from a handful of trained models — training happens once per offer
+//! catalog and training cohort, not once per request or per fleet run. The
+//! registry is that memoization layer:
+//!
+//! * engines are keyed by the [`CatalogKey`] they serve, the
+//!   [`EngineTemplate`] they were configured from, and the
+//!   [`TrainingSet`]'s content fingerprint, so any input change —
+//!   a revised catalog version, different billing rates, a new grouping
+//!   strategy, one more training record — yields a distinct engine, while
+//!   identical inputs always share one `Arc<DopplerEngine>`;
+//! * lookups go through a **sharded `RwLock` map**: warm resolutions take
+//!   one read lock on one shard, so a 16-worker fleet hammering
+//!   [`get_or_train`](EngineRegistry::get_or_train) on a warm key never
+//!   serializes;
+//! * training is **single-flight**: concurrent requesters of the same cold
+//!   key block on the one in-progress training run instead of duplicating
+//!   it — N workers racing a cold key cost exactly one training;
+//! * [`stats`](EngineRegistry::stats) exposes hit / miss / coalesced
+//!   counters, so "a mixed-region fleet run over K keys performs exactly K
+//!   trainings" is directly assertable.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use doppler_catalog::{CatalogKey, DeploymentType, InMemoryCatalogProvider};
+//! use doppler_core::{EngineRegistry, EngineTemplate, TrainingSet};
+//!
+//! let registry = EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production()));
+//! let key = CatalogKey::production(DeploymentType::SqlDb);
+//!
+//! let a = registry
+//!     .get_or_train(&key, &EngineTemplate::production(), &TrainingSet::empty())
+//!     .unwrap();
+//! let b = registry
+//!     .get_or_train(&key, &EngineTemplate::production(), &TrainingSet::empty())
+//!     .unwrap();
+//! assert!(Arc::ptr_eq(&a, &b), "second resolution is a cache hit");
+//! let stats = registry.stats();
+//! assert_eq!((stats.misses, stats.hits), (1, 1));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+
+use doppler_catalog::{CatalogKey, CatalogProvider, Fingerprint};
+
+use crate::engine::{DopplerEngine, EngineConfig, TrainingRecord};
+use crate::grouping::GroupingStrategy;
+use crate::profile::NegotiabilityStrategy;
+
+/// The deployment- and rates-free part of an [`EngineConfig`]: how the
+/// Customer Profiler summarizes and groups. The deployment comes from the
+/// [`CatalogKey`] and the billing rates from the resolved catalog, so one
+/// template serves every region and version.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineTemplate {
+    pub negotiability: NegotiabilityStrategy,
+    pub grouping: GroupingStrategy,
+}
+
+impl EngineTemplate {
+    /// The production configuration (§5.2.1): thresholding +
+    /// straightforward enumeration.
+    pub fn production() -> EngineTemplate {
+        EngineTemplate {
+            negotiability: NegotiabilityStrategy::production(),
+            grouping: GroupingStrategy::Enumeration,
+        }
+    }
+
+    /// Complete the template into a concrete [`EngineConfig`] for a key's
+    /// deployment and a resolved catalog's rates.
+    pub fn config_for(
+        &self,
+        deployment: doppler_catalog::DeploymentType,
+        rates: doppler_catalog::BillingRates,
+    ) -> EngineConfig {
+        EngineConfig {
+            deployment,
+            negotiability: self.negotiability,
+            grouping: self.grouping,
+            rates,
+        }
+    }
+
+    /// Content fingerprint: a variant tag plus every parameter, by bit
+    /// pattern. Allocation-free — this runs on every warm engine
+    /// resolution, once per fleet request.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        match self.negotiability {
+            NegotiabilityStrategy::Thresholding { rho } => {
+                fp.write_u8(0);
+                fp.write_f64(rho);
+            }
+            NegotiabilityStrategy::MinMaxScalerAuc { cut } => {
+                fp.write_u8(1);
+                fp.write_f64(cut);
+            }
+            NegotiabilityStrategy::MaxScalerAuc { cut } => {
+                fp.write_u8(2);
+                fp.write_f64(cut);
+            }
+            NegotiabilityStrategy::OutlierPercentage { cut } => {
+                fp.write_u8(3);
+                fp.write_f64(cut);
+            }
+            NegotiabilityStrategy::StlVarianceDecomposition { period, cut } => {
+                fp.write_u8(4);
+                fp.write_usize(period);
+                fp.write_f64(cut);
+            }
+            NegotiabilityStrategy::MinMaxAucWithThresholding { rho, cut } => {
+                fp.write_u8(5);
+                fp.write_f64(rho);
+                fp.write_f64(cut);
+            }
+        }
+        match self.grouping {
+            GroupingStrategy::Enumeration => fp.write_u8(0),
+            GroupingStrategy::KMeans { k, seed } => {
+                fp.write_u8(1);
+                fp.write_usize(k);
+                fp.write_u64(seed);
+            }
+            GroupingStrategy::Hierarchical { k, linkage } => {
+                fp.write_u8(2);
+                fp.write_usize(k);
+                fp.write_u8(linkage as u8);
+            }
+        }
+        fp.finish()
+    }
+}
+
+impl Default for EngineTemplate {
+    fn default() -> EngineTemplate {
+        EngineTemplate::production()
+    }
+}
+
+/// An immutable, `Arc`-shared training cohort with its content fingerprint
+/// computed **once** at construction — the warm resolution path compares
+/// one `u64` instead of rehashing weeks of telemetry per request.
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    records: Arc<[TrainingRecord]>,
+    fingerprint: u64,
+}
+
+impl TrainingSet {
+    /// Fingerprint and freeze a training cohort.
+    pub fn new(records: Vec<TrainingRecord>) -> TrainingSet {
+        let mut fp = Fingerprint::new();
+        fp.write_usize(records.len());
+        for record in &records {
+            for (dim, series) in record.history.iter() {
+                fp.write_str(&format!("{dim:?}"));
+                fp.write_u32(series.interval_minutes());
+                fp.write_usize(series.len());
+                for &v in series.values() {
+                    fp.write_f64(v);
+                }
+            }
+            fp.write_str(&record.chosen_sku.0);
+            match &record.file_layout {
+                None => fp.write_u8(0),
+                Some(layout) => {
+                    fp.write_u8(1);
+                    fp.write_usize(layout.files.len());
+                    for file in &layout.files {
+                        fp.write_f64(file.size_gib);
+                    }
+                }
+            }
+        }
+        TrainingSet { records: records.into(), fingerprint: fp.finish() }
+    }
+
+    /// The empty cohort: engines resolve untrained (zero-tolerance
+    /// fallback), which is what a fresh deployment starts from.
+    pub fn empty() -> TrainingSet {
+        TrainingSet::new(Vec::new())
+    }
+
+    pub fn records(&self) -> &[TrainingRecord] {
+        &self.records
+    }
+
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl Default for TrainingSet {
+    fn default() -> TrainingSet {
+        TrainingSet::empty()
+    }
+}
+
+/// Why an engine could not be resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The provider has no catalog for this key (unknown region, retired
+    /// version, deployment not offered).
+    UnknownCatalog(CatalogKey),
+    /// The training run for this key panicked; the slot was evicted, so a
+    /// retry will train afresh.
+    TrainingFailed(CatalogKey),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownCatalog(key) => {
+                write!(f, "no catalog registered for {key}")
+            }
+            RegistryError::TrainingFailed(key) => {
+                write!(f, "engine training for {key} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Point-in-time registry counters. `hits + coalesced + misses +
+/// failures` = completed [`get_or_train`](EngineRegistry::get_or_train)
+/// calls; `misses` equals the number of training runs performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Resolutions served by an already-trained engine.
+    pub hits: u64,
+    /// Resolutions that blocked on another requester's in-flight training
+    /// (single-flight: they cost a wait, not a duplicate training).
+    pub coalesced: u64,
+    /// Resolutions that performed the training run themselves.
+    pub misses: u64,
+    /// Resolutions that failed (unknown catalog, or a training panic
+    /// observed either first-hand or while coalesced).
+    pub failures: u64,
+    /// Trained engines currently held.
+    pub entries: usize,
+}
+
+/// The full identity of a cached engine. The map key carries the
+/// [`CatalogKey`] structurally (no hash collisions across keys) plus the
+/// combined content fingerprint of the resolved catalog, the template, and
+/// the training set.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct EngineKey {
+    catalog: CatalogKey,
+    fingerprint: u64,
+}
+
+/// One cache slot, shared between the trainer and any coalesced waiters.
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    /// The first requester is training; waiters block on the condvar.
+    Training,
+    Ready(Arc<DopplerEngine>),
+    /// The training run panicked. Terminal for this slot — the trainer
+    /// evicts it from the map, so later requesters allocate a fresh one.
+    Failed,
+}
+
+impl Slot {
+    fn training() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(SlotState::Training), ready: Condvar::new() })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        // The trainer publishes Ready/Failed before any panic can unwind
+        // through this mutex; tolerate poison rather than cascading.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn publish(&self, state: SlotState) {
+        *self.lock() = state;
+        self.ready.notify_all();
+    }
+
+    /// Block until the slot leaves `Training`; `None` means the training
+    /// run failed.
+    fn wait(&self) -> Option<Arc<DopplerEngine>> {
+        let mut state = self.lock();
+        loop {
+            match &*state {
+                SlotState::Ready(engine) => return Some(Arc::clone(engine)),
+                SlotState::Failed => return None,
+                SlotState::Training => {
+                    state = self.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking read of a ready engine.
+    fn get_ready(&self) -> Option<Arc<DopplerEngine>> {
+        match &*self.lock() {
+            SlotState::Ready(engine) => Some(Arc::clone(engine)),
+            _ => None,
+        }
+    }
+}
+
+type Shard = RwLock<HashMap<EngineKey, Arc<Slot>>>;
+
+/// The fleet-wide trained-engine cache. See the [module docs](self) for
+/// the design; construct with [`new`](EngineRegistry::new) (16 shards) or
+/// [`with_shards`](EngineRegistry::with_shards), and share via `Arc` —
+/// every method takes `&self`.
+pub struct EngineRegistry {
+    provider: Arc<dyn CatalogProvider>,
+    shards: Box<[Shard]>,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    misses: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl EngineRegistry {
+    const DEFAULT_SHARDS: usize = 16;
+
+    /// A registry over a provider, with the default shard count.
+    pub fn new(provider: Arc<dyn CatalogProvider>) -> EngineRegistry {
+        EngineRegistry::with_shards(provider, Self::DEFAULT_SHARDS)
+    }
+
+    /// A registry with an explicit shard count (clamped to ≥ 1). More
+    /// shards = less write contention on cold bursts; warm reads already
+    /// share read locks.
+    pub fn with_shards(provider: Arc<dyn CatalogProvider>, shards: usize) -> EngineRegistry {
+        let shards = shards.max(1);
+        EngineRegistry {
+            provider,
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The catalog provider resolutions go through.
+    pub fn provider(&self) -> &Arc<dyn CatalogProvider> {
+        &self.provider
+    }
+
+    /// Resolve the engine for `(key, template, training)`, training it
+    /// exactly once across all concurrent callers if it is not cached.
+    ///
+    /// Warm path: one provider lookup, one shard read lock, one map get,
+    /// one `Arc` bump. Cold path: the calling thread trains (outside any
+    /// lock) while concurrent requesters for the same key block on the
+    /// slot; requesters for *other* keys proceed unhindered.
+    pub fn get_or_train(
+        &self,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+    ) -> Result<Arc<DopplerEngine>, RegistryError> {
+        let (engine_key, resolved) = self.engine_key(key, template, training).ok_or_else(|| {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            RegistryError::UnknownCatalog(key.clone())
+        })?;
+        let shard = &self.shards[self.shard_of(&engine_key)];
+
+        // Fast path: shared read lock on the shard.
+        let existing =
+            shard.read().unwrap_or_else(PoisonError::into_inner).get(&engine_key).cloned();
+        if let Some(slot) = existing {
+            return self.resolve_slot(key, &slot);
+        }
+
+        // Slow path: take the write lock just long enough to insert-or-get
+        // the slot; training itself happens with no lock held.
+        let (slot, trainer) = {
+            let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+            match map.get(&engine_key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Slot::training();
+                    map.insert(engine_key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if !trainer {
+            return self.resolve_slot(key, &slot);
+        }
+
+        let config = template.config_for(key.deployment, resolved.rates);
+        let catalog = (*resolved.catalog).clone();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            DopplerEngine::train(catalog, config, training.records())
+        }));
+        match outcome {
+            Ok(engine) => {
+                let engine = Arc::new(engine);
+                slot.publish(SlotState::Ready(Arc::clone(&engine)));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(engine)
+            }
+            Err(payload) => {
+                // Evict before notifying so no requester can coalesce onto
+                // a slot that will never become Ready.
+                shard.write().unwrap_or_else(PoisonError::into_inner).remove(&engine_key);
+                slot.publish(SlotState::Failed);
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    /// The engine for `(key, template, training)` if it is already trained
+    /// — never blocks, never trains, and counts neither hit nor miss.
+    pub fn get_if_ready(
+        &self,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+    ) -> Option<Arc<DopplerEngine>> {
+        let (engine_key, _) = self.engine_key(key, template, training)?;
+        let shard = &self.shards[self.shard_of(&engine_key)];
+        let slot =
+            shard.read().unwrap_or_else(PoisonError::into_inner).get(&engine_key).cloned()?;
+        slot.get_ready()
+    }
+
+    /// Derive the cache identity of `(key, template, training)`: resolve
+    /// the provider and combine the catalog, template, and training
+    /// fingerprints. `None` when the provider has no catalog for the key.
+    /// The single implementation behind
+    /// [`get_or_train`](EngineRegistry::get_or_train) and
+    /// [`get_if_ready`](EngineRegistry::get_if_ready), so the two can
+    /// never disagree about what identifies an engine.
+    fn engine_key(
+        &self,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+    ) -> Option<(EngineKey, doppler_catalog::ResolvedCatalog)> {
+        let resolved = self.provider.resolve(key)?;
+        let mut fp = Fingerprint::new();
+        fp.write_u64(resolved.fingerprint);
+        fp.write_u64(template.fingerprint());
+        fp.write_u64(training.fingerprint());
+        Some((EngineKey { catalog: key.clone(), fingerprint: fp.finish() }, resolved))
+    }
+
+    /// Point-in-time counters and cache size.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Trained engines currently held.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached engine (counters are preserved). Fleet operators
+    /// call this on catalog-feed rollover; in-flight `Arc`s stay valid.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.write().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+    }
+
+    fn shard_of(&self, key: &EngineKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Resolve through an existing slot, classifying the counter outcome:
+    /// a slot that is already `Ready` is a hit; one still `Training` is a
+    /// coalesced wait; a `Failed` slot (only observable in the narrow
+    /// window before the trainer evicts it) reports failure.
+    fn resolve_slot(
+        &self,
+        key: &CatalogKey,
+        slot: &Slot,
+    ) -> Result<Arc<DopplerEngine>, RegistryError> {
+        if let Some(engine) = slot.get_ready() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(engine);
+        }
+        match slot.wait() {
+            Some(engine) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok(engine)
+            }
+            None => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(RegistryError::TrainingFailed(key.clone()))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineRegistry")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_catalog::{
+        azure_paas_catalog, CatalogSpec, CatalogVersion, DeploymentType, InMemoryCatalogProvider,
+        Region, SkuId,
+    };
+    use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+
+    fn registry() -> EngineRegistry {
+        EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production()))
+    }
+
+    fn db_key() -> CatalogKey {
+        CatalogKey::production(DeploymentType::SqlDb)
+    }
+
+    fn record(cpu: f64, n: usize) -> TrainingRecord {
+        TrainingRecord {
+            history: PerfHistory::new()
+                .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; n]))
+                .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.5; n])),
+            chosen_sku: SkuId("DB_GP_2".into()),
+            file_layout: None,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_engine_allocation() {
+        let registry = registry();
+        let a = registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        let b = registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn counters_are_exact_over_a_sequential_workload() {
+        let registry = registry();
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        let trained = TrainingSet::new(vec![record(0.5, 64)]);
+        // 3 distinct keys: (db, empty), (db, trained), (mi, empty).
+        let mi_key = CatalogKey::production(DeploymentType::SqlMi);
+        for _ in 0..5 {
+            registry.get_or_train(&db_key(), &template, &empty).unwrap();
+            registry.get_or_train(&db_key(), &template, &trained).unwrap();
+            registry.get_or_train(&mi_key, &template, &empty).unwrap();
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 3, "one training per distinct key");
+        assert_eq!(stats.hits + stats.coalesced, 12);
+        assert_eq!(stats.coalesced, 0, "sequential callers never coalesce");
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn distinct_templates_and_training_sets_get_distinct_engines() {
+        let registry = registry();
+        let a = registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        let kmeans = EngineTemplate {
+            grouping: GroupingStrategy::KMeans { k: 4, seed: 7 },
+            ..EngineTemplate::production()
+        };
+        let b = registry.get_or_train(&db_key(), &kmeans, &TrainingSet::empty()).unwrap();
+        let c = registry
+            .get_or_train(
+                &db_key(),
+                &EngineTemplate::production(),
+                &TrainingSet::new(vec![record(0.5, 64)]),
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.stats().misses, 3);
+    }
+
+    #[test]
+    fn unknown_catalog_is_an_error_and_counts_as_failure() {
+        let registry = registry();
+        let missing = db_key().in_region(Region::new("atlantis"));
+        let err = registry
+            .get_or_train(&missing, &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap_err();
+        assert_eq!(err, RegistryError::UnknownCatalog(missing.clone()));
+        assert!(err.to_string().contains("atlantis"));
+        assert_eq!(registry.stats().failures, 1);
+        assert_eq!(registry.len(), 0);
+    }
+
+    #[test]
+    fn single_flight_trains_once_under_concurrency() {
+        let registry = Arc::new(registry());
+        let template = EngineTemplate::production();
+        // A non-trivial training set so the cold window is wide enough for
+        // real overlap.
+        let training = TrainingSet::new((0..12).map(|i| record(0.3 + i as f64, 288)).collect());
+        const THREADS: usize = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let engines: Vec<Arc<DopplerEngine>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let registry = Arc::clone(&registry);
+                    let barrier = Arc::clone(&barrier);
+                    let training = training.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        registry.get_or_train(&db_key(), &template, &training).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for engine in &engines[1..] {
+            assert!(Arc::ptr_eq(&engines[0], engine), "all callers share one engine");
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 1, "exactly one training run across {THREADS} threads");
+        assert_eq!(stats.hits + stats.coalesced, (THREADS - 1) as u64);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn registry_engine_matches_direct_training_bit_for_bit() {
+        let registry = registry();
+        let training = TrainingSet::new(vec![record(0.6, 96), record(4.0, 96)]);
+        let shared =
+            registry.get_or_train(&db_key(), &EngineTemplate::production(), &training).unwrap();
+        let direct = DopplerEngine::train(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+            training.records(),
+        );
+        let history = record(0.7, 128).history;
+        let a = shared.recommend(&history, None);
+        let b = direct.recommend(&history, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn get_if_ready_never_trains() {
+        let registry = registry();
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        assert!(registry.get_if_ready(&db_key(), &template, &empty).is_none());
+        assert_eq!(registry.stats().misses, 0);
+        let trained = registry.get_or_train(&db_key(), &template, &empty).unwrap();
+        let peeked = registry.get_if_ready(&db_key(), &template, &empty).unwrap();
+        assert!(Arc::ptr_eq(&trained, &peeked));
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "peeks count nothing");
+    }
+
+    #[test]
+    fn clear_evicts_but_keeps_live_arcs_valid() {
+        let registry = registry();
+        let engine = registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        registry.clear();
+        assert!(registry.is_empty());
+        // The evicted engine still serves.
+        assert!(engine.recommend(&record(0.4, 32).history, None).sku_id.is_some());
+        // Next resolution retrains.
+        registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        assert_eq!(registry.stats().misses, 2);
+    }
+
+    #[test]
+    fn catalog_versions_partition_the_cache() {
+        let provider = InMemoryCatalogProvider::production().with_region(
+            Region::global(),
+            CatalogVersion(2),
+            &CatalogSpec { rates: CatalogSpec::default().rates.scaled(1.05), ..Default::default() },
+            1.0,
+        );
+        let registry = EngineRegistry::new(Arc::new(provider));
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        let v1 = registry.get_or_train(&db_key(), &template, &empty).unwrap();
+        let v2 = registry
+            .get_or_train(&db_key().at_version(CatalogVersion(2)), &template, &empty)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&v1, &v2));
+        // The v2 engine prices 5 % higher.
+        let rec1 = v1.recommend(&record(0.4, 32).history, None);
+        let rec2 = v2.recommend(&record(0.4, 32).history, None);
+        assert_eq!(rec1.sku_id, rec2.sku_id);
+        assert!(rec2.monthly_cost.unwrap() > rec1.monthly_cost.unwrap());
+    }
+
+    #[test]
+    fn training_set_fingerprints_distinguish_contents() {
+        let a = TrainingSet::new(vec![record(0.5, 64)]);
+        let b = TrainingSet::new(vec![record(0.5, 64)]);
+        let c = TrainingSet::new(vec![record(0.6, 64)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), TrainingSet::empty().fingerprint());
+        assert!(TrainingSet::empty().is_empty());
+        assert_eq!(a.len(), 1);
+    }
+}

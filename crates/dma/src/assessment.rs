@@ -24,20 +24,37 @@ pub struct AdoptionLedger {
 }
 
 impl AdoptionLedger {
-    /// Record one completed assessment. `recommendations` counts the
-    /// recommendation variants produced for the request (DMA emits one per
-    /// eligible target; at least one per assessed instance).
-    pub fn record(&mut self, month: &str, databases: usize, recommendations: usize) {
-        let m = match self.months.iter_mut().find(|(k, _)| k == month) {
-            Some((_, m)) => m,
+    /// The month's row, appended (in first-seen order) if new.
+    fn entry(&mut self, month: &str) -> &mut MonthlyAdoption {
+        match self.months.iter().position(|(k, _)| k == month) {
+            Some(i) => &mut self.months[i].1,
             None => {
                 self.months.push((month.to_string(), MonthlyAdoption::default()));
                 &mut self.months.last_mut().expect("just pushed").1
             }
-        };
+        }
+    }
+
+    /// Record one completed assessment. `recommendations` counts the
+    /// recommendation variants produced for the request (DMA emits one per
+    /// eligible target; at least one per assessed instance).
+    pub fn record(&mut self, month: &str, databases: usize, recommendations: usize) {
+        let m = self.entry(month);
         m.unique_instances += 1;
         m.unique_databases += databases;
         m.recommendations_generated += recommendations;
+    }
+
+    /// Fold another ledger's counters into this one, month-wise. Months
+    /// unseen so far are appended in the other ledger's order, so merging
+    /// period reports into a running total preserves chronology.
+    pub fn merge(&mut self, other: &AdoptionLedger) {
+        for (month, row) in other.rows() {
+            let m = self.entry(month);
+            m.unique_instances += row.unique_instances;
+            m.unique_databases += row.unique_databases;
+            m.recommendations_generated += row.recommendations_generated;
+        }
     }
 
     /// Iterate rows in first-recorded order.
@@ -89,5 +106,21 @@ mod tests {
     #[test]
     fn unknown_month_is_none() {
         assert_eq!(AdoptionLedger::default().month("Jan-22"), None);
+    }
+
+    #[test]
+    fn merge_sums_matching_months_and_appends_new_ones() {
+        let mut total = AdoptionLedger::default();
+        total.record("Oct-21", 2, 3);
+        let mut period = AdoptionLedger::default();
+        period.record("Oct-21", 1, 1);
+        period.record("Nov-21", 4, 5);
+        total.merge(&period);
+        let oct = total.month("Oct-21").unwrap();
+        assert_eq!((oct.unique_instances, oct.unique_databases), (2, 3));
+        assert_eq!(oct.recommendations_generated, 4);
+        assert_eq!(total.month("Nov-21").unwrap().unique_databases, 4);
+        let order: Vec<&str> = total.rows().map(|(m, _)| m).collect();
+        assert_eq!(order, vec!["Oct-21", "Nov-21"]);
     }
 }

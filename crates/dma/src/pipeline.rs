@@ -1,8 +1,13 @@
 //! The SKU Recommendation Pipeline (§4): preprocessed input → Doppler
 //! engine → packaged result.
 
-use doppler_catalog::{DeploymentType, FileLayout};
-use doppler_core::{ConfidenceConfig, DopplerEngine, Recommendation};
+use std::sync::Arc;
+
+use doppler_catalog::{CatalogKey, DeploymentType, FileLayout};
+use doppler_core::{
+    ConfidenceConfig, DopplerEngine, EngineRegistry, EngineTemplate, Recommendation, RegistryError,
+    TrainingSet,
+};
 use doppler_telemetry::PerfHistory;
 
 use crate::preprocess::PreprocessedInstance;
@@ -54,19 +59,54 @@ pub struct AssessmentResult {
 }
 
 /// The pipeline: an engine plus the glue.
+///
+/// Since the registry refactor the pipeline does not *own* its engine: it
+/// holds an `Arc<DopplerEngine>`, so cloning a pipeline (or sharing it
+/// across fleets and services) bumps a reference count instead of copying
+/// a trained model and its catalog. Resolve engines through an
+/// [`EngineRegistry`] with
+/// [`from_registry`](SkuRecommendationPipeline::from_registry) — one
+/// training per distinct `(catalog key, template, training set)` across
+/// every pipeline in the process.
 #[derive(Debug, Clone)]
 pub struct SkuRecommendationPipeline {
-    engine: DopplerEngine,
+    engine: Arc<DopplerEngine>,
 }
 
 impl SkuRecommendationPipeline {
-    /// Wrap a trained engine.
+    /// Wrap a trained engine this pipeline will be the only user of. For
+    /// engines shared across consumers, prefer
+    /// [`from_shared`](SkuRecommendationPipeline::from_shared) or
+    /// [`from_registry`](SkuRecommendationPipeline::from_registry).
     pub fn new(engine: DopplerEngine) -> SkuRecommendationPipeline {
+        SkuRecommendationPipeline::from_shared(Arc::new(engine))
+    }
+
+    /// Wrap an already-shared engine — a reference-count bump, no model or
+    /// catalog copies.
+    pub fn from_shared(engine: Arc<DopplerEngine>) -> SkuRecommendationPipeline {
         SkuRecommendationPipeline { engine }
+    }
+
+    /// Resolve the engine through a registry (training it on first use,
+    /// sharing it afterwards) and wrap it.
+    pub fn from_registry(
+        registry: &EngineRegistry,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+    ) -> Result<SkuRecommendationPipeline, RegistryError> {
+        Ok(SkuRecommendationPipeline::from_shared(registry.get_or_train(key, template, training)?))
     }
 
     /// The engine in use.
     pub fn engine(&self) -> &DopplerEngine {
+        &self.engine
+    }
+
+    /// The shared engine handle (for callers that want to hold or compare
+    /// the underlying allocation).
+    pub fn shared_engine(&self) -> &Arc<DopplerEngine> {
         &self.engine
     }
 
@@ -161,5 +201,35 @@ mod tests {
     fn report_is_produced() {
         let result = pipeline(DeploymentType::SqlDb).assess(&request(vec![]));
         assert!(!result.report.dimension_summaries.is_empty());
+    }
+
+    #[test]
+    fn registry_resolved_pipelines_share_one_engine() {
+        use doppler_catalog::InMemoryCatalogProvider;
+        let registry = EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production()));
+        let key = CatalogKey::production(DeploymentType::SqlDb);
+        let a = SkuRecommendationPipeline::from_registry(
+            &registry,
+            &key,
+            &EngineTemplate::production(),
+            &TrainingSet::empty(),
+        )
+        .unwrap();
+        let b = SkuRecommendationPipeline::from_registry(
+            &registry,
+            &key,
+            &EngineTemplate::production(),
+            &TrainingSet::empty(),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(a.shared_engine(), b.shared_engine()), "one engine, two pipelines");
+        assert_eq!(registry.stats().misses, 1);
+        // Cloning a pipeline is a reference-count bump, not a model copy.
+        let c = a.clone();
+        assert!(Arc::ptr_eq(a.shared_engine(), c.shared_engine()));
+        assert_eq!(
+            a.assess(&request(vec![])).recommendation,
+            b.assess(&request(vec![])).recommendation
+        );
     }
 }

@@ -21,8 +21,8 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
-use doppler_catalog::DeploymentType;
-use doppler_core::DopplerEngine;
+use doppler_catalog::{CatalogKey, DeploymentType};
+use doppler_core::{DopplerEngine, EngineRegistry, EngineTemplate, TrainingSet};
 use doppler_dma::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
 
 use crate::report::FleetReport;
@@ -30,15 +30,41 @@ use crate::service::{FleetService, TicketQueue};
 
 /// One fleet member: which deployment target it is assessed against, plus
 /// the ordinary DMA assessment request.
+///
+/// A request may additionally pin a [`CatalogKey`] — the exact
+/// `(deployment, region, version)` offer catalog it should be priced
+/// against — so one fleet run can mix regions; keyless requests route to
+/// their deployment's default engine. The optional `month` label feeds the
+/// fleet report's adoption ledger (the paper's Table 1 view).
 #[derive(Debug, Clone)]
 pub struct FleetRequest {
     pub deployment: DeploymentType,
+    /// Resolve through the registry against this exact offer catalog;
+    /// `None` = the deployment's default route.
+    pub catalog_key: Option<CatalogKey>,
+    /// Adoption-ledger month label (e.g. `"Oct-21"`); `None` = untracked.
+    pub month: Option<String>,
     pub request: AssessmentRequest,
 }
 
 impl FleetRequest {
     pub fn new(deployment: DeploymentType, request: AssessmentRequest) -> FleetRequest {
-        FleetRequest { deployment, request }
+        FleetRequest { deployment, catalog_key: None, month: None, request }
+    }
+
+    /// Pin the offer catalog this request is assessed against. The key's
+    /// deployment becomes the request's deployment — the key is the more
+    /// specific routing fact.
+    pub fn with_catalog_key(mut self, key: CatalogKey) -> FleetRequest {
+        self.deployment = key.deployment;
+        self.catalog_key = Some(key);
+        self
+    }
+
+    /// Tag the request with an adoption-ledger month (Table 1).
+    pub fn with_month(mut self, month: impl Into<String>) -> FleetRequest {
+        self.month = Some(month.into());
+        self
     }
 }
 
@@ -55,6 +81,8 @@ pub struct FleetResult {
     pub index: usize,
     pub instance_name: String,
     pub deployment: DeploymentType,
+    /// The adoption-ledger month the request carried, if any.
+    pub month: Option<String>,
     pub outcome: Result<AssessmentResult, AssessmentError>,
 }
 
@@ -96,22 +124,69 @@ pub struct FleetAssessment {
     pub results: Vec<FleetResult>,
 }
 
-/// The per-deployment routing table: one read-only pipeline per deployment
-/// target, shared immutably (via `Arc`) across however many worker threads
-/// — scoped or long-lived — the serving layer runs.
+/// One registry-backed route: how requests for a deployment resolve when
+/// the serving layer goes through an [`EngineRegistry`]. Keyless requests
+/// resolve `default_key`; keyed requests resolve their own key — in both
+/// cases with this route's template and training cohort, so every region
+/// and version of a deployment shares one configuration and one training
+/// set (and therefore exactly one training run per distinct key,
+/// registry-wide).
+#[derive(Clone)]
+pub struct EngineRoute {
+    pub default_key: CatalogKey,
+    pub template: EngineTemplate,
+    pub training: TrainingSet,
+}
+
+impl EngineRoute {
+    /// A production-template route with no training data.
+    pub fn production(default_key: CatalogKey) -> EngineRoute {
+        EngineRoute {
+            default_key,
+            template: EngineTemplate::production(),
+            training: TrainingSet::empty(),
+        }
+    }
+
+    /// The same route with a training cohort.
+    pub fn trained(mut self, training: TrainingSet) -> EngineRoute {
+        self.training = training;
+        self
+    }
+
+    /// The same route with a different engine template.
+    pub fn with_template(mut self, template: EngineTemplate) -> EngineRoute {
+        self.template = template;
+        self
+    }
+}
+
+/// The routing table: fixed pre-built pipelines per deployment (the seed
+/// path) and/or an [`EngineRegistry`] with per-deployment [`EngineRoute`]s
+/// (the multi-region path). Shared immutably across however many worker
+/// threads — scoped or long-lived — the serving layer runs; all engine
+/// state lives behind `Arc`s, so cloning the set is cheap.
 ///
 /// This is the single place a fleet request turns into a [`FleetResult`]:
 /// both the one-shot [`FleetAssessor`] and the streaming
 /// [`FleetService`](crate::service::FleetService) route through it, so the
-/// two paths cannot drift apart.
+/// two paths cannot drift apart. Resolution order for a request:
+///
+/// 1. a pinned [`FleetRequest::catalog_key`] resolves through the registry
+///    (an error outcome if no registry or no route for its deployment);
+/// 2. otherwise a fixed pipeline for the deployment, if one is registered;
+/// 3. otherwise the registry route's `default_key`;
+/// 4. otherwise the request fails into the report's failure bucket.
 #[derive(Clone)]
 pub(crate) struct EngineSet {
     pipelines: Vec<(DeploymentType, Arc<SkuRecommendationPipeline>)>,
+    registry: Option<Arc<EngineRegistry>>,
+    routes: Vec<(DeploymentType, EngineRoute)>,
 }
 
 impl EngineSet {
     pub(crate) fn new() -> EngineSet {
-        EngineSet { pipelines: Vec::new() }
+        EngineSet { pipelines: Vec::new(), registry: None, routes: Vec::new() }
     }
 
     /// Add (or replace) the pipeline serving its engine's deployment.
@@ -121,6 +196,22 @@ impl EngineSet {
         self.pipelines.push((deployment, pipeline));
     }
 
+    pub(crate) fn set_registry(&mut self, registry: Arc<EngineRegistry>) {
+        self.registry = Some(registry);
+    }
+
+    pub(crate) fn registry(&self) -> Option<&Arc<EngineRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// Add (or replace) the registry route serving its default key's
+    /// deployment.
+    pub(crate) fn insert_route(&mut self, route: EngineRoute) {
+        let deployment = route.default_key.deployment;
+        self.routes.retain(|(d, _)| *d != deployment);
+        self.routes.push((deployment, route));
+    }
+
     pub(crate) fn pipeline_for(
         &self,
         deployment: DeploymentType,
@@ -128,21 +219,63 @@ impl EngineSet {
         self.pipelines.iter().find(|(d, _)| *d == deployment).map(|(_, p)| p)
     }
 
-    /// Assess one routed request; panics and missing routes become `Err`
-    /// outcomes instead of poisoning the worker.
-    pub(crate) fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
-        let FleetRequest { deployment, request } = task;
-        let instance_name = request.instance_name.clone();
-        let outcome = match self.pipeline_for(deployment) {
-            None => Err(AssessmentError {
+    pub(crate) fn route_for(&self, deployment: DeploymentType) -> Option<&EngineRoute> {
+        self.routes.iter().find(|(d, _)| *d == deployment).map(|(_, r)| r)
+    }
+
+    /// Resolve the pipeline a request routes to (see the type docs for the
+    /// resolution order). Warm registry resolutions are a sharded read
+    /// lock plus an `Arc` bump; the first request per key pays the one
+    /// training run.
+    fn resolve(
+        &self,
+        deployment: DeploymentType,
+        catalog_key: &Option<CatalogKey>,
+    ) -> Result<SkuRecommendationPipeline, AssessmentError> {
+        if let Some(key) = catalog_key {
+            let registry = self.registry.as_deref().ok_or_else(|| AssessmentError {
+                message: format!(
+                    "request pinned catalog {key} but no engine registry is configured"
+                ),
+            })?;
+            let route = self.route_for(key.deployment).ok_or_else(|| AssessmentError {
+                message: format!("no engine route configured for deployment {:?}", key.deployment),
+            })?;
+            let engine = registry
+                .get_or_train(key, &route.template, &route.training)
+                .map_err(|e| AssessmentError { message: e.to_string() })?;
+            return Ok(SkuRecommendationPipeline::from_shared(engine));
+        }
+        if let Some(pipeline) = self.pipeline_for(deployment) {
+            return Ok(SkuRecommendationPipeline::clone(pipeline));
+        }
+        match (self.registry.as_deref(), self.route_for(deployment)) {
+            (Some(registry), Some(route)) => {
+                let engine = registry
+                    .get_or_train(&route.default_key, &route.template, &route.training)
+                    .map_err(|e| AssessmentError { message: e.to_string() })?;
+                Ok(SkuRecommendationPipeline::from_shared(engine))
+            }
+            _ => Err(AssessmentError {
                 message: format!("no engine configured for deployment {deployment:?}"),
             }),
-            Some(pipeline) => {
-                std::panic::catch_unwind(AssertUnwindSafe(|| pipeline.assess(&request)))
-                    .map_err(|payload| AssessmentError { message: panic_message(payload) })
-            }
-        };
-        FleetResult { index, instance_name, deployment, outcome }
+        }
+    }
+
+    /// Assess one routed request; panics, missing routes, and registry
+    /// resolution errors become `Err` outcomes instead of poisoning the
+    /// worker. The catch covers resolution too: a registry training run
+    /// (or a provider) that panics must kill this request, not the worker
+    /// — a dead worker would strand the in-order aggregation and, with
+    /// one worker, deadlock the feeder on queue backpressure.
+    pub(crate) fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
+        let FleetRequest { deployment, catalog_key, month, request } = task;
+        let instance_name = request.instance_name.clone();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.resolve(deployment, &catalog_key).map(|pipeline| pipeline.assess(&request))
+        }))
+        .unwrap_or_else(|payload| Err(AssessmentError { message: panic_message(payload) }));
+        FleetResult { index, instance_name, deployment, month, outcome }
     }
 }
 
@@ -170,6 +303,37 @@ impl FleetAssessor {
         let mut engines = EngineSet::new();
         engines.insert(pipeline);
         FleetAssessor { engines, config }
+    }
+
+    /// An assessor that resolves every engine through a shared
+    /// [`EngineRegistry`] — the multi-region path. Add one
+    /// [`EngineRoute`] per deployment with
+    /// [`with_route`](FleetAssessor::with_route); requests pinning a
+    /// [`FleetRequest::catalog_key`] then resolve their exact offer
+    /// catalog, keyless requests resolve their deployment route's default
+    /// key, and a mixed-region fleet costs exactly one training per
+    /// distinct key (asserted via [`EngineRegistry::stats`]).
+    pub fn over_registry(registry: Arc<EngineRegistry>, config: FleetConfig) -> FleetAssessor {
+        let mut engines = EngineSet::new();
+        engines.set_registry(registry);
+        FleetAssessor { engines, config }
+    }
+
+    /// Add (or replace) the registry route serving its default key's
+    /// deployment. Panics if the assessor was not built with
+    /// [`over_registry`](FleetAssessor::over_registry).
+    pub fn with_route(mut self, route: EngineRoute) -> FleetAssessor {
+        assert!(
+            self.engines.registry().is_some(),
+            "with_route requires an assessor built with FleetAssessor::over_registry"
+        );
+        self.engines.insert_route(route);
+        self
+    }
+
+    /// The shared registry, when this assessor resolves through one.
+    pub fn registry(&self) -> Option<&Arc<EngineRegistry>> {
+        self.engines.registry()
     }
 
     /// Add (or replace) the engine serving `engine.config().deployment` —
@@ -384,6 +548,149 @@ mod tests {
         assert!(out.results.is_empty());
         assert_eq!(out.report.fleet_size, 8);
         assert_eq!(out.report.recommended, 8);
+    }
+
+    fn regional_registry() -> Arc<EngineRegistry> {
+        use doppler_catalog::{CatalogSpec, CatalogVersion, InMemoryCatalogProvider, Region};
+        let provider = InMemoryCatalogProvider::production()
+            .with_region(
+                Region::new("westeurope"),
+                CatalogVersion::INITIAL,
+                &CatalogSpec::default(),
+                1.08,
+            )
+            .with_region(
+                Region::new("eastasia"),
+                CatalogVersion::INITIAL,
+                &CatalogSpec::default(),
+                1.12,
+            );
+        Arc::new(EngineRegistry::new(Arc::new(provider)))
+    }
+
+    #[test]
+    fn registry_assessor_serves_keyless_and_keyed_requests() {
+        use doppler_catalog::Region;
+        let registry = regional_registry();
+        let assessor =
+            FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(4))
+                .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let west =
+            CatalogKey::production(DeploymentType::SqlDb).in_region(Region::new("westeurope"));
+        let fleet = vec![
+            request("global-0", 0.5),
+            request("west-0", 0.5).with_catalog_key(west.clone()),
+            request("global-1", 0.5),
+            request("west-1", 0.5).with_catalog_key(west),
+        ];
+        let out = assessor.assess(fleet);
+        assert_eq!(out.report.failed, 0);
+        assert_eq!(out.report.recommended, 4);
+        // Same workload, same SKU — but the West Europe instances pay the
+        // 8 % regional premium.
+        let cost = |i: usize| {
+            out.results[i].outcome.as_ref().unwrap().recommendation.monthly_cost.unwrap()
+        };
+        assert_eq!(cost(0), cost(2));
+        assert!((cost(1) - cost(0) * 1.08).abs() < 1e-6, "west {} vs global {}", cost(1), cost(0));
+        // Two distinct keys touched → exactly two trainings, fleet-wide.
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits + stats.coalesced, 2);
+    }
+
+    #[test]
+    fn pinned_key_without_a_registry_fails_into_the_bucket() {
+        let assessor = assessor(2);
+        let keyed =
+            request("pinned", 0.5).with_catalog_key(CatalogKey::production(DeploymentType::SqlDb));
+        let out = assessor.assess(vec![keyed]);
+        assert_eq!(out.report.failed, 1);
+        let message = &out.results[0].outcome.as_ref().unwrap_err().message;
+        assert!(message.contains("no engine registry"), "{message}");
+    }
+
+    #[test]
+    fn registry_assessor_without_a_route_fails_that_deployment_only() {
+        let registry = regional_registry();
+        let assessor =
+            FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(2))
+                .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let mut mi = request("mi-unrouted", 0.5);
+        mi.deployment = DeploymentType::SqlMi;
+        let out = assessor.assess(vec![request("db-ok", 0.5), mi]);
+        assert_eq!(out.report.recommended, 1);
+        assert_eq!(out.report.failed, 1);
+        assert!(out.results[1].outcome.as_ref().unwrap_err().message.contains("SqlMi"));
+    }
+
+    #[test]
+    fn unknown_regions_resolve_to_error_outcomes() {
+        use doppler_catalog::Region;
+        let registry = regional_registry();
+        let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(2))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let lost = request("lost", 0.5).with_catalog_key(
+            CatalogKey::production(DeploymentType::SqlDb).in_region(Region::new("atlantis")),
+        );
+        let out = assessor.assess(vec![lost]);
+        assert_eq!(out.report.failed, 1);
+        assert!(out.results[0]
+            .outcome
+            .as_ref()
+            .unwrap_err()
+            .message
+            .contains("no catalog registered"));
+    }
+
+    #[test]
+    fn panicking_resolution_fails_the_request_not_the_worker() {
+        use doppler_catalog::{CatalogProvider, InMemoryCatalogProvider, Region, ResolvedCatalog};
+        struct PanickyProvider(InMemoryCatalogProvider);
+        impl CatalogProvider for PanickyProvider {
+            fn resolve(&self, key: &CatalogKey) -> Option<ResolvedCatalog> {
+                if key.region == Region::new("boom") {
+                    panic!("provider feed corrupted");
+                }
+                self.0.resolve(key)
+            }
+        }
+        let registry = Arc::new(EngineRegistry::new(Arc::new(PanickyProvider(
+            InMemoryCatalogProvider::production(),
+        ))));
+        // One worker: if the panic killed it, the second request would
+        // never be assessed (and a longer feed would deadlock on
+        // backpressure).
+        let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(1))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let boom = request("boom", 0.5).with_catalog_key(
+            CatalogKey::production(DeploymentType::SqlDb).in_region(Region::new("boom")),
+        );
+        let out = assessor.assess(vec![boom, request("fine", 0.5)]);
+        assert_eq!(out.report.failed, 1);
+        assert_eq!(out.report.recommended, 1);
+        let message = &out.results[0].outcome.as_ref().unwrap_err().message;
+        assert!(message.contains("provider feed corrupted"), "{message}");
+        assert!(out.results[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn fixed_pipelines_take_precedence_for_keyless_requests() {
+        // An assessor with both a fixed pipeline and a registry route for
+        // SqlDb: keyless requests use the fixed pipeline (no training),
+        // keyed requests go through the registry.
+        let registry = regional_registry();
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let assessor =
+            FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(2))
+                .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+                .with_engine(engine);
+        let out = assessor.assess(vec![request("keyless", 0.5)]);
+        assert_eq!(out.report.recommended, 1);
+        assert_eq!(registry.stats().misses, 0, "fixed pipeline served it; nothing trained");
     }
 
     #[test]

@@ -85,12 +85,13 @@ pub mod service;
 pub mod source;
 
 pub use assessor::{
-    AssessmentError, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest, FleetResult,
+    AssessmentError, EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest,
+    FleetResult,
 };
 pub use queue::BoundedQueue;
 pub use report::{
-    ConfidenceSummary, DeploymentMixRow, DigestOutcome, FailureRow, FleetAggregator, FleetReport,
-    ResultDigest, ShapeMixRow, SkuMixRow,
+    eligible_recommendations, ConfidenceSummary, DeploymentMixRow, DigestOutcome, FailureRow,
+    FleetAggregator, FleetReport, ResultDigest, ShapeMixRow, SkuMixRow,
 };
 pub use service::{AssessmentService, FleetService, ServiceProgress, Ticket, TicketQueue};
 pub use source::{cloud_fleet, customer_request, onprem_fleet, onprem_request};

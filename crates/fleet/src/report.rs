@@ -7,9 +7,19 @@
 //! `FleetReport: PartialEq` makes that property directly testable.
 
 use doppler_catalog::DeploymentType;
-use doppler_core::CurveShape;
+use doppler_core::{CurveShape, Recommendation};
+use doppler_dma::AdoptionLedger;
 
 use crate::assessor::FleetResult;
+
+/// Recommendation variants DMA would surface for one assessed instance:
+/// one per curve point at full score, at least one — the unit the paper's
+/// Table 1 counts as "recommendations generated". The single counting
+/// rule behind both the fleet report's adoption ledger and
+/// `AssessmentService::assess_and_record`.
+pub fn eligible_recommendations(recommendation: &Recommendation) -> usize {
+    recommendation.curve.points().iter().filter(|p| p.score >= 1.0 - 1e-9).count().max(1)
+}
 
 /// One SKU's share of the fleet.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -65,6 +75,8 @@ pub struct FailureRow {
 pub struct ResultDigest {
     pub instance_name: String,
     pub deployment: DeploymentType,
+    /// The adoption-ledger month the request carried, if any.
+    pub month: Option<String>,
     pub outcome: DigestOutcome,
 }
 
@@ -79,6 +91,10 @@ pub enum DigestOutcome {
         shape: CurveShape,
         confidence: Option<f64>,
         sku: Option<(String, f64)>,
+        /// Recommendation variants DMA would surface for this instance:
+        /// one per curve point at full score, at least one — the unit the
+        /// paper's Table 1 counts as "recommendations generated".
+        eligible_recommendations: usize,
     },
 }
 
@@ -86,20 +102,25 @@ impl ResultDigest {
     pub fn of(result: &FleetResult) -> ResultDigest {
         let outcome = match &result.outcome {
             Err(e) => DigestOutcome::Failed { message: e.message.clone() },
-            Ok(r) => DigestOutcome::Assessed {
-                databases_assessed: r.databases_assessed,
-                shape: r.recommendation.shape,
-                confidence: r.recommendation.confidence,
-                sku: r
-                    .recommendation
-                    .sku_id
-                    .clone()
-                    .map(|sku_id| (sku_id, r.recommendation.monthly_cost.unwrap_or(0.0))),
-            },
+            Ok(r) => {
+                let eligible = eligible_recommendations(&r.recommendation);
+                DigestOutcome::Assessed {
+                    databases_assessed: r.databases_assessed,
+                    shape: r.recommendation.shape,
+                    confidence: r.recommendation.confidence,
+                    sku: r
+                        .recommendation
+                        .sku_id
+                        .clone()
+                        .map(|sku_id| (sku_id, r.recommendation.monthly_cost.unwrap_or(0.0))),
+                    eligible_recommendations: eligible,
+                }
+            }
         };
         ResultDigest {
             instance_name: result.instance_name.clone(),
             deployment: result.deployment,
+            month: result.month.clone(),
             outcome,
         }
     }
@@ -134,6 +155,10 @@ pub struct FleetReport {
     pub unplaceable_instances: Vec<String>,
     /// Failure bucket, in submission order.
     pub failures: Vec<FailureRow>,
+    /// Table 1 adoption counters by month, over the requests that carried
+    /// a [`FleetRequest::with_month`](crate::FleetRequest::with_month)
+    /// label. Empty when the fleet was untagged.
+    pub adoption: AdoptionLedger,
 }
 
 /// Streaming accumulator behind [`FleetReport`]: accepts results one at a
@@ -158,6 +183,7 @@ pub struct FleetAggregator {
     deployments: Vec<DeploymentMixRow>,
     unplaceable_instances: Vec<String>,
     failures: Vec<FailureRow>,
+    adoption: AdoptionLedger,
 }
 
 impl Default for FleetAggregator {
@@ -182,6 +208,7 @@ impl FleetAggregator {
             deployments: Vec::new(),
             unplaceable_instances: Vec::new(),
             failures: Vec::new(),
+            adoption: AdoptionLedger::default(),
         }
     }
 
@@ -224,7 +251,16 @@ impl FleetAggregator {
                     message: message.clone(),
                 });
             }
-            DigestOutcome::Assessed { databases_assessed, shape, confidence, sku } => {
+            DigestOutcome::Assessed {
+                databases_assessed,
+                shape,
+                confidence,
+                sku,
+                eligible_recommendations,
+            } => {
+                if let Some(month) = &r.month {
+                    self.adoption.record(month, *databases_assessed, *eligible_recommendations);
+                }
                 self.databases_assessed += databases_assessed;
                 self.shape_counts[match shape {
                     CurveShape::Flat => 0,
@@ -307,6 +343,7 @@ impl FleetAggregator {
             mut deployments,
             unplaceable_instances,
             failures,
+            adoption,
         } = self;
         sku_mix.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.sku_id.cmp(&b.sku_id)));
         deployments.sort_by_key(|row| match row.deployment {
@@ -338,6 +375,7 @@ impl FleetAggregator {
             deployments,
             unplaceable_instances,
             failures,
+            adoption,
         }
     }
 }
@@ -413,6 +451,23 @@ impl FleetReport {
             let max_count = c.buckets.iter().copied().max().unwrap_or(1).max(1);
             for (label, &count) in labels.iter().zip(&c.buckets) {
                 out.push_str(&bar_row(label, count, max_count, c.scored, ""));
+            }
+        }
+
+        if self.adoption.rows().count() > 0 {
+            out.push_str("\n--- Adoption (Table 1) ---\n");
+            out.push_str(&format!(
+                "{:>8} {:>10} {:>10} {:>16}\n",
+                "month", "instances", "databases", "recommendations"
+            ));
+            for (month, row) in self.adoption.rows() {
+                out.push_str(&format!(
+                    "{:>8} {:>10} {:>10} {:>16}\n",
+                    month,
+                    row.unique_instances,
+                    row.unique_databases,
+                    row.recommendations_generated
+                ));
             }
         }
 
@@ -495,6 +550,7 @@ mod tests {
             index,
             instance_name: name.into(),
             deployment: DeploymentType::SqlDb,
+            month: None,
             outcome: Ok(pipeline.assess(&AssessmentRequest::from_history(
                 name,
                 history,
@@ -509,6 +565,7 @@ mod tests {
             index,
             instance_name: name.into(),
             deployment: DeploymentType::SqlMi,
+            month: None,
             outcome: Err(AssessmentError { message: "boom".into() }),
         }
     }
@@ -580,7 +637,36 @@ mod tests {
         let text = report.render();
         assert!(text.contains("instances:       0"));
         assert!(!text.contains("SKU mix"));
+        assert!(!text.contains("Adoption"));
         assert_eq!(report.mean_monthly_cost, None);
         assert_eq!(report.confidence, None);
+    }
+
+    #[test]
+    fn month_tags_fold_into_the_adoption_ledger() {
+        let mut results =
+            vec![result(0, "a", 0.5), result(1, "b", 0.5), result(2, "c", 6.0), failed(3, "d")];
+        results[0].month = Some("Oct-21".into());
+        results[1].month = Some("Oct-21".into());
+        results[2].month = Some("Nov-21".into());
+        results[3].month = Some("Nov-21".into()); // failed: not assessed, not counted
+        let report = FleetReport::from_results(&results);
+        let oct = report.adoption.month("Oct-21").unwrap();
+        assert_eq!(oct.unique_instances, 2);
+        assert_eq!(oct.unique_databases, 2);
+        // Tiny workloads: every curve point scores 1.0, so DMA surfaces
+        // one recommendation per eligible SKU — the Table 1 pattern of
+        // recommendations far exceeding instances.
+        assert!(oct.recommendations_generated > oct.unique_instances);
+        assert_eq!(report.adoption.month("Nov-21").unwrap().unique_instances, 1);
+        let text = report.render();
+        assert!(text.contains("Adoption (Table 1)"), "{text}");
+        assert!(text.contains("Oct-21"));
+    }
+
+    #[test]
+    fn untagged_results_leave_the_ledger_empty() {
+        let report = FleetReport::from_results(&[result(0, "a", 0.5)]);
+        assert_eq!(report.adoption.rows().count(), 0);
     }
 }

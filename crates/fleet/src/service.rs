@@ -476,15 +476,66 @@ impl AssessmentService {
     ///
     /// Each request is cloned at submission: the seed API lends a slice,
     /// but the long-lived worker pool needs owned tasks. Callers for whom
-    /// the telemetry copy matters should build `FleetRequest`s themselves
-    /// and feed a [`FleetService`] (or [`FleetAssessor`]) directly, which
-    /// moves the requests instead.
+    /// the telemetry copy matters should use
+    /// [`assess_batch_owned`](AssessmentService::assess_batch_owned),
+    /// which moves the requests instead.
     pub fn assess_batch(&self, requests: &[AssessmentRequest]) -> Vec<AssessmentResult> {
+        self.run_batch(requests.iter().cloned())
+    }
+
+    /// The owned submission path: requests move straight into the worker
+    /// pool's queue with no telemetry copies — a multi-week history costs
+    /// one allocation for its whole service lifetime instead of one per
+    /// batch submission.
+    pub fn assess_batch_owned(
+        &self,
+        requests: impl IntoIterator<Item = AssessmentRequest>,
+    ) -> Vec<AssessmentResult> {
+        self.run_batch(requests.into_iter())
+    }
+
+    /// Process a batch and record it against a ledger month. Each assessed
+    /// instance contributes one recommendation per curve point scored at
+    /// 1.0 or, when none reach it, a single best-effort recommendation —
+    /// matching DMA's behaviour of surfacing every eligible target (the
+    /// counting rule shared with the fleet report's adoption ledger via
+    /// [`eligible_recommendations`](crate::report::eligible_recommendations)).
+    /// Counting reads this batch's own results, so concurrent batches on a
+    /// shared service never contaminate each other's ledgers.
+    pub fn assess_and_record(
+        &self,
+        month: &str,
+        requests: &[AssessmentRequest],
+        ledger: &mut AdoptionLedger,
+    ) -> Vec<AssessmentResult> {
+        let results = self.assess_batch(requests);
+        record_batch(month, &results, ledger);
+        results
+    }
+
+    /// Owned variant of
+    /// [`assess_and_record`](AssessmentService::assess_and_record).
+    pub fn assess_and_record_owned(
+        &self,
+        month: &str,
+        requests: impl IntoIterator<Item = AssessmentRequest>,
+        ledger: &mut AdoptionLedger,
+    ) -> Vec<AssessmentResult> {
+        let results = self.assess_batch_owned(requests);
+        record_batch(month, &results, ledger);
+        results
+    }
+
+    /// Submit-all/collect-all round trip through the shared worker pool;
+    /// the single implementation behind every batch entry point.
+    fn run_batch(
+        &self,
+        requests: impl Iterator<Item = AssessmentRequest>,
+    ) -> Vec<AssessmentResult> {
         let tickets: Vec<Ticket> = requests
-            .iter()
             .map(|request| {
                 self.service
-                    .submit(FleetRequest::new(self.deployment, request.clone()))
+                    .submit(FleetRequest::new(self.deployment, request))
                     .unwrap_or_else(|_| unreachable!("the wrapper never closes its own service"))
             })
             .collect();
@@ -507,24 +558,15 @@ impl AssessmentService {
         let _ = self.service.drain_report();
         results
     }
+}
 
-    /// Process a batch and record it against a ledger month. Each assessed
-    /// instance contributes one recommendation per curve point scored at
-    /// 1.0 or, when none reach it, a single best-effort recommendation —
-    /// matching DMA's behaviour of surfacing every eligible target.
-    pub fn assess_and_record(
-        &self,
-        month: &str,
-        requests: &[AssessmentRequest],
-        ledger: &mut AdoptionLedger,
-    ) -> Vec<AssessmentResult> {
-        let results = self.assess_batch(requests);
-        for r in &results {
-            let eligible =
-                r.recommendation.curve.points().iter().filter(|p| p.score >= 1.0 - 1e-9).count();
-            ledger.record(month, r.databases_assessed, eligible.max(1));
-        }
-        results
+fn record_batch(month: &str, results: &[AssessmentResult], ledger: &mut AdoptionLedger) {
+    for r in results {
+        ledger.record(
+            month,
+            r.databases_assessed,
+            crate::report::eligible_recommendations(&r.recommendation),
+        );
     }
 }
 
@@ -742,6 +784,41 @@ mod tests {
         let big: Vec<AssessmentRequest> =
             (0..64).map(|i| request(&format!("big-{i}"), 0.5).request).collect();
         assert_eq!(svc.assess_batch(&big).len(), 64);
+    }
+
+    #[test]
+    fn owned_batch_path_matches_the_borrowed_one() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let svc = AssessmentService::new(SkuRecommendationPipeline::new(engine), 3);
+        let requests: Vec<AssessmentRequest> =
+            (0..24).map(|i| request(&format!("o{i}"), 0.4 + (i % 5) as f64).request).collect();
+        let borrowed = svc.assess_batch(&requests);
+        let owned = svc.assess_batch_owned(requests);
+        assert_eq!(borrowed.len(), owned.len());
+        for (b, o) in borrowed.iter().zip(&owned) {
+            assert_eq!(b.instance_name, o.instance_name);
+            assert_eq!(b.recommendation, o.recommendation);
+        }
+    }
+
+    #[test]
+    fn owned_record_path_matches_the_borrowed_ledger() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let svc = AssessmentService::new(SkuRecommendationPipeline::new(engine), 2);
+        let requests: Vec<AssessmentRequest> =
+            (0..6).map(|i| request(&format!("r{i}"), 0.5).request).collect();
+        let mut borrowed_ledger = AdoptionLedger::default();
+        svc.assess_and_record("Oct-21", &requests, &mut borrowed_ledger);
+        let mut owned_ledger = AdoptionLedger::default();
+        svc.assess_and_record_owned("Oct-21", requests, &mut owned_ledger);
+        assert_eq!(borrowed_ledger, owned_ledger);
+        assert_eq!(borrowed_ledger.month("Oct-21").unwrap().unique_instances, 6);
     }
 
     #[test]

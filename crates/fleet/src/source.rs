@@ -6,14 +6,19 @@
 //! fleet assessment runs in O(queue depth) request memory, matching the
 //! workload crate's own guidance to stream large cohorts.
 
-use doppler_catalog::{Catalog, DeploymentType};
+use doppler_catalog::{Catalog, CatalogKey, CatalogVersion, DeploymentType};
 use doppler_core::ConfidenceConfig;
 use doppler_dma::AssessmentRequest;
 use doppler_workload::{CloudCustomer, OnPremCandidate, PopulationSpec};
 
 use crate::assessor::FleetRequest;
 
-/// Convert one synthetic cloud customer into a fleet request.
+/// Convert one synthetic cloud customer into a fleet request. A customer
+/// carrying a region tag gets a pinned [`CatalogKey`] at
+/// [`CatalogVersion::INITIAL`] — feeding a registry-backed assessor, such
+/// a request is priced against its own region's offer catalog; callers
+/// pinning a different catalog version can rewrite
+/// [`FleetRequest::catalog_key`] afterwards.
 pub fn customer_request(
     customer: CloudCustomer,
     confidence: Option<ConfidenceConfig>,
@@ -23,7 +28,7 @@ pub fn customer_request(
         .as_ref()
         .map(|layout| layout.files.iter().map(|f| f.size_gib).collect())
         .unwrap_or_default();
-    FleetRequest::new(
+    let request = FleetRequest::new(
         customer.deployment,
         AssessmentRequest::from_history(
             format!("customer-{}", customer.id),
@@ -31,7 +36,15 @@ pub fn customer_request(
             file_sizes_gib,
             confidence,
         ),
-    )
+    );
+    match customer.region {
+        Some(region) => request.with_catalog_key(CatalogKey::new(
+            customer.deployment,
+            region,
+            CatalogVersion::INITIAL,
+        )),
+        None => request,
+    }
 }
 
 /// Stream an entire synthetic cloud cohort as fleet requests. Customers are
@@ -81,6 +94,22 @@ mod tests {
         assert!(requests.iter().all(|r| r.deployment == DeploymentType::SqlDb));
         assert_eq!(requests[4].request.instance_name, "customer-4");
         assert_eq!(requests[4].request.input.databases.len(), 1);
+    }
+
+    #[test]
+    fn region_tagged_cohorts_pin_catalog_keys() {
+        use doppler_catalog::Region;
+        let catalog = azure_paas_catalog(&CatalogSpec::default());
+        let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(3, 3) }
+            .in_region(Region::new("westeurope"));
+        for r in cloud_fleet(&spec, &catalog, None) {
+            let key = r.catalog_key.expect("tagged cohort pins a key");
+            assert_eq!(key.region, Region::new("westeurope"));
+            assert_eq!(key.deployment, DeploymentType::SqlDb);
+            assert_eq!(key.version, CatalogVersion::INITIAL);
+        }
+        let untagged = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(1, 3) };
+        assert!(cloud_fleet(&untagged, &catalog, None).all(|r| r.catalog_key.is_none()));
     }
 
     #[test]

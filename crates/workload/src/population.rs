@@ -29,7 +29,7 @@
 //! recover the tolerances, and the matcher must invert the choice rule.
 
 use doppler_catalog::{
-    BillingRates, Catalog, DeploymentType, FileLayout, ResourceCaps, ServiceTier, SkuId,
+    BillingRates, Catalog, DeploymentType, FileLayout, Region, ResourceCaps, ServiceTier, SkuId,
 };
 use doppler_core::matching::select_with_slack;
 use doppler_core::mi::mi_curve;
@@ -69,6 +69,11 @@ pub struct PopulationSpec {
     pub bc_preference_rate: f64,
     /// Quantile of a negotiable dimension used as its requirement.
     pub negotiable_quantile: f64,
+    /// Azure region this cohort's customers live in; `None` leaves them
+    /// untagged (single-catalog behaviour). Fleet sources turn the tag
+    /// into a per-request catalog key, so chaining cohorts with different
+    /// regions yields a mixed-region fleet.
+    pub region: Option<Region>,
 }
 
 impl PopulationSpec {
@@ -86,6 +91,7 @@ impl PopulationSpec {
             shape_weights: [0.733, 0.005, 0.262],
             bc_preference_rate: 0.35,
             negotiable_quantile: 0.95,
+            region: None,
         }
     }
 
@@ -103,7 +109,16 @@ impl PopulationSpec {
             shape_weights: [0.749, 0.034, 0.217],
             bc_preference_rate: 0.30,
             negotiable_quantile: 0.95,
+            region: None,
         }
+    }
+
+    /// The same cohort living in `region`. Telemetry and SKU choices are
+    /// unchanged — the tag only affects which offer catalog a fleet run
+    /// resolves for these customers.
+    pub fn in_region(mut self, region: Region) -> PopulationSpec {
+        self.region = Some(region);
+        self
     }
 
     /// The dimensions the Customer Profiler summarizes for this deployment
@@ -228,6 +243,7 @@ impl PopulationSpec {
         CloudCustomer {
             id: idx,
             deployment: self.deployment,
+            region: self.region.clone(),
             history,
             negotiability,
             latency_critical,
@@ -343,6 +359,8 @@ impl PopulationSpec {
 pub struct CloudCustomer {
     pub id: usize,
     pub deployment: DeploymentType,
+    /// The cohort's region tag, when the [`PopulationSpec`] carried one.
+    pub region: Option<Region>,
     pub history: PerfHistory,
     /// Ground-truth negotiability per profiled dimension, in
     /// [`PopulationSpec::profiled_dimensions`] order.
@@ -623,6 +641,18 @@ mod tests {
         let cat = catalog();
         let spec = small_db_spec();
         assert!(spec.customer(0, &cat).file_layout.is_none());
+    }
+
+    #[test]
+    fn region_tag_rides_along_without_changing_the_customer() {
+        let cat = catalog();
+        let untagged = small_db_spec().customer(3, &cat);
+        assert_eq!(untagged.region, None);
+        let tagged = small_db_spec().in_region(Region::new("westeurope")).customer(3, &cat);
+        assert_eq!(tagged.region, Some(Region::new("westeurope")));
+        // Only the tag differs: telemetry and choice are region-independent.
+        assert_eq!(untagged.history, tagged.history);
+        assert_eq!(untagged.chosen_sku, tagged.chosen_sku);
     }
 
     #[test]

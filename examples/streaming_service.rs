@@ -1,7 +1,10 @@
-//! Streaming fleet assessment: run the long-lived `FleetService`, submit a
-//! heterogeneous cohort as a continuous request stream, and poll the
-//! incremental report snapshot the way a migration dashboard would —
-//! mid-run, while tickets are still resolving.
+//! Streaming fleet assessment over the engine registry: run the
+//! long-lived `FleetService`, submit a heterogeneous cohort as a
+//! continuous request stream, and poll the incremental report snapshot
+//! the way a migration dashboard would — mid-run, while tickets are still
+//! resolving. Engines resolve through one shared `EngineRegistry`, so
+//! nothing is ever trained twice, here or in any other consumer of the
+//! same registry.
 //!
 //! ```text
 //! cargo run --release --example streaming_service
@@ -11,6 +14,7 @@
 //! `FLEET_SIZE` (default 400 DB + ~130 MI), `FLEET_WORKERS` (default: all
 //! cores).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use doppler::fleet::cloud_fleet;
@@ -25,24 +29,22 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
 
-    // 1. One long-lived service over both deployment targets. The engines
-    //    are read-only after construction and shared by Arc, so spinning
-    //    the pool up is cheap and nothing retrains.
-    let catalog = azure_paas_catalog(&CatalogSpec::default());
-    let service = FleetAssessor::new(
-        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb)),
-        FleetConfig::with_workers(workers),
-    )
-    .with_engine(DopplerEngine::untrained(
-        catalog.clone(),
-        EngineConfig::production(DeploymentType::SqlMi),
-    ))
-    .into_service();
+    // 1. One long-lived service resolving both deployment targets through
+    //    a shared registry: each engine is trained at most once — by the
+    //    first worker that needs it — and every later resolution is a
+    //    sharded read-lock lookup plus an Arc bump.
+    let registry = Arc::new(EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production())));
+    let service =
+        FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(workers))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlMi)))
+            .into_service();
 
     // 2. The request stream: a SQL DB cohort chained with a SQL MI cohort,
     //    submitted one at a time exactly as a telemetry pipeline would hand
     //    them over. `submit` applies backpressure at the bounded queue, so
     //    the stream never materializes beyond queue depth.
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
     let db_spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_db(db_size, 42) };
     let mi_spec = PopulationSpec { days: 2.0, ..PopulationSpec::sql_mi(mi_size, 43) };
     let stream = cloud_fleet(&db_spec, &catalog, None).chain(cloud_fleet(&mi_spec, &catalog, None));
@@ -90,5 +92,12 @@ fn main() {
     println!(
         "streamed {resolved} instances on {workers} worker(s) in {elapsed:.2?} ({:.1} instances/s)",
         resolved as f64 / elapsed.as_secs_f64()
+    );
+    let stats = registry.stats();
+    println!(
+        "registry: {} trainings, {} warm resolutions, {} engines cached",
+        stats.misses,
+        stats.hits + stats.coalesced,
+        stats.entries,
     );
 }

@@ -54,20 +54,21 @@ pub mod dma {
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use doppler_catalog::{
-        azure_paas_catalog, BillingRates, Catalog, CatalogSpec, DeploymentType, FileLayout,
-        ServiceTier, Sku, SkuId,
+        azure_paas_catalog, BillingRates, Catalog, CatalogKey, CatalogProvider, CatalogSpec,
+        CatalogVersion, DeploymentType, FileLayout, InMemoryCatalogProvider, Region, ServiceTier,
+        Sku, SkuId,
     };
     pub use doppler_core::{
         BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine, EngineConfig,
-        GroupingStrategy, NegotiabilityStrategy, PricePerformanceCurve, Recommendation,
-        TrainingRecord,
+        EngineRegistry, EngineTemplate, GroupingStrategy, NegotiabilityStrategy,
+        PricePerformanceCurve, Recommendation, TrainingRecord, TrainingSet,
     };
     pub use doppler_dma::{
         AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline,
     };
     pub use doppler_fleet::{
-        AssessmentService, FleetAssessment, FleetAssessor, FleetConfig, FleetReport, FleetRequest,
-        FleetService, Ticket, TicketQueue,
+        AssessmentService, EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetReport,
+        FleetRequest, FleetService, Ticket, TicketQueue,
     };
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
     pub use doppler_workload::{PopulationSpec, WorkloadArchetype, WorkloadSpec};

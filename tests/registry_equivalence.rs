@@ -1,0 +1,214 @@
+//! Registry-path equivalence and economy: a mixed-region fleet resolved
+//! through the [`EngineRegistry`] must
+//!
+//! 1. perform **exactly K trainings** for K distinct
+//!    `(deployment, region, version)` keys — asserted via the registry's
+//!    hit/miss counters,
+//! 2. produce reports and per-instance results **bit-for-bit identical**
+//!    to the per-pipeline training path (each engine trained directly,
+//!    requests assessed serially in submission order), at 1, 4, and 8
+//!    workers alike, and
+//! 3. make warm resolution dramatically cheaper than cold training (the
+//!    `registry_bench` bench quantifies this; here a coarse ≥ 10× guard
+//!    keeps the property from regressing silently).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use doppler::fleet::cloud_fleet;
+use doppler::fleet::FleetResult;
+use doppler::prelude::*;
+
+/// The three regions of the scenario; `global` is priced at list,
+/// `westeurope` 8 % above it.
+fn provider() -> InMemoryCatalogProvider {
+    InMemoryCatalogProvider::production().with_region(
+        Region::new("westeurope"),
+        CatalogVersion::INITIAL,
+        &CatalogSpec::default(),
+        1.08,
+    )
+}
+
+/// A small migrated cohort per deployment, used as the shared training
+/// set — non-trivial training makes the warm/cold gap observable and the
+/// determinism claim meaningful.
+fn training_set(deployment: DeploymentType) -> TrainingSet {
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let spec = match deployment {
+        DeploymentType::SqlDb => PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(8, 909) },
+        DeploymentType::SqlMi => PopulationSpec { days: 1.0, ..PopulationSpec::sql_mi(8, 909) },
+    };
+    let records: Vec<TrainingRecord> = spec
+        .stream_customers(&catalog)
+        .map(|c| TrainingRecord {
+            history: c.history,
+            chosen_sku: c.chosen_sku,
+            file_layout: c.file_layout,
+        })
+        .collect();
+    TrainingSet::new(records)
+}
+
+/// The mixed fleet: an untagged SQL DB cohort (default key `DB@global`),
+/// a West Europe SQL DB cohort, and an untagged SQL MI cohort — three
+/// distinct catalog keys in one run, with month tags exercising the
+/// adoption ledger.
+fn mixed_fleet() -> Vec<FleetRequest> {
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let db = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(24, 41) };
+    let west = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(24, 42) }
+        .in_region(Region::new("westeurope"));
+    let mi = PopulationSpec { days: 1.0, ..PopulationSpec::sql_mi(16, 43) };
+    cloud_fleet(&db, &catalog, None)
+        .map(|r| r.with_month("Oct-21"))
+        .chain(cloud_fleet(&west, &catalog, None).map(|r| r.with_month("Nov-21")))
+        .chain(cloud_fleet(&mi, &catalog, None).map(|r| r.with_month("Nov-21")))
+        .collect()
+}
+
+fn registry_assessor(workers: usize) -> (Arc<EngineRegistry>, FleetAssessor) {
+    let registry = Arc::new(EngineRegistry::new(Arc::new(provider())));
+    let assessor =
+        FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(workers))
+            .with_route(
+                EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb))
+                    .trained(training_set(DeploymentType::SqlDb)),
+            )
+            .with_route(
+                EngineRoute::production(CatalogKey::production(DeploymentType::SqlMi))
+                    .trained(training_set(DeploymentType::SqlMi)),
+            );
+    (registry, assessor)
+}
+
+/// The per-pipeline training path: every distinct key's engine trained
+/// directly (no registry), requests assessed serially in submission
+/// order.
+fn reference_results(fleet: &[FleetRequest]) -> Vec<FleetResult> {
+    let train_for = |key: &CatalogKey| -> SkuRecommendationPipeline {
+        let multiplier = if key.region == Region::new("westeurope") { 1.08 } else { 1.0 };
+        let rates = CatalogSpec::default().rates.scaled(multiplier);
+        let spec = CatalogSpec { rates, ..CatalogSpec::default() };
+        let config = EngineConfig { rates, ..EngineConfig::production(key.deployment) };
+        let training = training_set(key.deployment);
+        SkuRecommendationPipeline::new(DopplerEngine::train(
+            azure_paas_catalog(&spec),
+            config,
+            training.records(),
+        ))
+    };
+    let mut pipelines: Vec<(CatalogKey, SkuRecommendationPipeline)> = Vec::new();
+    fleet
+        .iter()
+        .enumerate()
+        .map(|(index, request)| {
+            let key = request
+                .catalog_key
+                .clone()
+                .unwrap_or_else(|| CatalogKey::production(request.deployment));
+            if !pipelines.iter().any(|(k, _)| *k == key) {
+                let pipeline = train_for(&key);
+                pipelines.push((key.clone(), pipeline));
+            }
+            let pipeline = &pipelines.iter().find(|(k, _)| *k == key).expect("just inserted").1;
+            FleetResult {
+                index,
+                instance_name: request.request.instance_name.clone(),
+                deployment: request.deployment,
+                month: request.month.clone(),
+                outcome: Ok(pipeline.assess(&request.request)),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_region_fleet_trains_once_per_key_and_matches_the_per_pipeline_path() {
+    let fleet = mixed_fleet();
+    assert_eq!(fleet.len(), 64);
+
+    let reference = reference_results(&fleet);
+    let reference_report = FleetReport::from_results(&reference);
+    assert_eq!(reference_report.failed, 0, "{:?}", reference_report.failures);
+
+    for workers in [1usize, 4, 8] {
+        let (registry, assessor) = registry_assessor(workers);
+        let out = assessor.assess(fleet.clone());
+
+        // Exactly K = 3 distinct keys were touched: DB@global#v1,
+        // DB@westeurope#v1, MI@global#v1 — and exactly 3 trainings ran,
+        // no matter how many workers raced the cold keys.
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 3, "workers={workers}: {stats:?}");
+        assert_eq!(stats.failures, 0);
+        assert_eq!(
+            stats.hits + stats.coalesced + stats.misses,
+            64,
+            "every request resolved through the registry (workers={workers})"
+        );
+        assert_eq!(registry.len(), 3);
+
+        // Bit-for-bit equality with the per-pipeline path: the aggregate
+        // report (PartialEq over counts, f64 cost sums, histograms, and
+        // the adoption ledger) and every per-instance recommendation.
+        assert_eq!(out.report, reference_report, "workers={workers}");
+        assert_eq!(out.results.len(), reference.len());
+        for (a, b) in out.results.iter().zip(&reference) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.instance_name, b.instance_name);
+            assert_eq!(a.month, b.month);
+            let (ra, rb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(ra.recommendation, rb.recommendation, "instance {}", a.instance_name);
+            assert_eq!(ra.report, rb.report);
+        }
+    }
+}
+
+#[test]
+fn adoption_ledger_reproduces_from_the_single_fleet_run() {
+    let (_registry, assessor) = registry_assessor(4);
+    let out = assessor.assess(mixed_fleet());
+    let oct = out.report.adoption.month("Oct-21").expect("tagged cohort");
+    let nov = out.report.adoption.month("Nov-21").expect("tagged cohorts");
+    assert_eq!(oct.unique_instances, 24);
+    assert_eq!(nov.unique_instances, 40);
+    assert_eq!(oct.unique_databases, 24, "from_history registers one db per instance");
+    // Table 1's signature: recommendations generated far exceed unique
+    // instances, because most workloads have several fully satisfying SKUs.
+    assert!(
+        nov.recommendations_generated > nov.unique_instances,
+        "{} recommendations for {} instances",
+        nov.recommendations_generated,
+        nov.unique_instances
+    );
+    let text = out.report.render();
+    assert!(text.contains("Adoption (Table 1)"), "{text}");
+}
+
+#[test]
+fn warm_resolution_is_at_least_ten_times_cheaper_than_cold_training() {
+    let registry = EngineRegistry::new(Arc::new(provider()));
+    let key = CatalogKey::production(DeploymentType::SqlDb);
+    let template = EngineTemplate::production();
+    let training = training_set(DeploymentType::SqlDb);
+
+    let cold_start = Instant::now();
+    let engine = registry.get_or_train(&key, &template, &training).unwrap();
+    let cold = cold_start.elapsed();
+
+    const WARM_ITERS: u32 = 200;
+    let warm_start = Instant::now();
+    for _ in 0..WARM_ITERS {
+        let warm = registry.get_or_train(&key, &template, &training).unwrap();
+        assert!(Arc::ptr_eq(&warm, &engine));
+    }
+    let warm = warm_start.elapsed() / WARM_ITERS;
+
+    // The bench quantifies the real gap (orders of magnitude); this guard
+    // only has to be loose enough to never flake on a noisy CI container.
+    assert!(cold >= warm * 10, "cold training {cold:?} should dwarf warm resolution {warm:?}");
+    let stats = registry.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits + stats.coalesced, WARM_ITERS as u64);
+}
