@@ -1,0 +1,126 @@
+//! Drift-monitoring hot paths: a full monitor pass (drift check + fold +
+//! priority re-queue) over a 1,000-customer mixed cohort at 1 and 4
+//! workers, and the queue-latency win of the priority lane — how long a
+//! deadline item waits behind a 1,000-deep normal backlog with and
+//! without lane priority.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{CatalogKey, CatalogSpec, CatalogVersion, DeploymentType, Region};
+use doppler_core::EngineRegistry;
+use doppler_fleet::{
+    BoundedQueue, DriftMonitor, EngineRoute, FleetAssessor, FleetConfig, MonitoredCustomer,
+};
+use doppler_telemetry::PerfHistory;
+use doppler_workload::{DriftDirection, DriftSpec};
+
+const COHORT: usize = 1_000;
+const DRIFT_EVERY: usize = 10;
+
+/// Customer `i`'s baseline and fresh windows: every `DRIFT_EVERY`-th
+/// customer grows ~4× into a latency-critical workload, the rest are
+/// controls.
+fn cohort() -> Vec<(MonitoredCustomer, PerfHistory)> {
+    (0..COHORT)
+        .map(|i| {
+            let drifts = i % DRIFT_EVERY == 0;
+            let spec = DriftSpec {
+                direction: DriftDirection::Grow,
+                days: 0.5,
+                onset_day: 0.25,
+                magnitude: if drifts { 25.0 / 6.0 } else { 1.0 },
+                base_scale: 0.4 + 0.5 * ((i % 5) as f64 / 4.0),
+                latency_critical: true,
+            };
+            let scenario = spec.scenario(9_000 + i as u64);
+            let customer = MonitoredCustomer::new(
+                format!("cust-{i:04}"),
+                DeploymentType::SqlDb,
+                scenario.before(),
+            );
+            (customer, scenario.after())
+        })
+        .collect()
+}
+
+fn monitor(workers: usize) -> DriftMonitor {
+    let provider = doppler_catalog::InMemoryCatalogProvider::new().with_region(
+        Region::global(),
+        CatalogVersion::INITIAL,
+        &CatalogSpec::default(),
+        1.0,
+    );
+    let registry = Arc::new(EngineRegistry::new(Arc::new(provider)));
+    let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(workers))
+        .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+    DriftMonitor::new(assessor)
+}
+
+fn bench_monitor_sweep(c: &mut Criterion) {
+    let cohort = cohort();
+    let mut group = c.benchmark_group(format!("drift_monitor_pass_{COHORT}_customers"));
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("tick/workers", workers), &cohort, |b, cohort| {
+            b.iter(|| {
+                let mut monitor = monitor(workers);
+                for (customer, fresh) in cohort {
+                    let name = customer.name.clone();
+                    monitor.watch(customer.clone());
+                    monitor.observe(&name, fresh.clone());
+                }
+                let pass = monitor.tick("Bench-22");
+                assert_eq!(pass.report.checked, COHORT);
+                assert_eq!(pass.report.drifted, COHORT / DRIFT_EVERY);
+                std::hint::black_box(pass.report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_lanes(c: &mut Criterion) {
+    const BACKLOG: usize = 1_000;
+    let mut group = c.benchmark_group(format!("queue_latency_behind_{BACKLOG}_backlog"));
+
+    // FIFO: the deadline item queues behind the whole backlog and is
+    // delivered only after BACKLOG pops.
+    group.bench_function("fifo_normal_lane", |b| {
+        b.iter(|| {
+            let q = BoundedQueue::new(BACKLOG + 1);
+            for i in 0..BACKLOG {
+                q.push(i).unwrap();
+            }
+            q.push(usize::MAX).unwrap();
+            let mut pops = 0usize;
+            loop {
+                pops += 1;
+                if q.pop() == Some(usize::MAX) {
+                    break;
+                }
+            }
+            assert_eq!(pops, BACKLOG + 1);
+            std::hint::black_box(pops)
+        })
+    });
+
+    // Priority lane: the same backlog, but the deadline item jumps it —
+    // delivered on the very next pop.
+    group.bench_function("priority_lane", |b| {
+        b.iter(|| {
+            let q = BoundedQueue::new(BACKLOG + 1);
+            for i in 0..BACKLOG {
+                q.push(i).unwrap();
+            }
+            q.push_priority(usize::MAX).unwrap();
+            assert_eq!(q.pop(), Some(usize::MAX));
+            std::hint::black_box(q.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor_sweep, bench_queue_lanes);
+criterion_main!(benches);

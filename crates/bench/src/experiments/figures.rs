@@ -402,6 +402,8 @@ mod tests {
     fn figure11_detects_the_change() {
         let f = figure11(&tiny());
         assert!(f.contains("changed: true"), "{f}");
+        // The paper's §5.2.3 customer: GP 2 cores before, BC 6 cores after.
+        assert!(f.contains("before: Some(\"DB_GP_2\"), after: Some(\"DB_BC_6\")"), "{f}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod throttling;
 pub use baseline::BaselineStrategy;
 pub use confidence::{confidence_score, ConfidenceConfig};
 pub use curve::{CurveShape, PricePerfPoint, PricePerformanceCurve};
-pub use driftdetect::{detect_drift, DriftReport};
+pub use driftdetect::{detect_drift, DriftReport, DriftSeverity};
 pub use engine::{DopplerEngine, EngineConfig, Recommendation, TrainingRecord};
 pub use grouping::{FittedGrouping, GroupingStrategy};
 pub use heuristics::CurveHeuristic;

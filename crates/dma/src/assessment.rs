@@ -8,12 +8,19 @@
 //! `doppler-fleet` worker pool: see `doppler_fleet::AssessmentService`,
 //! which records into this ledger.
 
-/// One month's adoption counters (a Table 1 row).
+/// One month's adoption counters (a Table 1 row), extended with the
+/// drift-monitoring outcomes of continuous operation: how many deployed
+/// customers were re-checked this month and how many had drifted off
+/// their SKU.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MonthlyAdoption {
     pub unique_instances: usize,
     pub unique_databases: usize,
     pub recommendations_generated: usize,
+    /// Drift checks run against deployed customers this month.
+    pub drift_checks: usize,
+    /// Of those, checks that detected a SKU change.
+    pub drift_detected: usize,
 }
 
 /// Adoption counters by month label (e.g. `"Oct-21"`), in first-seen
@@ -45,6 +52,16 @@ impl AdoptionLedger {
         m.recommendations_generated += recommendations;
     }
 
+    /// Record one drift check against a deployed customer — the
+    /// continuous-monitoring counterpart of [`record`](AdoptionLedger::record).
+    pub fn record_drift(&mut self, month: &str, drifted: bool) {
+        let m = self.entry(month);
+        m.drift_checks += 1;
+        if drifted {
+            m.drift_detected += 1;
+        }
+    }
+
     /// Fold another ledger's counters into this one, month-wise. Months
     /// unseen so far are appended in the other ledger's order, so merging
     /// period reports into a running total preserves chronology.
@@ -54,6 +71,8 @@ impl AdoptionLedger {
             m.unique_instances += row.unique_instances;
             m.unique_databases += row.unique_databases;
             m.recommendations_generated += row.recommendations_generated;
+            m.drift_checks += row.drift_checks;
+            m.drift_detected += row.drift_detected;
         }
     }
 
@@ -106,6 +125,36 @@ mod tests {
     #[test]
     fn unknown_month_is_none() {
         assert_eq!(AdoptionLedger::default().month("Jan-22"), None);
+    }
+
+    #[test]
+    fn drift_rows_count_checks_and_detections() {
+        let mut ledger = AdoptionLedger::default();
+        ledger.record_drift("Oct-21", false);
+        ledger.record_drift("Oct-21", true);
+        ledger.record_drift("Oct-21", false);
+        let m = ledger.month("Oct-21").unwrap();
+        assert_eq!(m.drift_checks, 3);
+        assert_eq!(m.drift_detected, 1);
+        // Drift rows live beside the Table 1 counters, not instead.
+        assert_eq!(m.unique_instances, 0);
+        ledger.record("Oct-21", 1, 1);
+        assert_eq!(ledger.month("Oct-21").unwrap().unique_instances, 1);
+        assert_eq!(ledger.rows().count(), 1);
+    }
+
+    #[test]
+    fn merge_carries_drift_rows() {
+        let mut total = AdoptionLedger::default();
+        total.record_drift("Oct-21", true);
+        let mut period = AdoptionLedger::default();
+        period.record_drift("Oct-21", true);
+        period.record_drift("Nov-21", false);
+        total.merge(&period);
+        assert_eq!(total.month("Oct-21").unwrap().drift_checks, 2);
+        assert_eq!(total.month("Oct-21").unwrap().drift_detected, 2);
+        assert_eq!(total.month("Nov-21").unwrap().drift_checks, 1);
+        assert_eq!(total.month("Nov-21").unwrap().drift_detected, 0);
     }
 
     #[test]

@@ -44,12 +44,16 @@ pub struct FleetRequest {
     pub catalog_key: Option<CatalogKey>,
     /// Adoption-ledger month label (e.g. `"Oct-21"`); `None` = untracked.
     pub month: Option<String>,
+    /// Enter the service queue's priority lane: popped ahead of the
+    /// normal backlog (migration-deadline and drifted-customer work),
+    /// while aggregation stays in submission order.
+    pub priority: bool,
     pub request: AssessmentRequest,
 }
 
 impl FleetRequest {
     pub fn new(deployment: DeploymentType, request: AssessmentRequest) -> FleetRequest {
-        FleetRequest { deployment, catalog_key: None, month: None, request }
+        FleetRequest { deployment, catalog_key: None, month: None, priority: false, request }
     }
 
     /// Pin the offer catalog this request is assessed against. The key's
@@ -64,6 +68,28 @@ impl FleetRequest {
     /// Tag the request with an adoption-ledger month (Table 1).
     pub fn with_month(mut self, month: impl Into<String>) -> FleetRequest {
         self.month = Some(month.into());
+        self
+    }
+
+    /// Route through the service queue's priority lane — the
+    /// migration-deadline / drifted-customer fast path. Ordering jumps the
+    /// backlog; the report aggregate is unaffected (submission order).
+    ///
+    /// ```
+    /// use doppler_catalog::DeploymentType;
+    /// use doppler_dma::AssessmentRequest;
+    /// use doppler_fleet::FleetRequest;
+    /// use doppler_telemetry::PerfHistory;
+    ///
+    /// let request = FleetRequest::new(
+    ///     DeploymentType::SqlDb,
+    ///     AssessmentRequest::from_history("deadline-cust", PerfHistory::new(), vec![], None),
+    /// )
+    /// .with_priority();
+    /// assert!(request.priority);
+    /// ```
+    pub fn with_priority(mut self) -> FleetRequest {
+        self.priority = true;
         self
     }
 }
@@ -227,7 +253,7 @@ impl EngineSet {
     /// resolution order). Warm registry resolutions are a sharded read
     /// lock plus an `Arc` bump; the first request per key pays the one
     /// training run.
-    fn resolve(
+    pub(crate) fn resolve(
         &self,
         deployment: DeploymentType,
         catalog_key: &Option<CatalogKey>,
@@ -269,7 +295,7 @@ impl EngineSet {
     /// — a dead worker would strand the in-order aggregation and, with
     /// one worker, deadlock the feeder on queue backpressure.
     pub(crate) fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
-        let FleetRequest { deployment, catalog_key, month, request } = task;
+        let FleetRequest { deployment, catalog_key, month, request, priority: _ } = task;
         let instance_name = request.instance_name.clone();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             self.resolve(deployment, &catalog_key).map(|pipeline| pipeline.assess(&request))
@@ -420,7 +446,7 @@ impl FleetAssessor {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("assessment panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,0 +1,1048 @@
+//! Fleet-wide drift monitoring: continuous re-assessment of deployed
+//! customers against their recommended SKUs (§5.2.3 at fleet scale).
+//!
+//! Doppler validates a recommendation *after* migration by comparing
+//! telemetry before and after the SKU change; production SKU advisors must
+//! keep doing that for every deployed customer as workloads drift. The
+//! [`DriftMonitor`] is that loop:
+//!
+//! 1. **watch** — register each deployed customer with the telemetry
+//!    window its recommendation was made on (directly, or straight from a
+//!    fleet run via [`DriftMonitor::watch_assessment`]);
+//! 2. **observe** — stage each customer's freshest telemetry window as it
+//!    arrives;
+//! 3. **tick** — per month (or on demand), stitch every staged window onto
+//!    its baseline and run [`detect_drift`] through the shared
+//!    [`FleetService`] worker pool, folding the per-customer
+//!    [`DriftOutcome`]s — in registration order, so every aggregate is
+//!    bit-for-bit identical for any worker count — into a
+//!    [`FleetDriftReport`] with per-region and per-deployment roll-ups;
+//! 4. **re-queue** — customers whose recommendation moved are re-assessed
+//!    immediately through the queue's *priority lane*
+//!    ([`FleetRequest::with_priority`]), jumping any normal backlog, and
+//!    their baselines roll forward to the fresh window.
+//!
+//! Drift checks ride the same worker pool as assessments but stay out of
+//! the service's assessment aggregate — the monitor owns their
+//! aggregation, and its [`AdoptionLedger`] gains per-month drift-outcome
+//! rows alongside the Table 1 counters.
+//!
+//! # Example
+//!
+//! ```
+//! use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+//! use doppler_core::{DopplerEngine, EngineConfig};
+//! use doppler_fleet::{DriftMonitor, FleetAssessor, FleetConfig, MonitoredCustomer};
+//! use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+//!
+//! let engine = DopplerEngine::untrained(
+//!     azure_paas_catalog(&CatalogSpec::default()),
+//!     EngineConfig::production(DeploymentType::SqlDb),
+//! );
+//! let assessor = FleetAssessor::new(engine, FleetConfig::with_workers(2));
+//! let mut monitor = DriftMonitor::new(assessor);
+//!
+//! let window = |cpu: f64| {
+//!     PerfHistory::new()
+//!         .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 96]))
+//!         .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]))
+//! };
+//! monitor.watch(MonitoredCustomer::new("cust-1", DeploymentType::SqlDb, window(0.5)));
+//! monitor.observe("cust-1", window(7.0)); // the workload grew 14×
+//! let pass = monitor.tick("Nov-21");
+//! assert_eq!(pass.report.drifted, 1);
+//! assert_eq!(pass.reassessments.len(), 1, "drifted customers re-assess via the priority lane");
+//! ```
+
+use std::collections::HashMap;
+
+use doppler_catalog::{CatalogKey, DeploymentType, Region};
+use doppler_core::{detect_drift, ConfidenceConfig, DriftSeverity};
+use doppler_dma::{AdoptionLedger, AssessmentRequest};
+use doppler_telemetry::PerfHistory;
+
+use crate::assessor::{AssessmentError, EngineSet, FleetAssessor, FleetRequest, FleetResult};
+use crate::report::{bar_row, render_attention_list, FleetReport};
+use crate::service::{DriftTicket, FleetService};
+
+/// One drift check, shipped to the worker pool: a customer's stitched
+/// history (baseline ++ fresh window), the change point between the two,
+/// and where to price the verdict.
+#[derive(Debug, Clone)]
+pub struct DriftProbe {
+    /// The customer being checked (labels the outcome).
+    pub customer: String,
+    pub deployment: DeploymentType,
+    /// Price the check against this exact offer catalog; `None` = the
+    /// deployment's default route (same resolution as assessment).
+    pub catalog_key: Option<CatalogKey>,
+    /// Baseline window ++ fresh window.
+    pub history: PerfHistory,
+    /// First sample of the fresh window.
+    pub change_point: usize,
+    /// Group tolerance for the curve selections (0.0 = zero-tolerance).
+    pub p_g: f64,
+}
+
+/// What one drift check concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DriftVerdict {
+    /// The fresh window selects the same SKU as the baseline window.
+    Stable,
+    /// The recommendation moved: the workload outgrew (or shrank out of)
+    /// its SKU.
+    Drifted,
+    /// No verdict: one of the windows produced no selection, or the check
+    /// itself failed (no route, panic) — see [`DriftOutcome::error`].
+    Inconclusive,
+}
+
+/// One customer's drift-check result, tagged with its submission index.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftOutcome {
+    /// Position of this outcome in its [`DriftPass`] (the monitor
+    /// re-indexes on collection). For checks submitted directly via
+    /// [`FleetService::submit_drift`](crate::service::FleetService::submit_drift)
+    /// this is the service-wide drift-check sequence number instead.
+    pub index: usize,
+    pub customer: String,
+    pub deployment: DeploymentType,
+    /// The region the check was priced in ([`Region::global`] when the
+    /// customer carries no catalog key).
+    pub region: Region,
+    pub verdict: DriftVerdict,
+    /// Severity grade ([`DriftSeverity::None`] unless drifted).
+    pub severity: DriftSeverity,
+    /// The baseline window's selection.
+    pub before_sku: Option<String>,
+    /// The fresh window's selection — the re-recommendation.
+    pub after_sku: Option<String>,
+    /// Raw throttling probability of keeping the baseline SKU on the
+    /// fresh workload.
+    pub throttle_if_unchanged: f64,
+    /// Monthly cost of acting on the re-recommendation (after − before).
+    pub cost_delta: Option<f64>,
+    /// Why the check was inconclusive, when it failed outright.
+    pub error: Option<String>,
+}
+
+/// Run one probe against the service's engine set — the worker-side body
+/// of a drift check. Panics and resolution failures become
+/// [`DriftVerdict::Inconclusive`] outcomes instead of killing the worker.
+pub(crate) fn evaluate_probe(engines: &EngineSet, index: usize, probe: DriftProbe) -> DriftOutcome {
+    let DriftProbe { customer, deployment, catalog_key, history, change_point, p_g } = probe;
+    let region = catalog_key.as_ref().map(|k| k.region.clone()).unwrap_or_else(Region::global);
+    let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engines.resolve(deployment, &catalog_key).map(|pipeline| {
+            // The resolved pipeline's catalog is already regional (prices
+            // scaled by the provider), so the drift verdict is priced in
+            // the customer's own region.
+            let catalog = pipeline.engine().catalog();
+            let skus = catalog.for_deployment(deployment);
+            detect_drift(&history, change_point, &skus, p_g)
+        })
+    }))
+    .unwrap_or_else(|payload| {
+        Err(AssessmentError { message: crate::assessor::panic_message(payload) })
+    });
+    match evaluated {
+        Err(e) => DriftOutcome {
+            index,
+            customer,
+            deployment,
+            region,
+            verdict: DriftVerdict::Inconclusive,
+            severity: DriftSeverity::None,
+            before_sku: None,
+            after_sku: None,
+            throttle_if_unchanged: 0.0,
+            cost_delta: None,
+            error: Some(e.message),
+        },
+        Ok(report) => {
+            let verdict = match (&report.before_sku, &report.after_sku) {
+                (Some(_), Some(_)) if report.changed => DriftVerdict::Drifted,
+                (Some(_), Some(_)) => DriftVerdict::Stable,
+                _ => DriftVerdict::Inconclusive,
+            };
+            DriftOutcome {
+                index,
+                customer,
+                deployment,
+                region,
+                verdict,
+                severity: report.severity(),
+                throttle_if_unchanged: report.throttle_if_unchanged,
+                cost_delta: report.cost_delta(),
+                before_sku: report.before_sku,
+                after_sku: report.after_sku,
+                error: None,
+            }
+        }
+    }
+}
+
+/// One region's share of a drift pass ([`CatalogKey`] plumbing: the row
+/// key is the region the check was priced in).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RegionDriftRow {
+    pub region: Region,
+    pub checked: usize,
+    pub drifted: usize,
+    pub stable: usize,
+    pub inconclusive: usize,
+    /// Sum of the drifted customers' re-recommendation cost deltas.
+    pub cost_delta: f64,
+}
+
+/// One deployment target's share of a drift pass.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeploymentDriftRow {
+    pub deployment: DeploymentType,
+    pub checked: usize,
+    pub drifted: usize,
+    pub stable: usize,
+    pub inconclusive: usize,
+    pub cost_delta: f64,
+}
+
+/// One drifted customer, for the attention list.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftedRow {
+    pub customer: String,
+    pub region: Region,
+    pub from_sku: Option<String>,
+    pub to_sku: Option<String>,
+    pub severity: DriftSeverity,
+    pub throttle_if_unchanged: f64,
+    pub cost_delta: Option<f64>,
+}
+
+/// The aggregate view of one monitoring pass: verdict counts, the severity
+/// histogram, the total re-recommendation cost delta, and per-region /
+/// per-deployment roll-up rows that always sum back to the fleet totals.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetDriftReport {
+    /// The ledger month this pass was recorded under.
+    pub month: String,
+    pub checked: usize,
+    pub drifted: usize,
+    pub stable: usize,
+    pub inconclusive: usize,
+    /// Severity histogram in [`DriftSeverity::ALL`] order.
+    pub severity: [usize; 5],
+    /// Sum of the drifted customers' re-recommendation cost deltas
+    /// (positive: the fleet grew; negative: right-sizing savings).
+    pub total_cost_delta: f64,
+    /// Per-region rows, sorted by region label.
+    pub regions: Vec<RegionDriftRow>,
+    /// Per-deployment rows in `SqlDb`, `SqlMi` order (present targets
+    /// only).
+    pub deployments: Vec<DeploymentDriftRow>,
+    /// The drifted customers, in submission order.
+    pub drifted_customers: Vec<DriftedRow>,
+}
+
+impl FleetDriftReport {
+    /// Fold a pass's outcomes (must be in submission order — summation
+    /// follows it, so equal inputs produce bit-for-bit equal reports
+    /// regardless of how many workers ran the checks).
+    pub fn from_outcomes(month: &str, outcomes: &[DriftOutcome]) -> FleetDriftReport {
+        let mut report = FleetDriftReport {
+            month: month.to_string(),
+            checked: 0,
+            drifted: 0,
+            stable: 0,
+            inconclusive: 0,
+            severity: [0; 5],
+            total_cost_delta: 0.0,
+            regions: Vec::new(),
+            deployments: Vec::new(),
+            drifted_customers: Vec::new(),
+        };
+        for o in outcomes {
+            report.checked += 1;
+            report.severity[o.severity.bucket()] += 1;
+            let drifted_delta = match o.verdict {
+                DriftVerdict::Drifted => {
+                    report.drifted += 1;
+                    report.drifted_customers.push(DriftedRow {
+                        customer: o.customer.clone(),
+                        region: o.region.clone(),
+                        from_sku: o.before_sku.clone(),
+                        to_sku: o.after_sku.clone(),
+                        severity: o.severity,
+                        throttle_if_unchanged: o.throttle_if_unchanged,
+                        cost_delta: o.cost_delta,
+                    });
+                    let delta = o.cost_delta.unwrap_or(0.0);
+                    report.total_cost_delta += delta;
+                    delta
+                }
+                DriftVerdict::Stable => {
+                    report.stable += 1;
+                    0.0
+                }
+                DriftVerdict::Inconclusive => {
+                    report.inconclusive += 1;
+                    0.0
+                }
+            };
+            let region_row = match report.regions.iter().position(|r| r.region == o.region) {
+                Some(i) => &mut report.regions[i],
+                None => {
+                    report.regions.push(RegionDriftRow {
+                        region: o.region.clone(),
+                        checked: 0,
+                        drifted: 0,
+                        stable: 0,
+                        inconclusive: 0,
+                        cost_delta: 0.0,
+                    });
+                    report.regions.last_mut().expect("just pushed")
+                }
+            };
+            region_row.checked += 1;
+            region_row.cost_delta += drifted_delta;
+            let deployment_row =
+                match report.deployments.iter().position(|d| d.deployment == o.deployment) {
+                    Some(i) => &mut report.deployments[i],
+                    None => {
+                        report.deployments.push(DeploymentDriftRow {
+                            deployment: o.deployment,
+                            checked: 0,
+                            drifted: 0,
+                            stable: 0,
+                            inconclusive: 0,
+                            cost_delta: 0.0,
+                        });
+                        report.deployments.last_mut().expect("just pushed")
+                    }
+                };
+            deployment_row.checked += 1;
+            deployment_row.cost_delta += drifted_delta;
+            match o.verdict {
+                DriftVerdict::Drifted => {
+                    region_row.drifted += 1;
+                    deployment_row.drifted += 1;
+                }
+                DriftVerdict::Stable => {
+                    region_row.stable += 1;
+                    deployment_row.stable += 1;
+                }
+                DriftVerdict::Inconclusive => {
+                    region_row.inconclusive += 1;
+                    deployment_row.inconclusive += 1;
+                }
+            }
+        }
+        report.regions.sort_by(|a, b| a.region.as_str().cmp(b.region.as_str()));
+        report.deployments.sort_by_key(|row| match row.deployment {
+            DeploymentType::SqlDb => 0,
+            DeploymentType::SqlMi => 1,
+        });
+        report
+    }
+
+    /// Render the drift pass as a terminal dashboard, in the style of
+    /// [`FleetReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== Fleet Drift Report ({}) ===\n", self.month));
+        out.push_str(&format!(
+            "checked: {:>7}   drifted: {:>6}   stable: {:>6}   inconclusive: {:>5}\n",
+            self.checked, self.drifted, self.stable, self.inconclusive
+        ));
+        out.push_str(&format!(
+            "re-recommendation cost delta: {}${:.2}/mo\n",
+            if self.total_cost_delta >= 0.0 { "+" } else { "-" },
+            self.total_cost_delta.abs()
+        ));
+
+        if self.checked > 0 {
+            out.push_str("\n--- Severity ---\n");
+            let max_count = self.severity.iter().copied().max().unwrap_or(1).max(1);
+            for (grade, &count) in DriftSeverity::ALL.iter().zip(&self.severity) {
+                out.push_str(&bar_row(&format!("{grade:?}"), count, max_count, self.checked, ""));
+            }
+        }
+
+        if self.regions.len() > 1 {
+            out.push_str("\n--- Regions ---\n");
+            for r in &self.regions {
+                out.push_str(&format!(
+                    "{:>14}   checked {:>6}   drifted {:>5}   stable {:>6}   inconclusive {:>4}   {:+.2} $/mo\n",
+                    r.region.as_str(), r.checked, r.drifted, r.stable, r.inconclusive, r.cost_delta
+                ));
+            }
+        }
+
+        if self.deployments.len() > 1 {
+            out.push_str("\n--- Deployments ---\n");
+            for d in &self.deployments {
+                out.push_str(&format!(
+                    "{:>14}   checked {:>6}   drifted {:>5}   stable {:>6}   inconclusive {:>4}   {:+.2} $/mo\n",
+                    format!("{:?}", d.deployment),
+                    d.checked,
+                    d.drifted,
+                    d.stable,
+                    d.inconclusive,
+                    d.cost_delta
+                ));
+            }
+        }
+
+        let drifted_lines: Vec<String> = self
+            .drifted_customers
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} [{}] {} -> {} ({:?}, {:.0}% throttled if unchanged{})",
+                    r.customer,
+                    r.region.as_str(),
+                    r.from_sku.as_deref().unwrap_or("?"),
+                    r.to_sku.as_deref().unwrap_or("?"),
+                    r.severity,
+                    r.throttle_if_unchanged * 100.0,
+                    match r.cost_delta {
+                        Some(d) => format!(", {d:+.2} $/mo"),
+                        None => String::new(),
+                    }
+                )
+            })
+            .collect();
+        render_attention_list(&mut out, "Drifted", &drifted_lines);
+        out
+    }
+}
+
+/// One deployed customer the monitor watches: the telemetry window its
+/// standing recommendation was made on, plus enough routing context to
+/// re-check (and re-assess) it in its own region.
+#[derive(Debug, Clone)]
+pub struct MonitoredCustomer {
+    pub name: String,
+    pub deployment: DeploymentType,
+    /// Price drift checks and re-assessments against this exact offer
+    /// catalog; `None` = the deployment's default route.
+    pub catalog_key: Option<CatalogKey>,
+    /// The window the standing recommendation was made on.
+    pub baseline: PerfHistory,
+    /// The standing recommendation, when known (display only — verdicts
+    /// compare the baseline window's own selection against the fresh
+    /// window's).
+    pub baseline_sku: Option<String>,
+    /// The standing recommendation's monthly cost, when known.
+    pub baseline_cost: Option<f64>,
+    /// MI data-file sizes, carried into re-assessment requests.
+    pub file_sizes_gib: Vec<f64>,
+    /// Confidence settings the customer was originally assessed with;
+    /// carried into priority-lane re-assessments so the re-recommendation
+    /// keeps its confidence score.
+    pub confidence: Option<ConfidenceConfig>,
+}
+
+impl MonitoredCustomer {
+    pub fn new(
+        name: impl Into<String>,
+        deployment: DeploymentType,
+        baseline: PerfHistory,
+    ) -> MonitoredCustomer {
+        MonitoredCustomer {
+            name: name.into(),
+            deployment,
+            catalog_key: None,
+            baseline,
+            baseline_sku: None,
+            baseline_cost: None,
+            file_sizes_gib: Vec::new(),
+            confidence: None,
+        }
+    }
+
+    /// Pin the offer catalog; the key's deployment becomes the customer's.
+    pub fn with_catalog_key(mut self, key: CatalogKey) -> MonitoredCustomer {
+        self.deployment = key.deployment;
+        self.catalog_key = Some(key);
+        self
+    }
+
+    /// Record the standing recommendation.
+    pub fn with_recommendation(
+        mut self,
+        sku: impl Into<String>,
+        monthly_cost: Option<f64>,
+    ) -> MonitoredCustomer {
+        self.baseline_sku = Some(sku.into());
+        self.baseline_cost = monthly_cost;
+        self
+    }
+
+    /// Keep computing the §3.4 confidence score on re-assessments.
+    pub fn with_confidence(mut self, confidence: ConfidenceConfig) -> MonitoredCustomer {
+        self.confidence = Some(confidence);
+        self
+    }
+
+    /// The region drift checks are priced in.
+    pub fn region(&self) -> Region {
+        self.catalog_key.as_ref().map(|k| k.region.clone()).unwrap_or_else(Region::global)
+    }
+
+    /// Build a watch entry straight from a fleet run: the request supplies
+    /// the baseline window and routing, the result the standing
+    /// recommendation. `None` when the assessment failed (there is no
+    /// recommendation to monitor).
+    pub fn from_assessment(
+        request: &FleetRequest,
+        result: &FleetResult,
+    ) -> Option<MonitoredCustomer> {
+        let assessed = result.outcome.as_ref().ok()?;
+        let mut customer = MonitoredCustomer::new(
+            result.instance_name.clone(),
+            request.deployment,
+            request.request.input.instance.clone(),
+        );
+        customer.catalog_key = request.catalog_key.clone();
+        customer.baseline_sku = assessed.recommendation.sku_id.clone();
+        customer.baseline_cost = assessed.recommendation.monthly_cost;
+        customer.file_sizes_gib = request.request.input.file_sizes_gib.clone();
+        customer.confidence = request.request.confidence;
+        Some(customer)
+    }
+}
+
+struct Watched {
+    customer: MonitoredCustomer,
+    /// The freshest telemetry window staged by `observe`, if any.
+    fresh: Option<PerfHistory>,
+}
+
+/// One completed monitoring pass.
+#[derive(Debug)]
+pub struct DriftPass {
+    /// The aggregate roll-up.
+    pub report: FleetDriftReport,
+    /// Per-customer outcomes, in registration order.
+    pub outcomes: Vec<DriftOutcome>,
+    /// Priority-lane re-assessments of the drifted customers, in the same
+    /// order they appear in [`FleetDriftReport::drifted_customers`].
+    pub reassessments: Vec<FleetResult>,
+}
+
+/// The fleet drift-monitoring loop. See the [module docs](crate::drift)
+/// for the lifecycle, and
+/// [`ROADMAP`](https://github.com/doppler-repro/doppler) for where it sits
+/// in the assess → deploy → monitor → re-queue cycle.
+pub struct DriftMonitor {
+    service: FleetService,
+    /// Watch entries in registration order (the pass order).
+    watched: Vec<Watched>,
+    /// Customer name → slot in `watched`, so registration and observation
+    /// stay O(1) over fleet-sized cohorts.
+    slots: HashMap<String, usize>,
+    p_g: f64,
+    ledger: AdoptionLedger,
+}
+
+impl DriftMonitor {
+    /// A monitor owning a fresh service over the assessor's engine set.
+    pub fn new(assessor: FleetAssessor) -> DriftMonitor {
+        DriftMonitor::over(assessor.into_service())
+    }
+
+    /// A monitor over an existing service — the shared-pool deployment:
+    /// assessment traffic keeps flowing through
+    /// [`service`](DriftMonitor::service) while the monitor's priority
+    /// re-assessments jump that backlog.
+    pub fn over(service: FleetService) -> DriftMonitor {
+        DriftMonitor {
+            service,
+            watched: Vec::new(),
+            slots: HashMap::new(),
+            p_g: 0.0,
+            ledger: AdoptionLedger::default(),
+        }
+    }
+
+    /// Set the group tolerance the drift checks select SKUs at (default
+    /// 0.0 — zero-tolerance, the §5.2.3 study's setting).
+    pub fn with_tolerance(mut self, p_g: f64) -> DriftMonitor {
+        self.p_g = p_g;
+        self
+    }
+
+    /// The underlying service (submit ordinary assessment traffic here).
+    pub fn service(&self) -> &FleetService {
+        &self.service
+    }
+
+    /// Register a customer for monitoring. Re-watching a name replaces its
+    /// entry (and drops any staged window) in place, keeping its original
+    /// position in the pass order.
+    pub fn watch(&mut self, customer: MonitoredCustomer) {
+        match self.slots.get(&customer.name) {
+            Some(&slot) => self.watched[slot] = Watched { customer, fresh: None },
+            None => {
+                self.slots.insert(customer.name.clone(), self.watched.len());
+                self.watched.push(Watched { customer, fresh: None });
+            }
+        }
+    }
+
+    /// Register a customer straight from a fleet run. Returns `false` for
+    /// failed assessments (nothing to monitor).
+    pub fn watch_assessment(&mut self, request: &FleetRequest, result: &FleetResult) -> bool {
+        match MonitoredCustomer::from_assessment(request, result) {
+            Some(customer) => {
+                self.watch(customer);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Customers currently watched.
+    pub fn watched(&self) -> usize {
+        self.watched.len()
+    }
+
+    /// Stage `name`'s freshest telemetry window for the next pass
+    /// (replacing any previous staging). Returns `false` for unknown
+    /// customers.
+    pub fn observe(&mut self, name: &str, fresh: PerfHistory) -> bool {
+        match self.slots.get(name) {
+            Some(&slot) => {
+                self.watched[slot].fresh = Some(fresh);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Customers with a staged window awaiting the next pass.
+    pub fn observed(&self) -> usize {
+        self.watched.iter().filter(|w| w.fresh.is_some()).count()
+    }
+
+    /// Per-month drift-outcome rows (checks run, drift detected),
+    /// alongside nothing else — the Table 1 ledger extension.
+    pub fn ledger(&self) -> &AdoptionLedger {
+        &self.ledger
+    }
+
+    /// Run one monitoring pass over every customer with a staged window:
+    /// fan the drift checks out across the service's workers, fold the
+    /// outcomes in registration order, re-queue the drifted customers
+    /// through the priority lane, and roll their baselines forward to the
+    /// fresh window. Deterministic: the same staged windows produce the
+    /// same [`DriftPass`] for any worker count.
+    pub fn tick(&mut self, month: &str) -> DriftPass {
+        // Phase 1: submit every staged check, in registration order. The
+        // fresh window is kept aside — the drifted subset re-assesses on
+        // it and rolls its baseline forward to it. A fresh window whose
+        // dimension schema no longer matches the baseline (a collector
+        // dropped a counter) cannot be stitched; it becomes an immediate
+        // Inconclusive outcome instead of killing the pass for everyone.
+        enum Pending {
+            InFlight(usize, PerfHistory, DriftTicket),
+            Immediate(DriftOutcome),
+        }
+        let p_g = self.p_g;
+        let mut pending = Vec::new();
+        for (slot, w) in self.watched.iter_mut().enumerate() {
+            let Some(fresh) = w.fresh.take() else { continue };
+            let stitched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                doppler_telemetry::concat(&w.customer.baseline, &fresh)
+            }));
+            let history = match stitched {
+                Ok(history) => history,
+                Err(payload) => {
+                    pending.push(Pending::Immediate(DriftOutcome {
+                        index: 0, // re-indexed at collection
+                        customer: w.customer.name.clone(),
+                        deployment: w.customer.deployment,
+                        region: w.customer.region(),
+                        verdict: DriftVerdict::Inconclusive,
+                        severity: DriftSeverity::None,
+                        before_sku: None,
+                        after_sku: None,
+                        throttle_if_unchanged: 0.0,
+                        cost_delta: None,
+                        error: Some(crate::assessor::panic_message(payload)),
+                    }));
+                    continue;
+                }
+            };
+            let probe = DriftProbe {
+                customer: w.customer.name.clone(),
+                deployment: w.customer.deployment,
+                catalog_key: w.customer.catalog_key.clone(),
+                history,
+                change_point: w.customer.baseline.len(),
+                p_g,
+            };
+            match self.service.submit_drift(probe) {
+                Ok(ticket) => pending.push(Pending::InFlight(slot, fresh, ticket)),
+                // The service was closed under the monitor: nothing can be
+                // checked any more; leave the window staged for a future
+                // monitor over a live service.
+                Err(_) => {
+                    w.fresh = Some(fresh);
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: collect outcomes in submission order, re-indexed to
+        // their position in this pass, and record them.
+        let mut outcomes: Vec<DriftOutcome> = Vec::with_capacity(pending.len());
+        let mut requeue = Vec::new();
+        for entry in pending {
+            let mut outcome = match entry {
+                Pending::Immediate(outcome) => outcome,
+                Pending::InFlight(slot, fresh, ticket) => {
+                    let Some(outcome) = ticket.recv() else { continue };
+                    if outcome.verdict == DriftVerdict::Drifted {
+                        requeue.push((slot, fresh));
+                    }
+                    outcome
+                }
+            };
+            outcome.index = outcomes.len();
+            self.ledger.record_drift(month, outcome.verdict == DriftVerdict::Drifted);
+            outcomes.push(outcome);
+        }
+        let report = FleetDriftReport::from_outcomes(month, &outcomes);
+
+        // Phase 3: drifted customers jump the queue. Their re-assessment
+        // runs the *full* pipeline (profiling, matching, and the original
+        // confidence settings) on the fresh window, month-tagged so the
+        // service's own adoption ledger records the re-assessment wave.
+        let mut tickets = Vec::new();
+        for (slot, fresh) in requeue {
+            let c = &self.watched[slot].customer;
+            let request = AssessmentRequest::from_history(
+                c.name.clone(),
+                fresh.clone(),
+                c.file_sizes_gib.clone(),
+                c.confidence,
+            );
+            let mut fleet_request =
+                FleetRequest::new(c.deployment, request).with_month(month).with_priority();
+            if let Some(key) = &c.catalog_key {
+                fleet_request = fleet_request.with_catalog_key(key.clone());
+            }
+            if let Ok(ticket) = self.service.submit(fleet_request) {
+                tickets.push((slot, fresh, ticket));
+            }
+        }
+        let mut reassessments = Vec::with_capacity(tickets.len());
+        for (slot, fresh, ticket) in tickets {
+            let Some(result) = ticket.recv() else { continue };
+            if let Ok(assessed) = &result.outcome {
+                let w = &mut self.watched[slot];
+                w.customer.baseline = fresh;
+                w.customer.baseline_sku = assessed.recommendation.sku_id.clone();
+                w.customer.baseline_cost = assessed.recommendation.monthly_cost;
+            }
+            reassessments.push(result);
+        }
+
+        DriftPass { report, outcomes, reassessments }
+    }
+
+    /// Shut the underlying service down, returning its final assessment
+    /// report (which includes the monitor's month-tagged re-assessments).
+    pub fn shutdown(self) -> FleetReport {
+        self.service.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use doppler_catalog::{
+        azure_paas_catalog, CatalogSpec, CatalogVersion, InMemoryCatalogProvider,
+    };
+    use doppler_core::{DopplerEngine, EngineConfig, EngineRegistry};
+    use doppler_telemetry::{PerfDimension, TimeSeries};
+
+    use crate::assessor::{EngineRoute, FleetConfig};
+
+    fn window(cpu: f64, n: usize) -> PerfHistory {
+        PerfHistory::new()
+            .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; n]))
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; n]))
+    }
+
+    fn monitor(workers: usize) -> DriftMonitor {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        DriftMonitor::new(FleetAssessor::new(engine, FleetConfig::with_workers(workers)))
+    }
+
+    #[test]
+    fn grown_customers_drift_and_requeue_while_steady_ones_hold() {
+        let mut monitor = monitor(2);
+        monitor.watch(
+            MonitoredCustomer::new("grower", DeploymentType::SqlDb, window(0.5, 96))
+                .with_recommendation("DB_GP_2", Some(100.0)),
+        );
+        monitor.watch(MonitoredCustomer::new("steady", DeploymentType::SqlDb, window(0.5, 96)));
+        assert_eq!(monitor.watched(), 2);
+        assert!(monitor.observe("grower", window(7.0, 96)));
+        assert!(monitor.observe("steady", window(0.6, 96)));
+        assert!(!monitor.observe("stranger", window(1.0, 96)));
+        assert_eq!(monitor.observed(), 2);
+
+        let pass = monitor.tick("Nov-21");
+        assert_eq!(monitor.observed(), 0, "the pass consumed the staged windows");
+        assert_eq!(pass.report.checked, 2);
+        assert_eq!(pass.report.drifted, 1);
+        assert_eq!(pass.report.stable, 1);
+        assert_eq!(pass.report.inconclusive, 0);
+        assert_eq!(pass.outcomes.len(), 2);
+        assert_eq!(pass.outcomes[0].customer, "grower");
+        assert_eq!(pass.outcomes[0].verdict, DriftVerdict::Drifted);
+        assert!(pass.outcomes[0].severity >= DriftSeverity::High, "staying put throttles hard");
+        assert_eq!(pass.outcomes[1].verdict, DriftVerdict::Stable);
+        assert_eq!(pass.outcomes[1].severity, DriftSeverity::None);
+
+        // Only the drifted customer re-assessed, through the priority lane.
+        assert_eq!(pass.reassessments.len(), 1);
+        assert_eq!(pass.reassessments[0].instance_name, "grower");
+        let new_sku = pass.reassessments[0]
+            .outcome
+            .as_ref()
+            .unwrap()
+            .recommendation
+            .sku_id
+            .clone()
+            .expect("placed");
+        assert_ne!(new_sku, "DB_GP_2");
+
+        // The drifted baseline rolled forward: the same fresh window again
+        // now reads as stable.
+        monitor.observe("grower", window(7.0, 96));
+        let second = monitor.tick("Dec-21");
+        assert_eq!(second.report.drifted, 0);
+        assert_eq!(second.report.stable, 1);
+
+        // Ledger drift rows by month.
+        assert_eq!(monitor.ledger().month("Nov-21").unwrap().drift_checks, 2);
+        assert_eq!(monitor.ledger().month("Nov-21").unwrap().drift_detected, 1);
+        assert_eq!(monitor.ledger().month("Dec-21").unwrap().drift_detected, 0);
+
+        // The service's own report counted the (month-tagged) priority
+        // re-assessment.
+        let report = monitor.shutdown();
+        assert_eq!(report.fleet_size, 1);
+        assert_eq!(report.adoption.month("Nov-21").unwrap().unique_instances, 1);
+    }
+
+    #[test]
+    fn tick_without_observations_is_empty() {
+        let mut monitor = monitor(1);
+        monitor.watch(MonitoredCustomer::new("idle", DeploymentType::SqlDb, window(0.5, 48)));
+        let pass = monitor.tick("Jan-22");
+        assert_eq!(pass.report.checked, 0);
+        assert_eq!(pass.report, FleetDriftReport::from_outcomes("Jan-22", &[]));
+        assert!(pass.reassessments.is_empty());
+        assert_eq!(monitor.ledger().month("Jan-22"), None, "no checks, no row");
+    }
+
+    #[test]
+    fn rewatching_a_name_replaces_the_entry() {
+        let mut monitor = monitor(1);
+        monitor.watch(MonitoredCustomer::new("c", DeploymentType::SqlDb, window(0.5, 48)));
+        monitor.observe("c", window(0.5, 48));
+        monitor.watch(MonitoredCustomer::new("c", DeploymentType::SqlDb, window(1.0, 48)));
+        assert_eq!(monitor.watched(), 1);
+        assert_eq!(monitor.observed(), 0, "re-watching drops the staged window");
+    }
+
+    #[test]
+    fn schema_mismatched_fresh_windows_are_inconclusive_not_fatal() {
+        use doppler_telemetry::TimeSeries;
+        let mut monitor = monitor(2);
+        monitor.watch(MonitoredCustomer::new("broken", DeploymentType::SqlDb, window(0.5, 48)));
+        monitor.watch(MonitoredCustomer::new("fine", DeploymentType::SqlDb, window(0.5, 48)));
+        // The collector stopped reporting IoLatency: the fresh window no
+        // longer matches the baseline's schema and cannot be stitched.
+        let partial =
+            PerfHistory::new().with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 48]));
+        monitor.observe("broken", partial);
+        monitor.observe("fine", window(0.5, 48));
+        let pass = monitor.tick("Aug-22");
+        assert_eq!(pass.report.checked, 2, "the pass survives the broken window");
+        assert_eq!(pass.report.inconclusive, 1);
+        assert_eq!(pass.report.stable, 1);
+        assert_eq!(pass.outcomes[0].customer, "broken");
+        assert_eq!(pass.outcomes[0].verdict, DriftVerdict::Inconclusive);
+        assert!(pass.outcomes[0].error.as_ref().unwrap().contains("misaligned"));
+        // Outcome indices are pass positions, including across ticks.
+        assert_eq!(pass.outcomes[0].index, 0);
+        assert_eq!(pass.outcomes[1].index, 1);
+        monitor.observe("fine", window(0.5, 48));
+        let second = monitor.tick("Sep-22");
+        assert_eq!(second.outcomes[0].index, 0);
+    }
+
+    #[test]
+    fn reassessments_keep_the_customers_confidence_settings() {
+        use doppler_core::ConfidenceConfig;
+        let mut monitor = monitor(2);
+        monitor.watch(
+            MonitoredCustomer::new("conf", DeploymentType::SqlDb, window(0.5, 96))
+                .with_confidence(ConfidenceConfig { replicates: 8, window_samples: 48, seed: 7 }),
+        );
+        monitor.observe("conf", window(7.0, 96));
+        let pass = monitor.tick("Oct-22");
+        assert_eq!(pass.reassessments.len(), 1);
+        let rec = &pass.reassessments[0].outcome.as_ref().unwrap().recommendation;
+        assert!(rec.confidence.is_some(), "re-assessment keeps computing confidence");
+    }
+
+    #[test]
+    fn unroutable_customers_are_inconclusive_not_fatal() {
+        let mut monitor = monitor(1);
+        monitor.watch(MonitoredCustomer::new("mi", DeploymentType::SqlMi, window(0.5, 48)));
+        monitor.observe("mi", window(0.5, 48));
+        let pass = monitor.tick("Feb-22");
+        assert_eq!(pass.report.inconclusive, 1);
+        assert_eq!(pass.outcomes[0].verdict, DriftVerdict::Inconclusive);
+        assert!(pass.outcomes[0].error.as_ref().unwrap().contains("SqlMi"));
+        assert!(pass.reassessments.is_empty());
+    }
+
+    #[test]
+    fn keyed_customers_attribute_to_their_region() {
+        use doppler_catalog::Region;
+        let provider = InMemoryCatalogProvider::production().with_region(
+            Region::new("westeurope"),
+            CatalogVersion::INITIAL,
+            &CatalogSpec::default(),
+            1.08,
+        );
+        let registry = Arc::new(EngineRegistry::new(Arc::new(provider)));
+        let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(2))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let mut monitor = DriftMonitor::new(assessor);
+        let west =
+            CatalogKey::production(DeploymentType::SqlDb).in_region(Region::new("westeurope"));
+        monitor.watch(
+            MonitoredCustomer::new("west-grower", DeploymentType::SqlDb, window(0.5, 48))
+                .with_catalog_key(west),
+        );
+        monitor.watch(MonitoredCustomer::new(
+            "global-steady",
+            DeploymentType::SqlDb,
+            window(0.5, 48),
+        ));
+        monitor.observe("west-grower", window(7.0, 48));
+        monitor.observe("global-steady", window(0.5, 48));
+        let pass = monitor.tick("Mar-22");
+        assert_eq!(pass.report.drifted, 1);
+        assert_eq!(pass.report.regions.len(), 2);
+        let west_row =
+            pass.report.regions.iter().find(|r| r.region == Region::new("westeurope")).unwrap();
+        assert_eq!((west_row.checked, west_row.drifted), (1, 1));
+        let global_row = pass.report.regions.iter().find(|r| r.region == Region::global()).unwrap();
+        assert_eq!((global_row.checked, global_row.stable), (1, 1));
+        // The drifted West Europe customer re-assessed against its own
+        // (8 % dearer) catalog.
+        assert_eq!(pass.reassessments.len(), 1);
+        let rec = &pass.reassessments[0].outcome.as_ref().unwrap().recommendation;
+        assert!(rec.monthly_cost.unwrap() > 0.0);
+        // And the report's cost delta is priced in-region too.
+        assert!(west_row.cost_delta > 0.0);
+        assert!((pass.report.total_cost_delta - west_row.cost_delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watch_assessment_seeds_the_monitor_from_a_fleet_run() {
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let assessor = FleetAssessor::new(engine, FleetConfig::with_workers(2));
+        let fleet: Vec<FleetRequest> = (0..4)
+            .map(|i| {
+                FleetRequest::new(
+                    DeploymentType::SqlDb,
+                    AssessmentRequest::from_history(format!("c{i}"), window(0.5, 48), vec![], None),
+                )
+            })
+            .collect();
+        let out = assessor.assess(fleet.clone());
+        let mut monitor = DriftMonitor::new(FleetAssessor::new(
+            DopplerEngine::untrained(
+                azure_paas_catalog(&CatalogSpec::default()),
+                EngineConfig::production(DeploymentType::SqlDb),
+            ),
+            FleetConfig::with_workers(2),
+        ));
+        for (request, result) in fleet.iter().zip(&out.results) {
+            assert!(monitor.watch_assessment(request, result));
+        }
+        assert_eq!(monitor.watched(), 4);
+        // The registered baseline carries the standing recommendation.
+        monitor.observe("c0", window(7.0, 48));
+        let pass = monitor.tick("Apr-22");
+        assert_eq!(pass.report.drifted, 1);
+        assert_eq!(pass.outcomes[0].before_sku.as_deref(), Some("DB_GP_2"));
+    }
+
+    #[test]
+    fn report_rows_sum_to_totals_and_render_mentions_sections() {
+        let mut monitor = monitor(4);
+        for i in 0..6 {
+            monitor.watch(MonitoredCustomer::new(
+                format!("c{i}"),
+                DeploymentType::SqlDb,
+                window(0.5, 48),
+            ));
+            monitor.observe(&format!("c{i}"), window(if i % 3 == 0 { 7.0 } else { 0.5 }, 48));
+        }
+        let pass = monitor.tick("May-22");
+        let report = &pass.report;
+        assert_eq!(report.checked, 6);
+        assert_eq!(report.drifted + report.stable + report.inconclusive, report.checked);
+        assert_eq!(report.severity.iter().sum::<usize>(), report.checked);
+        let region_checked: usize = report.regions.iter().map(|r| r.checked).sum();
+        assert_eq!(region_checked, report.checked);
+        let deployment_drifted: usize = report.deployments.iter().map(|d| d.drifted).sum();
+        assert_eq!(deployment_drifted, report.drifted);
+        assert_eq!(report.drifted_customers.len(), report.drifted);
+        let text = report.render();
+        assert!(text.contains("Fleet Drift Report (May-22)"), "{text}");
+        assert!(text.contains("Severity"), "{text}");
+        assert!(text.contains("Drifted"), "{text}");
+        assert!(text.contains("re-recommendation cost delta"), "{text}");
+    }
+
+    #[test]
+    fn monitor_pass_is_worker_count_invariant() {
+        let run = |workers: usize| {
+            let mut m = monitor(workers);
+            for i in 0..12 {
+                m.watch(MonitoredCustomer::new(
+                    format!("c{i}"),
+                    DeploymentType::SqlDb,
+                    window(0.4 + 0.05 * i as f64, 48),
+                ));
+                m.observe(&format!("c{i}"), window(if i % 4 == 0 { 6.5 } else { 0.5 }, 48));
+            }
+            let pass = m.tick("Jun-22");
+            (pass.report, pass.outcomes)
+        };
+        let baseline = run(1);
+        assert_eq!(run(4), baseline);
+        assert_eq!(run(8), baseline);
+    }
+}

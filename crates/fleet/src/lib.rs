@@ -23,6 +23,11 @@
 //!   cost, SKU-mix histogram, curve-shape and confidence distributions,
 //!   per-deployment breakdown, and the unplaceable/failure buckets, with a
 //!   terminal rendering in the style of the bench crate's ASCII figures;
+//! * [`drift`] — the [`DriftMonitor`] continuous re-assessment loop
+//!   (assess → deploy → monitor → re-queue): fleet-wide §5.2.3 drift
+//!   checks over the same worker pool, [`FleetDriftReport`] roll-ups per
+//!   region and deployment, and priority-lane re-queueing of drifted
+//!   customers;
 //! * [`source`] — conversions from `doppler-workload` populations
 //!   (cloud cohorts, on-prem candidates) into fleet request streams.
 //!
@@ -79,6 +84,7 @@
 //! ```
 
 pub mod assessor;
+pub mod drift;
 pub mod queue;
 pub mod report;
 pub mod service;
@@ -88,10 +94,16 @@ pub use assessor::{
     AssessmentError, EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest,
     FleetResult,
 };
+pub use drift::{
+    DeploymentDriftRow, DriftMonitor, DriftOutcome, DriftPass, DriftProbe, DriftVerdict,
+    DriftedRow, FleetDriftReport, MonitoredCustomer, RegionDriftRow,
+};
 pub use queue::BoundedQueue;
 pub use report::{
     eligible_recommendations, ConfidenceSummary, DeploymentMixRow, DigestOutcome, FailureRow,
     FleetAggregator, FleetReport, ResultDigest, ShapeMixRow, SkuMixRow,
 };
-pub use service::{AssessmentService, FleetService, ServiceProgress, Ticket, TicketQueue};
+pub use service::{
+    AssessmentService, DriftTicket, FleetService, ServiceProgress, Ticket, TicketQueue,
+};
 pub use source::{cloud_fleet, customer_request, onprem_fleet, onprem_request};

@@ -1,20 +1,43 @@
-//! A bounded, closable MPMC work queue built on `Mutex` + `Condvar`.
+//! A bounded, closable, two-lane MPMC work queue built on `Mutex` +
+//! `Condvar`.
 //!
 //! The fleet assessor feeds instance-assessment tasks through this queue so
 //! that a fleet described by a lazy iterator (e.g. a streamed synthetic
 //! population) is never fully materialized: the feeder blocks once
 //! `capacity` tasks are in flight and resumes as workers drain them.
+//!
+//! The queue carries two lanes. [`push`](BoundedQueue::push) enqueues into
+//! the *normal* lane; [`push_priority`](BoundedQueue::push_priority) into
+//! the *priority* lane, which [`pop`](BoundedQueue::pop) serves first —
+//! migration-deadline and drifted-customer work jumps the backlog without
+//! jumping the memory bound (both lanes share one capacity). Within each
+//! lane order is FIFO, and an anti-starvation valve guarantees the normal
+//! lane keeps draining under sustained priority load: after
+//! [`FAIRNESS`](BoundedQueue::FAIRNESS) consecutive priority pops with
+//! normal work waiting, one normal item is served before the priority lane
+//! resumes.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 struct State<T> {
+    priority: VecDeque<T>,
     items: VecDeque<T>,
     closed: bool,
+    /// Consecutive pops served from the priority lane while the normal
+    /// lane had work waiting — the anti-starvation valve's memory.
+    priority_streak: usize,
 }
 
-/// A fixed-capacity queue: `push` blocks while full, `pop` blocks while
-/// empty, and `close` wakes everyone so the pipeline can drain and stop.
+impl<T> State<T> {
+    fn len(&self) -> usize {
+        self.priority.len() + self.items.len()
+    }
+}
+
+/// A fixed-capacity two-lane queue: `push`/`push_priority` block while
+/// full, `pop` blocks while empty and serves the priority lane first, and
+/// `close` wakes everyone so the pipeline can drain and stop.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     not_full: Condvar,
@@ -23,26 +46,54 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` queued items (min 1).
+    /// After this many consecutive priority pops with normal work waiting,
+    /// one normal item is served — the deterministic anti-starvation
+    /// valve. (7 priority : 1 normal under sustained pressure on both
+    /// lanes.)
+    pub const FAIRNESS: usize = 7;
+
+    /// A queue admitting at most `capacity` queued items across both lanes
+    /// (min 1).
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
-            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(State {
+                priority: VecDeque::new(),
+                items: VecDeque::new(),
+                closed: false,
+                priority_streak: 0,
+            }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
         }
     }
 
-    /// Enqueue `item`, blocking while the queue is at capacity. Returns the
-    /// item back as `Err` if the queue was closed in the meantime.
+    /// Enqueue `item` on the normal lane, blocking while the queue is at
+    /// capacity. Returns the item back as `Err` if the queue was closed in
+    /// the meantime.
     pub fn push(&self, item: T) -> Result<(), T> {
+        self.push_lane(item, false)
+    }
+
+    /// Enqueue `item` on the priority lane: same capacity bound and close
+    /// semantics as [`push`](BoundedQueue::push), but workers pop it ahead
+    /// of everything already waiting in the normal lane.
+    pub fn push_priority(&self, item: T) -> Result<(), T> {
+        self.push_lane(item, true)
+    }
+
+    fn push_lane(&self, item: T, priority: bool) -> Result<(), T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if state.closed {
                 return Err(item);
             }
-            if state.items.len() < self.capacity {
-                state.items.push_back(item);
+            if state.len() < self.capacity {
+                if priority {
+                    state.priority.push_back(item);
+                } else {
+                    state.items.push_back(item);
+                }
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -50,12 +101,24 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Dequeue one item, blocking while the queue is empty. Returns `None`
-    /// once the queue is closed *and* drained — the worker shutdown signal.
+    /// Dequeue one item, blocking while the queue is empty: priority lane
+    /// first (modulo the anti-starvation valve), each lane FIFO. Returns
+    /// `None` once the queue is closed *and* both lanes have drained — the
+    /// worker shutdown signal.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(item) = state.items.pop_front() {
+            let normal_waiting = !state.items.is_empty();
+            let valve_open = state.priority_streak >= Self::FAIRNESS && normal_waiting;
+            let serve_priority = !state.priority.is_empty() && !valve_open;
+            let item =
+                if serve_priority { state.priority.pop_front() } else { state.items.pop_front() };
+            if let Some(item) = item {
+                // A priority pop only *starves* anyone while normal work
+                // is actually waiting; any normal pop (or an uncontended
+                // priority pop) resets the streak.
+                state.priority_streak =
+                    if serve_priority && normal_waiting { state.priority_streak + 1 } else { 0 };
                 self.not_full.notify_one();
                 return Some(item);
             }
@@ -75,9 +138,15 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
-    /// Items currently queued (racy by nature; for diagnostics).
+    /// Items currently queued across both lanes (racy by nature; for
+    /// diagnostics).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.state.lock().expect("queue lock").len()
+    }
+
+    /// Items currently waiting in the priority lane.
+    pub fn priority_len(&self) -> usize {
+        self.state.lock().expect("queue lock").priority.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -130,6 +199,63 @@ mod tests {
     }
 
     #[test]
+    fn priority_lane_jumps_the_normal_backlog() {
+        let q = BoundedQueue::new(8);
+        q.push("n1").unwrap();
+        q.push("n2").unwrap();
+        q.push_priority("p1").unwrap();
+        q.push_priority("p2").unwrap();
+        q.push("n3").unwrap();
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.priority_len(), 2);
+        // Priority first (FIFO within the lane), then the normal backlog.
+        assert_eq!(q.pop(), Some("p1"));
+        assert_eq!(q.pop(), Some("p2"));
+        assert_eq!(q.pop(), Some("n1"));
+        // Late priority work still jumps what remains.
+        q.push_priority("p3").unwrap();
+        assert_eq!(q.pop(), Some("p3"));
+        assert_eq!(q.pop(), Some("n2"));
+        assert_eq!(q.pop(), Some("n3"));
+    }
+
+    #[test]
+    fn priority_push_respects_close_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push_priority(1).unwrap();
+        q.push(2).unwrap();
+        // Both lanes share one capacity: a priority push blocks while the
+        // queue is full, and resumes after a pop frees a slot.
+        std::thread::scope(|scope| {
+            scope.spawn(|| q.push_priority(3).unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(1));
+        });
+        // 3 went to the priority lane, 2 is still the normal backlog.
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        assert_eq!(q.push_priority(4), Err(4));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fairness_valve_serves_normal_under_sustained_priority_load() {
+        let q = BoundedQueue::new(64);
+        q.push("normal").unwrap();
+        for i in 0..BoundedQueue::<&str>::FAIRNESS + 3 {
+            q.push_priority(if i == 0 { "first" } else { "later" }).unwrap();
+        }
+        // FAIRNESS consecutive priority pops, then the valve forces the
+        // starving normal item through, then priority resumes.
+        for _ in 0..BoundedQueue::<&str>::FAIRNESS {
+            assert_ne!(q.pop(), Some("normal"));
+        }
+        assert_eq!(q.pop(), Some("normal"));
+        assert_eq!(q.pop(), Some("later"));
+    }
+
+    #[test]
     fn push_blocks_at_capacity_until_a_pop() {
         let q = BoundedQueue::new(1);
         q.push(10).unwrap();
@@ -155,7 +281,13 @@ mod tests {
                 let q = &q;
                 scope.spawn(move || {
                     for i in 0..100 {
-                        q.push(p * 100 + i).unwrap();
+                        // Odd producers feed the priority lane so both
+                        // lanes see concurrent traffic.
+                        if p % 2 == 0 {
+                            q.push(p * 100 + i).unwrap();
+                        } else {
+                            q.push_priority(p * 100 + i).unwrap();
+                        }
                     }
                 });
             }

@@ -455,19 +455,30 @@ impl FleetReport {
         }
 
         if self.adoption.rows().count() > 0 {
+            // Drift columns appear once any month carries drift-outcome
+            // rows (a ledger fed by the drift monitor).
+            let monitored = self.adoption.rows().any(|(_, row)| row.drift_checks > 0);
             out.push_str("\n--- Adoption (Table 1) ---\n");
             out.push_str(&format!(
-                "{:>8} {:>10} {:>10} {:>16}\n",
+                "{:>8} {:>10} {:>10} {:>16}",
                 "month", "instances", "databases", "recommendations"
             ));
+            if monitored {
+                out.push_str(&format!(" {:>12} {:>8}", "drift-checks", "drifted"));
+            }
+            out.push('\n');
             for (month, row) in self.adoption.rows() {
                 out.push_str(&format!(
-                    "{:>8} {:>10} {:>10} {:>16}\n",
+                    "{:>8} {:>10} {:>10} {:>16}",
                     month,
                     row.unique_instances,
                     row.unique_databases,
                     row.recommendations_generated
                 ));
+                if monitored {
+                    out.push_str(&format!(" {:>12} {:>8}", row.drift_checks, row.drift_detected));
+                }
+                out.push('\n');
             }
         }
 
@@ -495,8 +506,15 @@ impl FleetReport {
 }
 
 /// A `label  count |#####     | share%  suffix` row, the idiom the bench
-/// crate's `ascii::curve_table` uses for score bars.
-fn bar_row(label: &str, count: usize, max_count: usize, total: usize, suffix: &str) -> String {
+/// crate's `ascii::curve_table` uses for score bars. Shared with the drift
+/// report's dashboard.
+pub(crate) fn bar_row(
+    label: &str,
+    count: usize,
+    max_count: usize,
+    total: usize,
+    suffix: &str,
+) -> String {
     const WIDTH: usize = 32;
     let bar = (count * WIDTH).div_ceil(max_count).min(WIDTH);
     let share = if total > 0 { 100.0 * count as f64 / total as f64 } else { 0.0 };
@@ -514,7 +532,7 @@ fn bar_row(label: &str, count: usize, max_count: usize, total: usize, suffix: &s
 }
 
 /// List the first few instances needing attention, with an elision count.
-fn render_attention_list(out: &mut String, title: &str, lines: &[String]) {
+pub(crate) fn render_attention_list(out: &mut String, title: &str, lines: &[String]) {
     const SHOWN: usize = 10;
     if lines.is_empty() {
         return;

@@ -29,6 +29,7 @@
 //! gone; there is exactly one worker-pool implementation in the workspace.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
@@ -36,15 +37,18 @@ use doppler_catalog::DeploymentType;
 use doppler_dma::{AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
 
 use crate::assessor::{EngineSet, FleetAssessor, FleetConfig, FleetRequest, FleetResult};
+use crate::drift::{DriftOutcome, DriftProbe};
 use crate::queue::BoundedQueue;
 use crate::report::{FleetAggregator, FleetReport, ResultDigest};
 
-/// One enqueued request: its submission index, the routed request, and the
-/// channel its result is delivered on.
-struct Task {
-    index: usize,
-    request: FleetRequest,
-    reply: mpsc::Sender<FleetResult>,
+/// One enqueued unit of work for the pool: an assessment request (its
+/// submission index, the routed request, and the channel its result is
+/// delivered on) or a drift check (which stays out of the assessment
+/// aggregate — the [`DriftMonitor`](crate::drift::DriftMonitor) folds its
+/// own outcomes).
+enum Task {
+    Assess { index: usize, request: FleetRequest, reply: mpsc::Sender<FleetResult> },
+    Drift { index: usize, probe: DriftProbe, reply: mpsc::Sender<DriftOutcome> },
 }
 
 /// Everything the worker threads share with the front-end handle.
@@ -52,6 +56,10 @@ struct ServiceShared {
     queue: BoundedQueue<Task>,
     engines: EngineSet,
     progress: Mutex<Progress>,
+    /// Drift checks submitted so far — a separate sequence from the
+    /// assessment submission indices, since drift work never enters the
+    /// assessment aggregate.
+    drift_submitted: AtomicUsize,
 }
 
 /// Submission/completion tracking: allocates submission indices, restores
@@ -148,12 +156,23 @@ fn lock_progress(shared: &ServiceShared) -> std::sync::MutexGuard<'_, Progress> 
 }
 
 fn worker_loop(shared: &ServiceShared) {
-    while let Some(Task { index, request, reply }) = shared.queue.pop() {
-        let result = shared.engines.assess_one(index, request);
-        lock_progress(shared).accept(&result);
-        // The submitter may have dropped its ticket; that just means nobody
-        // is listening, not that the work failed.
-        let _ = reply.send(result);
+    while let Some(task) = shared.queue.pop() {
+        match task {
+            Task::Assess { index, request, reply } => {
+                let result = shared.engines.assess_one(index, request);
+                lock_progress(shared).accept(&result);
+                // The submitter may have dropped its ticket; that just
+                // means nobody is listening, not that the work failed.
+                let _ = reply.send(result);
+            }
+            Task::Drift { index, probe, reply } => {
+                // Drift checks bypass the Progress fold entirely: they are
+                // not assessments, so they must not perturb the in-order
+                // assessment aggregate (or its determinism).
+                let outcome = crate::drift::evaluate_probe(&shared.engines, index, probe);
+                let _ = reply.send(outcome);
+            }
+        }
     }
 }
 
@@ -192,6 +211,40 @@ impl Ticket {
     /// Non-blocking poll: `Some` exactly once, when the result has been
     /// delivered; `None` while it is still in flight.
     pub fn try_recv(&mut self) -> Option<FleetResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A claim on one submitted drift check's eventual [`DriftOutcome`] —
+/// the drift-lane sibling of [`Ticket`], with the same delivery contract
+/// (results survive service shutdown; dropping the ticket is fine).
+#[derive(Debug)]
+pub struct DriftTicket {
+    index: usize,
+    customer: String,
+    rx: mpsc::Receiver<DriftOutcome>,
+}
+
+impl DriftTicket {
+    /// The drift-check submission index ([`DriftOutcome::index`]).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The customer the probe named.
+    pub fn customer(&self) -> &str {
+        &self.customer
+    }
+
+    /// Block until the outcome is ready. `None` only if the service died
+    /// before running the check (not reachable through a normal
+    /// shutdown/drop, which drain the queue first).
+    pub fn recv(self) -> Option<DriftOutcome> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll: `Some` exactly once, when the outcome lands.
+    pub fn try_recv(&mut self) -> Option<DriftOutcome> {
         self.rx.try_recv().ok()
     }
 }
@@ -302,6 +355,7 @@ impl FleetService {
             queue: BoundedQueue::new(config.queue_depth),
             engines,
             progress: Mutex::new(Progress::new()),
+            drift_submitted: AtomicUsize::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -316,8 +370,12 @@ impl FleetService {
     }
 
     /// Enqueue one request, blocking while the bounded queue is at capacity
-    /// (backpressure, not unbounded buffering). Returns the request back as
-    /// `Err` if the service has been [`close`](FleetService::close)d.
+    /// (backpressure, not unbounded buffering). Requests flagged
+    /// [`FleetRequest::with_priority`] enter the queue's priority lane and
+    /// are popped ahead of the normal backlog — their *aggregation* still
+    /// happens in submission order, so reports stay deterministic. Returns
+    /// the request back as `Err` if the service has been
+    /// [`close`](FleetService::close)d.
     // The Err variant is deliberately the rejected request itself — same
     // contract as `BoundedQueue::push` — so a caller can reroute it to
     // another service without having cloned it up front.
@@ -325,18 +383,44 @@ impl FleetService {
     pub fn submit(&self, request: FleetRequest) -> Result<Ticket, FleetRequest> {
         let (reply, rx) = mpsc::channel();
         let instance_name = request.request.instance_name.clone();
+        let priority = request.priority;
         // Allocate the index in its own short critical section — the
         // progress lock must not be held across the queue's backpressure
         // wait, or every dashboard poll would stall with the feeder.
         let index = lock_progress(&self.shared).allocate();
-        match self.shared.queue.push(Task { index, request, reply }) {
+        let task = Task::Assess { index, request, reply };
+        let pushed = if priority {
+            self.shared.queue.push_priority(task)
+        } else {
+            self.shared.queue.push(task)
+        };
+        match pushed {
             Ok(()) => Ok(Ticket { index, instance_name, rx }),
-            Err(task) => {
+            Err(Task::Assess { request, .. }) => {
                 // The push lost to a concurrent close: tombstone the index
                 // so in-order aggregation steps over it.
                 lock_progress(&self.shared).abandon(index);
-                Err(task.request)
+                Err(request)
             }
+            Err(Task::Drift { .. }) => unreachable!("an assess push returns an assess task"),
+        }
+    }
+
+    /// Enqueue one drift check on the normal lane (monitoring sweeps are
+    /// background work; it is the *re-assessment* of a drifted customer
+    /// that jumps the queue). Drift checks share the worker pool and its
+    /// backpressure but never enter the assessment aggregate — collect the
+    /// outcome from the returned [`DriftTicket`]. Returns the probe back
+    /// as `Err` if the service has been closed.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_drift(&self, probe: DriftProbe) -> Result<DriftTicket, DriftProbe> {
+        let (reply, rx) = mpsc::channel();
+        let customer = probe.customer.clone();
+        let index = self.shared.drift_submitted.fetch_add(1, Ordering::Relaxed);
+        match self.shared.queue.push(Task::Drift { index, probe, reply }) {
+            Ok(()) => Ok(DriftTicket { index, customer, rx }),
+            Err(Task::Drift { probe, .. }) => Err(probe),
+            Err(Task::Assess { .. }) => unreachable!("a drift push returns a drift task"),
         }
     }
 
@@ -763,6 +847,145 @@ mod tests {
             assert_eq!(r.index, i);
         }
         assert_eq!(service.shutdown().fleet_size, 40);
+    }
+
+    #[test]
+    fn priority_submissions_are_served_ahead_of_the_normal_backlog() {
+        use doppler_catalog::{
+            CatalogKey, CatalogProvider, CatalogVersion, InMemoryCatalogProvider, Region,
+            ResolvedCatalog,
+        };
+        use doppler_core::EngineRegistry;
+        use std::sync::Condvar;
+
+        use crate::assessor::EngineRoute;
+
+        // A provider that records the order workers resolve keys in, and
+        // blocks the "gate" key until released — so the worker can be
+        // parked while a backlog builds up behind it.
+        struct GatingProvider {
+            inner: InMemoryCatalogProvider,
+            served: Mutex<Vec<String>>,
+            gate: (Mutex<bool>, Condvar),
+        }
+        impl CatalogProvider for GatingProvider {
+            fn resolve(&self, key: &CatalogKey) -> Option<ResolvedCatalog> {
+                self.served.lock().unwrap().push(key.region.as_str().to_string());
+                if key.region.as_str() == "gate" {
+                    let (lock, cvar) = &self.gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cvar.wait(open).unwrap();
+                    }
+                }
+                self.inner.resolve(key)
+            }
+        }
+
+        let regions = ["gate", "n0", "n1", "n2", "p0", "p1"];
+        let inner = regions.iter().fold(InMemoryCatalogProvider::new(), |p, r| {
+            p.with_region(Region::new(*r), CatalogVersion::INITIAL, &CatalogSpec::default(), 1.0)
+        });
+        let provider = Arc::new(GatingProvider {
+            inner,
+            served: Mutex::new(Vec::new()),
+            gate: (Mutex::new(false), Condvar::new()),
+        });
+        let registry = Arc::new(EngineRegistry::new(Arc::clone(&provider) as _));
+        // One worker and a deep queue: every submission below is popped by
+        // that single worker in lane order, which the provider log records.
+        let config = FleetConfig { workers: 1, queue_depth: 16, keep_results: true };
+        let service = FleetAssessor::over_registry(registry, config)
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+            .into_service();
+
+        let keyed = |region: &str, priority: bool| {
+            let r = request(region, 0.5).with_catalog_key(CatalogKey::new(
+                DeploymentType::SqlDb,
+                Region::new(region),
+                CatalogVersion::INITIAL,
+            ));
+            if priority {
+                r.with_priority()
+            } else {
+                r
+            }
+        };
+
+        // Park the worker on the gate...
+        let gate_ticket = service.submit(keyed("gate", false)).unwrap();
+        while provider.served.lock().unwrap().is_empty() {
+            std::thread::yield_now();
+        }
+        // ...queue a normal backlog, then priority work behind it.
+        let mut tickets = Vec::new();
+        for region in ["n0", "n1", "n2"] {
+            tickets.push(service.submit(keyed(region, false)).unwrap());
+        }
+        for region in ["p0", "p1"] {
+            tickets.push(service.submit(keyed(region, true)).unwrap());
+        }
+        // Release the gate and drain.
+        {
+            let (lock, cvar) = &provider.gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        assert!(gate_ticket.recv().unwrap().outcome.is_ok());
+        let report = service.shutdown();
+        assert_eq!(report.fleet_size, 6);
+        assert_eq!(report.failed, 0, "{:?}", report.failures);
+        // The observable reorder: both priority submissions were served
+        // before any of the normal backlog submitted ahead of them.
+        let served = provider.served.lock().unwrap().clone();
+        assert_eq!(served, vec!["gate", "p0", "p1", "n0", "n1", "n2"]);
+        // Tickets still resolve with their own results, and the in-order
+        // aggregate was unaffected (fleet_size/failed above); per-ticket
+        // results keep their submission identity.
+        for (ticket, region) in tickets.into_iter().zip(["n0", "n1", "n2", "p0", "p1"]) {
+            assert_eq!(ticket.recv().unwrap().instance_name, region);
+        }
+    }
+
+    #[test]
+    fn drift_probes_ride_the_pool_without_entering_the_aggregate() {
+        use crate::drift::{DriftProbe, DriftVerdict};
+        let service = service(2);
+        let history = PerfHistory::new()
+            .with(
+                PerfDimension::Cpu,
+                TimeSeries::ten_minute([vec![0.5; 48], vec![7.0; 48]].concat()),
+            )
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+        let probe = DriftProbe {
+            customer: "c-1".into(),
+            deployment: DeploymentType::SqlDb,
+            catalog_key: None,
+            history,
+            change_point: 48,
+            p_g: 0.0,
+        };
+        let mut ticket = service.submit_drift(probe.clone()).unwrap();
+        assert_eq!(ticket.index(), 0);
+        assert_eq!(ticket.customer(), "c-1");
+        let outcome = loop {
+            match ticket.try_recv() {
+                Some(outcome) => break outcome,
+                None => std::thread::yield_now(),
+            }
+        };
+        assert_eq!(outcome.verdict, DriftVerdict::Drifted);
+        // Drift work is invisible to the assessment aggregate.
+        assert_eq!(
+            service.progress(),
+            ServiceProgress { submitted: 0, completed: 0, aggregated: 0 }
+        );
+        assert_eq!(service.report_snapshot().fleet_size, 0);
+        // A closed service hands the probe back, like submit does.
+        service.close();
+        let rejected = service.submit_drift(probe).unwrap_err();
+        assert_eq!(rejected.customer, "c-1");
+        assert_eq!(service.shutdown().fleet_size, 0);
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub use collect::{PreAggregator, RawSample};
 pub use counters::{PerfDimension, PerfHistory};
 pub use rollup::{rollup, AggregationLevel};
 pub use series::TimeSeries;
-pub use window::{split_at, window};
+pub use window::{concat, split_at, window};

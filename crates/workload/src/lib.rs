@@ -28,7 +28,7 @@ pub mod spec;
 pub mod synth;
 
 pub use archetype::WorkloadArchetype;
-pub use drift::{drift_scenario, DriftScenario};
+pub use drift::{drift_scenario, DriftDirection, DriftScenario, DriftSpec};
 pub use generate::generate;
 pub use population::{
     onprem_population, sec53_instances, CloudCustomer, OnPremCandidate, PopulationSpec, ShapeClass,

@@ -59,17 +59,18 @@ pub mod prelude {
         Sku, SkuId,
     };
     pub use doppler_core::{
-        BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine, EngineConfig,
-        EngineRegistry, EngineTemplate, GroupingStrategy, NegotiabilityStrategy,
-        PricePerformanceCurve, Recommendation, TrainingRecord, TrainingSet,
+        detect_drift, BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine, DriftReport,
+        DriftSeverity, EngineConfig, EngineRegistry, EngineTemplate, GroupingStrategy,
+        NegotiabilityStrategy, PricePerformanceCurve, Recommendation, TrainingRecord, TrainingSet,
     };
     pub use doppler_dma::{
         AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline,
     };
     pub use doppler_fleet::{
-        AssessmentService, EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetReport,
-        FleetRequest, FleetService, Ticket, TicketQueue,
+        AssessmentService, DriftMonitor, DriftOutcome, DriftPass, DriftVerdict, EngineRoute,
+        FleetAssessment, FleetAssessor, FleetConfig, FleetDriftReport, FleetReport, FleetRequest,
+        FleetService, MonitoredCustomer, Ticket, TicketQueue,
     };
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
-    pub use doppler_workload::{PopulationSpec, WorkloadArchetype, WorkloadSpec};
+    pub use doppler_workload::{DriftSpec, PopulationSpec, WorkloadArchetype, WorkloadSpec};
 }

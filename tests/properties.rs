@@ -1,14 +1,54 @@
 //! Cross-crate property tests: generated workloads driven through the
 //! whole stack must uphold the system invariants.
 
+use std::collections::VecDeque;
+
+use doppler::fleet::{BoundedQueue, DriftOutcome, FleetDriftReport, MonitoredCustomer};
 use doppler::prelude::*;
 use doppler::replay::replay;
 use doppler::stats::SeededRng;
 use doppler::telemetry::rollup;
+use doppler::workload::DriftDirection;
 use proptest::prelude::*;
 
 fn archetype_strategy() -> impl Strategy<Value = WorkloadArchetype> {
     prop::sample::select(WorkloadArchetype::ALL.to_vec())
+}
+
+/// The reference model of the two-lane queue's scheduling rule: priority
+/// lane first, FIFO within each lane, with the anti-starvation valve
+/// serving one normal item after `FAIRNESS` consecutive priority pops
+/// that delayed waiting normal work.
+struct LaneModel {
+    priority: VecDeque<u32>,
+    normal: VecDeque<u32>,
+    streak: usize,
+}
+
+impl LaneModel {
+    fn new() -> LaneModel {
+        LaneModel { priority: VecDeque::new(), normal: VecDeque::new(), streak: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.priority.len() + self.normal.len()
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        let normal_waiting = !self.normal.is_empty();
+        let valve_open = self.streak >= BoundedQueue::<u32>::FAIRNESS && normal_waiting;
+        let serve_priority = !self.priority.is_empty() && !valve_open;
+        let item = if serve_priority { self.priority.pop_front() } else { self.normal.pop_front() };
+        if item.is_some() {
+            self.streak = if serve_priority && normal_waiting { self.streak + 1 } else { 0 };
+        }
+        item
+    }
+}
+
+/// One scripted queue operation: push-normal, push-priority, or pop.
+fn lane_ops_strategy() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    prop::collection::vec((0u8..3, 0u32..1_000_000), 1..120)
 }
 
 proptest! {
@@ -113,5 +153,155 @@ proptest! {
             prop_assert_eq!(c.negotiability.len(), 4);
             prop_assert!(!c.history.is_empty());
         }
+    }
+
+    #[test]
+    fn priority_lane_conserves_and_never_starves_under_arbitrary_interleavings(
+        ops in lane_ops_strategy(),
+    ) {
+        // Capacity above the op count: pushes never block, so the scripted
+        // single-threaded interleaving is exactly the schedule exercised.
+        let queue = BoundedQueue::new(ops.len() + 1);
+        let mut model = LaneModel::new();
+        let mut pushed = 0usize;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for (kind, value) in ops {
+            match kind {
+                0 => {
+                    queue.push(value).unwrap();
+                    model.normal.push_back(value);
+                    pushed += 1;
+                }
+                1 => {
+                    queue.push_priority(value).unwrap();
+                    model.priority.push_back(value);
+                    pushed += 1;
+                }
+                _ => {
+                    // Pop only when non-empty (an empty open queue blocks).
+                    if model.len() > 0 {
+                        popped.push(queue.pop().unwrap());
+                        expected.push(model.pop().unwrap());
+                    }
+                }
+            }
+        }
+        // Close and drain: total pops must equal total pushes — the
+        // normal lane is never starved out of delivery — and the whole
+        // pop sequence must match the two-lane scheduling model
+        // (priority-first, per-lane FIFO, FAIRNESS valve).
+        queue.close();
+        while let Some(v) = queue.pop() {
+            popped.push(v);
+            expected.push(model.pop().unwrap());
+        }
+        prop_assert_eq!(model.len(), 0);
+        prop_assert_eq!(popped.len(), pushed, "total pops == total pushes");
+        prop_assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn drift_report_rollup_rows_always_sum_to_fleet_totals(
+        fields in prop::collection::vec(
+            (0u8..3, 0u8..5, 0usize..3, 0u8..2, -500.0..500.0f64),
+            0..40,
+        ),
+    ) {
+        use doppler::fleet::{DriftVerdict, RegionDriftRow};
+        let regions = ["global", "westeurope", "eastasia"];
+        let outcomes: Vec<DriftOutcome> = fields
+            .iter()
+            .enumerate()
+            .map(|(index, &(verdict, severity, region, deployment, delta))| {
+                let verdict = match verdict {
+                    0 => DriftVerdict::Stable,
+                    1 => DriftVerdict::Drifted,
+                    _ => DriftVerdict::Inconclusive,
+                };
+                DriftOutcome {
+                    index,
+                    customer: format!("c{index}"),
+                    deployment: if deployment == 0 {
+                        DeploymentType::SqlDb
+                    } else {
+                        DeploymentType::SqlMi
+                    },
+                    region: Region::new(regions[region]),
+                    verdict,
+                    severity: DriftSeverity::ALL[severity as usize],
+                    before_sku: Some("DB_GP_2".into()),
+                    after_sku: Some("DB_GP_4".into()),
+                    throttle_if_unchanged: 0.5,
+                    cost_delta: Some(delta),
+                    error: None,
+                }
+            })
+            .collect();
+        let report = FleetDriftReport::from_outcomes("Prop-22", &outcomes);
+        prop_assert_eq!(report.checked, outcomes.len());
+        prop_assert_eq!(report.drifted + report.stable + report.inconclusive, report.checked);
+        prop_assert_eq!(report.severity.iter().sum::<usize>(), report.checked);
+        prop_assert_eq!(report.drifted_customers.len(), report.drifted);
+        // Region rows sum to the fleet totals, column by column.
+        let sum = |f: fn(&RegionDriftRow) -> usize| -> usize {
+            report.regions.iter().map(f).sum()
+        };
+        prop_assert_eq!(sum(|r| r.checked), report.checked);
+        prop_assert_eq!(sum(|r| r.drifted), report.drifted);
+        prop_assert_eq!(sum(|r| r.stable), report.stable);
+        prop_assert_eq!(sum(|r| r.inconclusive), report.inconclusive);
+        let region_delta: f64 = report.regions.iter().map(|r| r.cost_delta).sum();
+        prop_assert!((region_delta - report.total_cost_delta).abs() < 1e-6);
+        // Deployment rows too.
+        prop_assert_eq!(report.deployments.iter().map(|d| d.checked).sum::<usize>(), report.checked);
+        prop_assert_eq!(report.deployments.iter().map(|d| d.drifted).sum::<usize>(), report.drifted);
+        let deployment_delta: f64 = report.deployments.iter().map(|d| d.cost_delta).sum();
+        prop_assert!((deployment_delta - report.total_cost_delta).abs() < 1e-6);
+        // Region rows come out sorted and unique.
+        for pair in report.regions.windows(2) {
+            prop_assert!(pair[0].region.as_str() < pair[1].region.as_str());
+        }
+    }
+
+    #[test]
+    fn zero_drift_cohorts_never_report_drift(
+        n in 1usize..7,
+        seed in 0u64..200,
+    ) {
+        // A control cohort: every customer's fresh window is drawn from
+        // the same distribution as its baseline (magnitude 1.0 — no
+        // injected drift), at sizes that sit comfortably inside a SKU
+        // rung. No seed may produce a drifted verdict.
+        let engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let mut monitor = DriftMonitor::new(FleetAssessor::new(
+            engine,
+            FleetConfig::with_workers(1 + (seed % 3) as usize),
+        ));
+        for i in 0..n {
+            let spec = DriftSpec {
+                direction: DriftDirection::Grow,
+                days: 0.5,
+                onset_day: 0.25,
+                magnitude: 1.0,
+                base_scale: 0.4 + 0.5 * (i as f64 / 6.0),
+                latency_critical: false,
+            };
+            let scenario = spec.scenario(seed.wrapping_mul(31).wrapping_add(i as u64));
+            monitor.watch(MonitoredCustomer::new(
+                format!("ctrl-{i}"),
+                DeploymentType::SqlDb,
+                scenario.before(),
+            ));
+            monitor.observe(&format!("ctrl-{i}"), scenario.after());
+        }
+        let pass = monitor.tick("Ctl-22");
+        prop_assert_eq!(pass.report.checked, n);
+        prop_assert_eq!(pass.report.drifted, 0, "outcomes: {:?}", pass.outcomes);
+        prop_assert_eq!(pass.report.stable, n);
+        prop_assert!(pass.reassessments.is_empty());
     }
 }
