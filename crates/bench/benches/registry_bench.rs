@@ -13,8 +13,8 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use doppler_catalog::{
-    azure_paas_catalog, CatalogKey, CatalogSpec, CatalogVersion, DeploymentType,
-    InMemoryCatalogProvider, Region,
+    azure_paas_catalog, CatalogKey, CatalogProvider, CatalogSpec, CatalogVersion, DeploymentType,
+    InMemoryCatalogProvider, PriceFeed, RefreshableCatalogProvider, Region,
 };
 use doppler_core::{EngineRegistry, EngineTemplate, TrainingRecord, TrainingSet};
 use doppler_fleet::{cloud_fleet, EngineRoute, FleetAssessor, FleetConfig, FleetRequest};
@@ -147,5 +147,101 @@ fn bench_mixed_region_fleet(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold_vs_warm, bench_mixed_region_fleet);
+/// Eviction pressure: a capacity-8 LRU registry cycled over 64 hot keys —
+/// the pathological steady state where every resolution is a miss plus an
+/// eviction — against the same sweep warm (capacity ≥ key count). The gap
+/// is the price of undersizing the cache.
+fn bench_eviction_pressure(c: &mut Criterion) {
+    const HOT_KEYS: usize = 64;
+    const CAPACITY: usize = 8;
+    let provider = Arc::new((0..HOT_KEYS).fold(InMemoryCatalogProvider::new(), |p, i| {
+        p.with_region(
+            Region::new(format!("hot-{i}")),
+            CatalogVersion::INITIAL,
+            &CatalogSpec::default(),
+            1.0,
+        )
+    }));
+    let template = EngineTemplate::production();
+    let empty = TrainingSet::empty();
+    let key = |i: usize| {
+        CatalogKey::new(
+            DeploymentType::SqlDb,
+            Region::new(format!("hot-{i}")),
+            CatalogVersion::INITIAL,
+        )
+    };
+    let mut group = c.benchmark_group(format!("eviction_pressure_{HOT_KEYS}_keys"));
+    group.sample_size(10);
+
+    let thrashing = EngineRegistry::new(Arc::clone(&provider) as Arc<dyn CatalogProvider>)
+        .with_capacity(CAPACITY);
+    group.bench_function(format!("capacity_{CAPACITY}_thrash"), |b| {
+        b.iter(|| {
+            for i in 0..HOT_KEYS {
+                std::hint::black_box(thrashing.get_or_train(&key(i), &template, &empty).unwrap());
+            }
+        })
+    });
+
+    let roomy = EngineRegistry::new(Arc::clone(&provider) as Arc<dyn CatalogProvider>)
+        .with_capacity(HOT_KEYS);
+    group.bench_function(format!("capacity_{HOT_KEYS}_warm"), |b| {
+        b.iter(|| {
+            for i in 0..HOT_KEYS {
+                std::hint::black_box(roomy.get_or_train(&key(i), &template, &empty).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Feed-roll latency: how long one `apply_feed` takes — re-price the
+/// region's catalog, fingerprint it, bump the version, log the roll — and
+/// the retire-then-retrain round trip a roll costs the registry.
+fn bench_feed_roll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feed_roll");
+    group.sample_size(10);
+
+    let provider = RefreshableCatalogProvider::production();
+    group.bench_function("apply_feed_reprice", |b| {
+        // Alternate a cut and its inverse so rates stay bounded while
+        // every feed is a real (non-idempotent) roll.
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let m = if flip { 0.95 } else { 1.0 / 0.95 };
+            std::hint::black_box(
+                provider.apply_feed(&Region::global(), PriceFeed::Multiplier(m)).unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("roll_retire_and_retrain", |b| {
+        let provider = Arc::new(RefreshableCatalogProvider::production());
+        let registry = EngineRegistry::new(Arc::clone(&provider) as Arc<dyn CatalogProvider>);
+        let template = EngineTemplate::production();
+        let training = training();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let m = if flip { 0.95 } else { 1.0 / 0.95 };
+            let rolls = provider.apply_feed(&Region::global(), PriceFeed::Multiplier(m)).unwrap();
+            let roll = &rolls[0];
+            registry.retire_version(&roll.old_key);
+            std::hint::black_box(
+                registry.get_or_train(&roll.new_key, &template, &training).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_mixed_region_fleet,
+    bench_eviction_pressure,
+    bench_feed_roll
+);
 criterion_main!(benches);

@@ -32,8 +32,8 @@ pub use billing::{BillingRates, HOURS_PER_MONTH};
 pub use catalog::Catalog;
 pub use generate::{azure_paas_catalog, replay_skus, CatalogSpec};
 pub use provider::{
-    CatalogKey, CatalogProvider, CatalogVersion, Fingerprint, InMemoryCatalogProvider, Region,
-    ResolvedCatalog,
+    CatalogKey, CatalogProvider, CatalogRoll, CatalogVersion, FeedError, Fingerprint,
+    InMemoryCatalogProvider, PriceFeed, RefreshableCatalogProvider, Region, ResolvedCatalog,
 };
 pub use sku::{DeploymentType, ResourceCaps, ServiceTier, Sku, SkuId};
 pub use storage::{DataFile, FileLayout, StorageTier, TierAssignment};

@@ -16,7 +16,12 @@
 //! * [`InMemoryCatalogProvider`] — the multi-region in-memory
 //!   implementation: one generated Azure catalog per region at a
 //!   region-specific price multiplier (the Lorentz-style abstraction of
-//!   the candidate/pricing source).
+//!   the candidate/pricing source);
+//! * [`RefreshableCatalogProvider`] — the *lifecycle* wrapper: billing
+//!   changes arrive as [`PriceFeed`]s (or whole-catalog swaps), each roll
+//!   bumps the region's [`CatalogVersion`] atomically and appends a
+//!   [`CatalogRoll`] to the change log, while every previously published
+//!   key keeps resolving so in-flight work is never yanked mid-assessment.
 //!
 //! # Example
 //!
@@ -41,7 +46,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
 
 use crate::billing::BillingRates;
 use crate::catalog::Catalog;
@@ -408,6 +413,343 @@ impl CatalogProvider for InMemoryCatalogProvider {
     }
 }
 
+/// One price-feed update for a region — the §4 "real-time pricing" input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PriceFeed {
+    /// Scale the region's *current* rates (and therefore every SKU price)
+    /// by a factor — a percentage price cut or rise, compounding across
+    /// feeds.
+    Multiplier(f64),
+    /// Replace the region's rates outright; SKU prices re-derive from the
+    /// new rates exactly as catalog generation would.
+    Rates(BillingRates),
+}
+
+/// One entry of the [`RefreshableCatalogProvider`] change log: which key
+/// rolled to which, and the content fingerprint the new key resolves to.
+/// Downstream caches (the engine registry) retire `old_key` and train
+/// `new_key` off this record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogRoll {
+    pub old_key: CatalogKey,
+    pub new_key: CatalogKey,
+    /// Fingerprint of the new key's [`ResolvedCatalog`].
+    pub fingerprint: u64,
+}
+
+/// Why a feed or swap could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeedError {
+    /// No catalog is published for this region (feeds re-price existing
+    /// offers; they do not create regions).
+    UnknownRegion(Region),
+    /// The multiplier was not a finite positive number.
+    InvalidMultiplier(f64),
+    /// The fed rates contained a non-finite or non-positive entry — a
+    /// corrupted feed must be rejected before it can publish a catalog
+    /// that panics downstream price sorts.
+    InvalidRates(BillingRates),
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::UnknownRegion(region) => {
+                write!(f, "no catalog published for region {region}")
+            }
+            FeedError::InvalidMultiplier(m) => {
+                write!(f, "price multiplier must be finite and positive, got {m}")
+            }
+            FeedError::InvalidRates(rates) => {
+                write!(f, "billing rates must be finite and positive, got {rates:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// Every rate finite and positive — what a publishable feed must satisfy.
+fn rates_are_valid(rates: &BillingRates) -> bool {
+    [rates.db_gp, rates.db_bc, rates.mi_gp, rates.mi_bc]
+        .iter()
+        .all(|rate| rate.is_finite() && *rate > 0.0)
+}
+
+/// Re-price a catalog against new rates, exactly as generation would:
+/// every SKU's hourly price is re-derived through
+/// [`BillingRates::hourly`], so a re-priced catalog is bit-for-bit equal
+/// to one generated from a spec carrying those rates. Capacities are
+/// untouched — a price feed changes what a shape costs, not what it does.
+fn reprice(catalog: &Catalog, rates: &BillingRates) -> Catalog {
+    Catalog::new(
+        catalog
+            .iter()
+            .map(|sku| {
+                let mut sku = sku.clone();
+                sku.price_per_hour = rates.hourly(sku.deployment, sku.tier, sku.caps.vcores);
+                sku
+            })
+            .collect(),
+    )
+}
+
+/// Versioned entries layered over a wrapped provider, plus the per-region
+/// version frontier and the roll log — everything behind one `RwLock` so a
+/// feed lands atomically: no reader ever sees half a region rolled.
+struct RefreshState {
+    /// Keys published by feeds and swaps (the wrapped provider's own keys
+    /// stay resolvable underneath).
+    overrides: HashMap<CatalogKey, ResolvedCatalog>,
+    /// Latest published version per (deployment, region). Strictly
+    /// monotone: feeds and swaps only ever move it forward.
+    latest: HashMap<(DeploymentType, Region), CatalogVersion>,
+    log: Vec<CatalogRoll>,
+}
+
+/// A [`CatalogProvider`] wrapper that accepts **price-feed updates** and
+/// **catalog swaps** at runtime — the missing lifecycle half of the
+/// provider seam (PAPER.md §4: pricing is a live feed, not a constant).
+///
+/// Semantics:
+///
+/// * [`apply_feed`](RefreshableCatalogProvider::apply_feed) re-prices one
+///   region and bumps its [`CatalogVersion`] — atomically for every
+///   deployment published in the region, so `DB@west#v2` and `MI@west#v2`
+///   appear together;
+/// * a feed that changes nothing (multiplier `1.0`, or re-sending the
+///   rates already in force) is **idempotent**: no version bump, no roll —
+///   the fingerprint changes iff the rates change;
+/// * old keys are never unpublished: an engine pinned to `v1` keeps
+///   resolving until a registry-level retirement tombstones it, so version
+///   rolls never race in-flight assessments;
+/// * every roll is appended to the
+///   [`change_log`](RefreshableCatalogProvider::change_log) as a
+///   [`CatalogRoll`], the record fleet operators feed into
+///   `DriftMonitor::on_catalog_roll`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use doppler_catalog::{
+///     CatalogProvider, DeploymentType, InMemoryCatalogProvider, PriceFeed,
+///     RefreshableCatalogProvider, Region,
+/// };
+///
+/// let provider = RefreshableCatalogProvider::new(Arc::new(InMemoryCatalogProvider::production()));
+/// let v1 = provider.latest(DeploymentType::SqlDb, &Region::global()).unwrap();
+///
+/// // A 7 % price cut lands: the global region rolls to v2.
+/// let rolls = provider.apply_feed(&Region::global(), PriceFeed::Multiplier(0.93)).unwrap();
+/// let v2 = provider.latest(DeploymentType::SqlDb, &Region::global()).unwrap();
+/// assert_eq!(v2.version, v1.version.next());
+/// assert_eq!(rolls.len(), 2, "both deployments of the region roll together");
+///
+/// // Old and new keys both resolve; the new one is 7 % cheaper.
+/// let old = provider.resolve(&v1).unwrap();
+/// let new = provider.resolve(&v2).unwrap();
+/// assert!(new.rates.db_gp < old.rates.db_gp);
+/// ```
+pub struct RefreshableCatalogProvider {
+    inner: Arc<dyn CatalogProvider>,
+    state: RwLock<RefreshState>,
+}
+
+impl RefreshableCatalogProvider {
+    /// Wrap a provider. The wrapped provider's enumerable keys seed the
+    /// per-region version frontier; providers that cannot enumerate
+    /// ([`CatalogProvider::keys`] empty) start with no known regions and
+    /// gain them through [`swap`](RefreshableCatalogProvider::swap).
+    pub fn new(inner: Arc<dyn CatalogProvider>) -> RefreshableCatalogProvider {
+        let mut latest: HashMap<(DeploymentType, Region), CatalogVersion> = HashMap::new();
+        for key in inner.keys() {
+            let entry = latest.entry((key.deployment, key.region.clone())).or_insert(key.version);
+            *entry = (*entry).max(key.version);
+        }
+        RefreshableCatalogProvider {
+            inner,
+            state: RwLock::new(RefreshState { overrides: HashMap::new(), latest, log: Vec::new() }),
+        }
+    }
+
+    /// The production single-region provider, made refreshable.
+    pub fn production() -> RefreshableCatalogProvider {
+        RefreshableCatalogProvider::new(Arc::new(InMemoryCatalogProvider::production()))
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, RefreshState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, RefreshState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The latest published key for `(deployment, region)`, or `None` when
+    /// the region has never been published for that deployment.
+    pub fn latest(&self, deployment: DeploymentType, region: &Region) -> Option<CatalogKey> {
+        self.read()
+            .latest
+            .get(&(deployment, region.clone()))
+            .map(|&version| CatalogKey::new(deployment, region.clone(), version))
+    }
+
+    /// The full change log, oldest roll first.
+    pub fn change_log(&self) -> Vec<CatalogRoll> {
+        self.read().log.clone()
+    }
+
+    /// Rolls applied so far.
+    pub fn rolls(&self) -> usize {
+        self.read().log.len()
+    }
+
+    /// Apply a price feed to one region: every deployment published in the
+    /// region is re-priced and republished under the region's next
+    /// [`CatalogVersion`], in one atomic update. Returns the
+    /// [`CatalogRoll`]s appended to the change log — empty when the feed
+    /// changes nothing (idempotent duplicate).
+    pub fn apply_feed(
+        &self,
+        region: &Region,
+        feed: PriceFeed,
+    ) -> Result<Vec<CatalogRoll>, FeedError> {
+        match feed {
+            PriceFeed::Multiplier(m) if !m.is_finite() || m <= 0.0 => {
+                return Err(FeedError::InvalidMultiplier(m));
+            }
+            PriceFeed::Rates(rates) if !rates_are_valid(&rates) => {
+                return Err(FeedError::InvalidRates(rates));
+            }
+            _ => {}
+        }
+        let mut state = self.write();
+        // Deployments published in this region, in fixed (SqlDb, SqlMi)
+        // order so the change log is deterministic.
+        let deployments: Vec<DeploymentType> = [DeploymentType::SqlDb, DeploymentType::SqlMi]
+            .into_iter()
+            .filter(|&d| state.latest.contains_key(&(d, region.clone())))
+            .collect();
+        if deployments.is_empty() {
+            return Err(FeedError::UnknownRegion(region.clone()));
+        }
+
+        // Resolve every current entry and compute its re-priced successor.
+        // Deployments sharing one catalog allocation keep sharing it.
+        let mut repriced: Vec<(CatalogKey, ResolvedCatalog, ResolvedCatalog)> = Vec::new();
+        let mut shared: Vec<(*const Catalog, Arc<Catalog>)> = Vec::new();
+        for &deployment in &deployments {
+            let version = state.latest[&(deployment, region.clone())];
+            let old_key = CatalogKey::new(deployment, region.clone(), version);
+            let current = resolve_layered(&state, &self.inner, &old_key)
+                .ok_or_else(|| FeedError::UnknownRegion(region.clone()))?;
+            let rates = match feed {
+                PriceFeed::Multiplier(m) => current.rates.scaled(m),
+                PriceFeed::Rates(rates) => rates,
+            };
+            let ptr = Arc::as_ptr(&current.catalog);
+            let catalog = match shared.iter().find(|(p, _)| *p == ptr) {
+                Some((_, arc)) => Arc::clone(arc),
+                None => {
+                    let arc = Arc::new(reprice(&current.catalog, &rates));
+                    shared.push((ptr, Arc::clone(&arc)));
+                    arc
+                }
+            };
+            repriced.push((old_key, current, ResolvedCatalog::new(catalog, rates)));
+        }
+
+        // Idempotence: a feed that leaves every fingerprint unchanged is a
+        // no-op — no version bump, no log entries.
+        if repriced.iter().all(|(_, old, new)| old.fingerprint == new.fingerprint) {
+            return Ok(Vec::new());
+        }
+
+        // One atomic bump for the whole region: every deployment lands on
+        // the same next version (the successor of the region's frontier),
+        // even if per-deployment swaps had let their versions diverge.
+        let next = deployments
+            .iter()
+            .map(|&d| state.latest[&(d, region.clone())])
+            .max()
+            .expect("non-empty")
+            .next();
+        let mut rolls = Vec::with_capacity(repriced.len());
+        for (old_key, _, resolved) in repriced {
+            let new_key = old_key.clone().at_version(next);
+            let roll = CatalogRoll {
+                old_key,
+                new_key: new_key.clone(),
+                fingerprint: resolved.fingerprint,
+            };
+            state.latest.insert((new_key.deployment, new_key.region.clone()), next);
+            state.overrides.insert(new_key, resolved);
+            state.log.push(roll.clone());
+            rolls.push(roll);
+        }
+        Ok(rolls)
+    }
+
+    /// Swap in a whole new catalog for one `(deployment, region)` — the
+    /// full-catalog update path (Azure added rungs, revised limits). The
+    /// entry is republished at the deployment-region's next version and
+    /// the roll is logged. Unlike feeds, a swap is never elided: a new
+    /// catalog object is a new version even at identical prices.
+    pub fn swap(
+        &self,
+        deployment: DeploymentType,
+        region: &Region,
+        catalog: Arc<Catalog>,
+        rates: BillingRates,
+    ) -> Result<CatalogRoll, FeedError> {
+        if !rates_are_valid(&rates) {
+            return Err(FeedError::InvalidRates(rates));
+        }
+        let mut state = self.write();
+        let version = *state
+            .latest
+            .get(&(deployment, region.clone()))
+            .ok_or_else(|| FeedError::UnknownRegion(region.clone()))?;
+        let old_key = CatalogKey::new(deployment, region.clone(), version);
+        let new_key = old_key.clone().at_version(version.next());
+        let resolved = ResolvedCatalog::new(catalog, rates);
+        let roll =
+            CatalogRoll { old_key, new_key: new_key.clone(), fingerprint: resolved.fingerprint };
+        state.latest.insert((deployment, region.clone()), new_key.version);
+        state.overrides.insert(new_key, resolved);
+        state.log.push(roll.clone());
+        Ok(roll)
+    }
+}
+
+/// Overrides first, the wrapped provider underneath — the single
+/// resolution rule, shared by the trait impl and `apply_feed`'s
+/// read-current step (which already holds the lock).
+fn resolve_layered(
+    state: &RefreshState,
+    inner: &Arc<dyn CatalogProvider>,
+    key: &CatalogKey,
+) -> Option<ResolvedCatalog> {
+    state.overrides.get(key).cloned().or_else(|| inner.resolve(key))
+}
+
+impl CatalogProvider for RefreshableCatalogProvider {
+    fn resolve(&self, key: &CatalogKey) -> Option<ResolvedCatalog> {
+        let state = self.read();
+        resolve_layered(&state, &self.inner, key)
+    }
+
+    fn keys(&self) -> Vec<CatalogKey> {
+        let state = self.read();
+        let mut keys = self.inner.keys();
+        keys.extend(state.overrides.keys().cloned());
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,5 +861,184 @@ mod tests {
         assert_eq!(CatalogVersion::INITIAL.next(), CatalogVersion(2));
         assert_eq!(CatalogVersion::default(), CatalogVersion::INITIAL);
         assert!(CatalogVersion(2) > CatalogVersion::INITIAL);
+    }
+
+    fn refreshable() -> RefreshableCatalogProvider {
+        RefreshableCatalogProvider::new(Arc::new(
+            InMemoryCatalogProvider::production().with_region(
+                Region::new("westeurope"),
+                CatalogVersion::INITIAL,
+                &spec(),
+                1.08,
+            ),
+        ))
+    }
+
+    #[test]
+    fn feed_rolls_every_deployment_of_the_region_to_one_new_version() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        let rolls = provider.apply_feed(&west, PriceFeed::Multiplier(0.9)).unwrap();
+        assert_eq!(rolls.len(), 2);
+        for roll in &rolls {
+            assert_eq!(roll.old_key.version, CatalogVersion::INITIAL);
+            assert_eq!(roll.new_key.version, CatalogVersion(2));
+            assert_eq!(roll.new_key.region, west);
+            let resolved = provider.resolve(&roll.new_key).unwrap();
+            assert_eq!(resolved.fingerprint, roll.fingerprint);
+        }
+        assert_eq!(provider.change_log(), rolls);
+        // The untouched region's frontier did not move.
+        let global = provider.latest(DeploymentType::SqlDb, &Region::global()).unwrap();
+        assert_eq!(global.version, CatalogVersion::INITIAL);
+    }
+
+    #[test]
+    fn feed_reprices_exactly_like_generation_would() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        provider.apply_feed(&west, PriceFeed::Multiplier(0.9)).unwrap();
+        let key = provider.latest(DeploymentType::SqlDb, &west).unwrap();
+        let rolled = provider.resolve(&key).unwrap();
+        // The reference: generate the catalog from the rolled rates
+        // directly. Bit-for-bit equal prices and fingerprint.
+        let rates = spec().rates.scaled(1.08).scaled(0.9);
+        let reference = azure_paas_catalog(&CatalogSpec { rates, ..spec() });
+        assert_eq!(rolled.catalog.fingerprint(), reference.fingerprint());
+        for (a, b) in rolled.catalog.iter().zip(reference.iter()) {
+            assert_eq!(a.price_per_hour.to_bits(), b.price_per_hour.to_bits(), "{}", a.id);
+            assert_eq!(a.caps.iops, b.caps.iops, "capacities are untouched");
+        }
+        // Both deployments of the rolled region still share one catalog
+        // allocation, as the in-memory provider publishes them.
+        let mi_key = CatalogKey::new(DeploymentType::SqlMi, west, key.version);
+        let mi = provider.resolve(&mi_key).unwrap();
+        assert!(Arc::ptr_eq(&rolled.catalog, &mi.catalog));
+    }
+
+    #[test]
+    fn old_keys_keep_resolving_after_a_roll() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        let v1 = provider.latest(DeploymentType::SqlDb, &west).unwrap();
+        let before = provider.resolve(&v1).unwrap();
+        provider.apply_feed(&west, PriceFeed::Multiplier(1.2)).unwrap();
+        let after = provider.resolve(&v1).unwrap();
+        assert_eq!(before.fingerprint, after.fingerprint, "v1 is immutable");
+        assert_eq!(provider.keys().len(), 4 + 2, "old and new keys both enumerate");
+    }
+
+    #[test]
+    fn feed_to_unknown_region_is_a_typed_error() {
+        let provider = refreshable();
+        let err =
+            provider.apply_feed(&Region::new("mars"), PriceFeed::Multiplier(0.5)).unwrap_err();
+        assert_eq!(err, FeedError::UnknownRegion(Region::new("mars")));
+        assert!(err.to_string().contains("mars"));
+        assert_eq!(provider.rolls(), 0);
+        // Swaps demand a published region too.
+        let err = provider
+            .swap(
+                DeploymentType::SqlDb,
+                &Region::new("mars"),
+                Arc::new(azure_paas_catalog(&spec())),
+                spec().rates,
+            )
+            .unwrap_err();
+        assert_eq!(err, FeedError::UnknownRegion(Region::new("mars")));
+    }
+
+    #[test]
+    fn invalid_multipliers_are_rejected() {
+        let provider = refreshable();
+        for m in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = provider.apply_feed(&Region::global(), PriceFeed::Multiplier(m)).unwrap_err();
+            assert!(matches!(err, FeedError::InvalidMultiplier(_)), "{m}");
+        }
+        assert_eq!(provider.rolls(), 0);
+    }
+
+    #[test]
+    fn corrupted_rates_feeds_are_rejected_before_publishing() {
+        let provider = refreshable();
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.25] {
+            let rates = BillingRates { db_gp: bad, ..BillingRates::default() };
+            let err = provider.apply_feed(&Region::global(), PriceFeed::Rates(rates)).unwrap_err();
+            assert!(matches!(err, FeedError::InvalidRates(_)), "{bad}");
+            let err = provider
+                .swap(
+                    DeploymentType::SqlDb,
+                    &Region::global(),
+                    Arc::new(azure_paas_catalog(&spec())),
+                    rates,
+                )
+                .unwrap_err();
+            assert!(matches!(err, FeedError::InvalidRates(_)), "{bad} (swap)");
+        }
+        // Nothing rolled, nothing published: the frontier never moved.
+        assert_eq!(provider.rolls(), 0);
+        assert_eq!(provider.latest(DeploymentType::SqlDb, &Region::global()).unwrap().version.0, 1);
+    }
+
+    #[test]
+    fn duplicate_feeds_are_idempotent() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        // Multiplier 1.0 changes nothing: no roll, no version bump.
+        assert!(provider.apply_feed(&west, PriceFeed::Multiplier(1.0)).unwrap().is_empty());
+        assert_eq!(provider.latest(DeploymentType::SqlDb, &west).unwrap().version.0, 1);
+        // A real change rolls once; re-sending the same absolute rates is
+        // then a no-op.
+        let rates = spec().rates.scaled(0.8);
+        assert_eq!(provider.apply_feed(&west, PriceFeed::Rates(rates)).unwrap().len(), 2);
+        assert!(provider.apply_feed(&west, PriceFeed::Rates(rates)).unwrap().is_empty());
+        assert_eq!(provider.latest(DeploymentType::SqlDb, &west).unwrap().version.0, 2);
+        assert_eq!(provider.rolls(), 2);
+    }
+
+    #[test]
+    fn fingerprint_changes_iff_rates_change() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        let v1 = provider.resolve(&provider.latest(DeploymentType::SqlDb, &west).unwrap()).unwrap();
+        // Unchanged rates → no new fingerprint (no roll at all).
+        assert!(provider.apply_feed(&west, PriceFeed::Multiplier(1.0)).unwrap().is_empty());
+        // Changed rates → the roll's fingerprint differs from v1's.
+        let rolls = provider.apply_feed(&west, PriceFeed::Multiplier(1.01)).unwrap();
+        assert!(rolls.iter().all(|r| r.fingerprint != v1.fingerprint));
+    }
+
+    #[test]
+    fn swap_publishes_a_new_catalog_at_the_next_version() {
+        let provider = refreshable();
+        let bigger = azure_paas_catalog(&spec()).with_extra(crate::sku::Sku {
+            id: crate::sku::SkuId("DB_GP_custom".into()),
+            ..azure_paas_catalog(&spec()).iter().next().unwrap().clone()
+        });
+        let roll = provider
+            .swap(DeploymentType::SqlDb, &Region::global(), Arc::new(bigger), spec().rates)
+            .unwrap();
+        assert_eq!(roll.new_key.version, CatalogVersion(2));
+        let resolved = provider.resolve(&roll.new_key).unwrap();
+        assert_eq!(resolved.catalog.len(), 45);
+        assert_eq!(provider.latest(DeploymentType::SqlDb, &Region::global()).unwrap().version.0, 2);
+        // The sibling deployment did not move — but the next feed realigns
+        // the whole region on one version.
+        assert_eq!(provider.latest(DeploymentType::SqlMi, &Region::global()).unwrap().version.0, 1);
+        let rolls = provider.apply_feed(&Region::global(), PriceFeed::Multiplier(1.1)).unwrap();
+        assert!(rolls.iter().all(|r| r.new_key.version == CatalogVersion(3)));
+    }
+
+    #[test]
+    fn multiplier_feeds_compound() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        provider.apply_feed(&west, PriceFeed::Multiplier(0.5)).unwrap();
+        provider.apply_feed(&west, PriceFeed::Multiplier(0.5)).unwrap();
+        let key = provider.latest(DeploymentType::SqlDb, &west).unwrap();
+        assert_eq!(key.version.0, 3);
+        let resolved = provider.resolve(&key).unwrap();
+        let base = spec().rates.scaled(1.08);
+        assert!((resolved.rates.db_gp - base.db_gp * 0.25).abs() < 1e-12);
     }
 }

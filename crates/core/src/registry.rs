@@ -21,7 +21,17 @@
 //!   it — N workers racing a cold key cost exactly one training;
 //! * [`stats`](EngineRegistry::stats) exposes hit / miss / coalesced
 //!   counters, so "a mixed-region fleet run over K keys performs exactly K
-//!   trainings" is directly assertable.
+//!   trainings" is directly assertable;
+//! * the cache has a **lifecycle**: an optional LRU
+//!   [capacity](EngineRegistry::with_capacity) bounds how many trained
+//!   engines are held (least-recently-resolved engines are evicted as new
+//!   trainings land), and
+//!   [`retire_version`](EngineRegistry::retire_version) /
+//!   [`retire_older_than`](EngineRegistry::retire_older_than) tombstone
+//!   keys a catalog roll has superseded — resolving a retired key returns
+//!   [`RegistryError::Retired`] instead of silently retraining a stale
+//!   catalog, and eviction / retirement counters sit beside the hit/miss
+//!   stats.
 //!
 //! # Example
 //!
@@ -44,7 +54,7 @@
 //! assert_eq!((stats.misses, stats.hits), (1, 1));
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
@@ -218,12 +228,17 @@ impl Default for TrainingSet {
 /// Why an engine could not be resolved.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
-    /// The provider has no catalog for this key (unknown region, retired
-    /// version, deployment not offered).
+    /// The provider has no catalog for this key (unknown region,
+    /// deployment not offered).
     UnknownCatalog(CatalogKey),
     /// The training run for this key panicked; the slot was evicted, so a
     /// retry will train afresh.
     TrainingFailed(CatalogKey),
+    /// The key was retired ([`EngineRegistry::retire_version`] /
+    /// [`retire_older_than`](EngineRegistry::retire_older_than)) — a
+    /// catalog roll superseded it, so the registry refuses to train or
+    /// serve it rather than silently recommending against a stale catalog.
+    Retired(CatalogKey),
 }
 
 impl fmt::Display for RegistryError {
@@ -234,6 +249,9 @@ impl fmt::Display for RegistryError {
             }
             RegistryError::TrainingFailed(key) => {
                 write!(f, "engine training for {key} panicked")
+            }
+            RegistryError::Retired(key) => {
+                write!(f, "catalog {key} is retired; resolve its successor version")
             }
         }
     }
@@ -253,9 +271,14 @@ pub struct RegistryStats {
     pub coalesced: u64,
     /// Resolutions that performed the training run themselves.
     pub misses: u64,
-    /// Resolutions that failed (unknown catalog, or a training panic
-    /// observed either first-hand or while coalesced).
+    /// Resolutions that failed (unknown catalog, a retired key, or a
+    /// training panic observed either first-hand or while coalesced).
     pub failures: u64,
+    /// Engines dropped to stay within the LRU capacity, plus wholesale
+    /// [`clear`](EngineRegistry::clear)s.
+    pub evictions: u64,
+    /// Engines dropped because their catalog key was retired.
+    pub retirements: u64,
     /// Trained engines currently held.
     pub entries: usize,
 }
@@ -327,6 +350,31 @@ impl Slot {
 
 type Shard = RwLock<HashMap<EngineKey, Arc<Slot>>>;
 
+/// LRU bookkeeping: a logical clock plus the last-resolved tick of every
+/// *ready* engine (in-flight trainings are not tracked — they become
+/// evictable only once published). Touched only when a capacity is set, so
+/// unbounded registries pay nothing for it on the warm path.
+struct LruState {
+    tick: u64,
+    last_used: HashMap<EngineKey, u64>,
+}
+
+/// Retirement tombstones: exact retired keys plus a monotone version
+/// floor. Read (briefly) on every resolution; written only on catalog
+/// rolls.
+#[derive(Default)]
+struct Lifecycle {
+    retired: HashSet<CatalogKey>,
+    /// Keys with `version <` this floor are retired wholesale.
+    min_version: Option<doppler_catalog::CatalogVersion>,
+}
+
+impl Lifecycle {
+    fn is_retired(&self, key: &CatalogKey) -> bool {
+        self.min_version.is_some_and(|floor| key.version < floor) || self.retired.contains(key)
+    }
+}
+
 /// The fleet-wide trained-engine cache. See the [module docs](self) for
 /// the design; construct with [`new`](EngineRegistry::new) (16 shards) or
 /// [`with_shards`](EngineRegistry::with_shards), and share via `Arc` —
@@ -334,10 +382,17 @@ type Shard = RwLock<HashMap<EngineKey, Arc<Slot>>>;
 pub struct EngineRegistry {
     provider: Arc<dyn CatalogProvider>,
     shards: Box<[Shard]>,
+    /// LRU capacity over *ready* engines; `None` = unbounded (the
+    /// pre-lifecycle behaviour). Construction-time only.
+    capacity: Option<usize>,
+    lru: Mutex<LruState>,
+    lifecycle: RwLock<Lifecycle>,
     hits: AtomicU64,
     coalesced: AtomicU64,
     misses: AtomicU64,
     failures: AtomicU64,
+    evictions: AtomicU64,
+    retirements: AtomicU64,
 }
 
 impl EngineRegistry {
@@ -356,11 +411,31 @@ impl EngineRegistry {
         EngineRegistry {
             provider,
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity: None,
+            lru: Mutex::new(LruState { tick: 0, last_used: HashMap::new() }),
+            lifecycle: RwLock::new(Lifecycle::default()),
             hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            retirements: AtomicU64::new(0),
         }
+    }
+
+    /// Bound the cache to `capacity` trained engines (clamped to ≥ 1),
+    /// evicted least-recently-resolved-first as new trainings land. The
+    /// engine just resolved is never the one evicted, and in-flight `Arc`s
+    /// stay valid — eviction drops the cache's reference, not the
+    /// engine. Builder-style; set before sharing the registry.
+    pub fn with_capacity(mut self, capacity: usize) -> EngineRegistry {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The LRU capacity, when one is set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The catalog provider resolutions go through.
@@ -381,6 +456,10 @@ impl EngineRegistry {
         template: &EngineTemplate,
         training: &TrainingSet,
     ) -> Result<Arc<DopplerEngine>, RegistryError> {
+        if self.is_retired(key) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(RegistryError::Retired(key.clone()));
+        }
         let (engine_key, resolved) = self.engine_key(key, template, training).ok_or_else(|| {
             self.failures.fetch_add(1, Ordering::Relaxed);
             RegistryError::UnknownCatalog(key.clone())
@@ -391,7 +470,7 @@ impl EngineRegistry {
         let existing =
             shard.read().unwrap_or_else(PoisonError::into_inner).get(&engine_key).cloned();
         if let Some(slot) = existing {
-            return self.resolve_slot(key, &slot);
+            return self.resolve_slot(key, &engine_key, &slot);
         }
 
         // Slow path: take the write lock just long enough to insert-or-get
@@ -408,7 +487,7 @@ impl EngineRegistry {
             }
         };
         if !trainer {
-            return self.resolve_slot(key, &slot);
+            return self.resolve_slot(key, &engine_key, &slot);
         }
 
         let config = template.config_for(key.deployment, resolved.rates);
@@ -421,6 +500,10 @@ impl EngineRegistry {
                 let engine = Arc::new(engine);
                 slot.publish(SlotState::Ready(Arc::clone(&engine)));
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                // The newly published engine joins the LRU set; evict past
+                // the capacity, least-recently-resolved first (never this
+                // one — it was touched last).
+                self.admit_and_enforce(&engine_key);
                 Ok(engine)
             }
             Err(payload) => {
@@ -477,6 +560,8 @@ impl EngineRegistry {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            retirements: self.retirements.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -490,11 +575,148 @@ impl EngineRegistry {
         self.len() == 0
     }
 
-    /// Drop every cached engine (counters are preserved). Fleet operators
-    /// call this on catalog-feed rollover; in-flight `Arc`s stay valid.
-    pub fn clear(&self) {
+    /// Drop every cached engine, returning how many trained engines were
+    /// evicted (they count into [`RegistryStats::evictions`]; in-flight
+    /// training slots are dropped from the cache too but count nothing —
+    /// no engine existed yet). **Counters are lifetime totals and are
+    /// preserved** — `hits + coalesced + misses + failures` keeps
+    /// equalling completed resolutions across clears. Retirement
+    /// tombstones survive too: `clear` is a cache flush, not an
+    /// un-retirement. In-flight `Arc`s stay valid.
+    pub fn clear(&self) -> usize {
+        let mut evicted = 0;
         for shard in self.shards.iter() {
-            shard.write().unwrap_or_else(PoisonError::into_inner).clear();
+            let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+            evicted += map.values().filter(|slot| slot.get_ready().is_some()).count();
+            map.clear();
+        }
+        self.lock_lru().last_used.clear();
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Tombstone one exact [`CatalogKey`]: every engine trained for it is
+    /// dropped (counted into [`RegistryStats::retirements`]) and any later
+    /// resolution returns [`RegistryError::Retired`] — never a retrain.
+    /// The operator move behind a catalog version roll: retire `v1`, let
+    /// the priority lane re-assess against `v2`. Returns the number of
+    /// engines dropped. In-flight `Arc`s (and waiters already coalesced
+    /// onto an in-flight training) keep their engines; only the cache
+    /// forgets them.
+    pub fn retire_version(&self, key: &CatalogKey) -> usize {
+        self.lifecycle.write().unwrap_or_else(PoisonError::into_inner).retired.insert(key.clone());
+        self.retire_matching(|catalog| catalog == key)
+    }
+
+    /// Tombstone every key — across all deployments and regions — whose
+    /// version is older than `floor`, dropping their engines. The floor is
+    /// monotone: a lower floor than one already set is a no-op for the
+    /// tombstone (already-retired keys stay retired). Returns the number
+    /// of engines dropped.
+    pub fn retire_older_than(&self, floor: doppler_catalog::CatalogVersion) -> usize {
+        {
+            let mut lifecycle = self.lifecycle.write().unwrap_or_else(PoisonError::into_inner);
+            lifecycle.min_version = Some(lifecycle.min_version.map_or(floor, |f| f.max(floor)));
+        }
+        self.retire_matching(|catalog| catalog.version < floor)
+    }
+
+    /// Whether resolutions of `key` are refused as retired.
+    pub fn is_retired(&self, key: &CatalogKey) -> bool {
+        self.lifecycle.read().unwrap_or_else(PoisonError::into_inner).is_retired(key)
+    }
+
+    /// Drop every cached entry whose catalog key matches. Trained engines
+    /// count into the retirement counter and the return value; in-flight
+    /// `Training` slots are dropped from the cache too (so nothing can
+    /// coalesce onto a retired key) but count nothing — no engine existed
+    /// yet. The shared sweep behind both retirement entry points.
+    fn retire_matching(&self, matches: impl Fn(&CatalogKey) -> bool) -> usize {
+        let mut dropped = Vec::new();
+        let mut engines = 0usize;
+        for shard in self.shards.iter() {
+            shard.write().unwrap_or_else(PoisonError::into_inner).retain(|k, slot| {
+                if matches(&k.catalog) {
+                    if slot.get_ready().is_some() {
+                        engines += 1;
+                    }
+                    dropped.push(k.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut lru = self.lock_lru();
+        for k in &dropped {
+            lru.last_used.remove(k);
+        }
+        drop(lru);
+        self.retirements.fetch_add(engines as u64, Ordering::Relaxed);
+        engines
+    }
+
+    fn lock_lru(&self) -> MutexGuard<'_, LruState> {
+        self.lru.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Refresh `engine_key`'s LRU recency on a warm resolution. Update
+    /// only, never insert: admission happens exactly once, at publish
+    /// ([`admit_and_enforce`](EngineRegistry::admit_and_enforce)), so a
+    /// hit racing an eviction or retirement can never resurrect a phantom
+    /// LRU entry for a key the cache no longer holds. No-op without a
+    /// capacity — unbounded registries never touch the LRU mutex.
+    fn touch(&self, engine_key: &EngineKey) {
+        if self.capacity.is_none() {
+            return;
+        }
+        let mut lru = self.lock_lru();
+        lru.tick += 1;
+        let tick = lru.tick;
+        if let Some(last) = lru.last_used.get_mut(engine_key) {
+            *last = tick;
+        }
+    }
+
+    /// Admit a freshly published engine to the LRU set and evict
+    /// least-recently-resolved engines until the set fits the capacity.
+    /// The whole pass holds the LRU lock (shard locks are taken inside it;
+    /// no path holds a shard lock while waiting on the LRU mutex, so the
+    /// ordering is acyclic), which keeps `last_used` and the shards in
+    /// step: a concurrent retirement that already swept this key simply
+    /// skips admission, and a victim some other thread already removed is
+    /// dropped from the LRU set without counting an eviction. `engine_key`
+    /// itself is never the victim, so a capacity-1 registry still serves
+    /// the key it just trained.
+    fn admit_and_enforce(&self, engine_key: &EngineKey) {
+        let Some(capacity) = self.capacity else { return };
+        let mut lru = self.lock_lru();
+        let still_cached = self.shards[self.shard_of(engine_key)]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(engine_key);
+        if !still_cached {
+            return;
+        }
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.last_used.insert(engine_key.clone(), tick);
+        while lru.last_used.len() > capacity {
+            let victim = lru
+                .last_used
+                .iter()
+                .filter(|(k, _)| *k != engine_key)
+                .min_by_key(|(_, &tick)| tick)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { return };
+            lru.last_used.remove(&victim);
+            let removed = self.shards[self.shard_of(&victim)]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&victim);
+            if removed.is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -511,15 +733,18 @@ impl EngineRegistry {
     fn resolve_slot(
         &self,
         key: &CatalogKey,
+        engine_key: &EngineKey,
         slot: &Slot,
     ) -> Result<Arc<DopplerEngine>, RegistryError> {
         if let Some(engine) = slot.get_ready() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(engine_key);
             return Ok(engine);
         }
         match slot.wait() {
             Some(engine) => {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.touch(engine_key);
                 Ok(engine)
             }
             None => {
@@ -543,8 +768,8 @@ impl fmt::Debug for EngineRegistry {
 mod tests {
     use super::*;
     use doppler_catalog::{
-        azure_paas_catalog, CatalogSpec, CatalogVersion, DeploymentType, InMemoryCatalogProvider,
-        Region, SkuId,
+        azure_paas_catalog, Catalog, CatalogSpec, CatalogVersion, DeploymentType,
+        InMemoryCatalogProvider, Region, SkuId,
     };
     use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
 
@@ -705,15 +930,207 @@ mod tests {
         let engine = registry
             .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
             .unwrap();
-        registry.clear();
+        assert_eq!(registry.clear(), 1, "clear reports how many entries it evicted");
         assert!(registry.is_empty());
         // The evicted engine still serves.
         assert!(engine.recommend(&record(0.4, 32).history, None).sku_id.is_some());
-        // Next resolution retrains.
+        // Next resolution retrains; lifetime counters were preserved
+        // across the clear, and the flushed entry counts as an eviction.
         registry
             .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
             .unwrap();
-        assert_eq!(registry.stats().misses, 2);
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(registry.clear(), 1);
+        assert_eq!(registry.clear(), 0, "clearing an empty registry evicts nothing");
+        assert_eq!(registry.stats().evictions, 2);
+    }
+
+    /// A multi-region provider for the lifecycle tests: `region-0` …
+    /// `region-{n-1}`, list-priced, both deployments each.
+    fn regions(n: usize) -> InMemoryCatalogProvider {
+        (0..n).fold(InMemoryCatalogProvider::new(), |p, i| {
+            p.with_region(
+                Region::new(format!("region-{i}")),
+                CatalogVersion::INITIAL,
+                &CatalogSpec::default(),
+                1.0,
+            )
+        })
+    }
+
+    fn region_key(i: usize) -> CatalogKey {
+        CatalogKey::new(
+            DeploymentType::SqlDb,
+            Region::new(format!("region-{i}")),
+            CatalogVersion::INITIAL,
+        )
+    }
+
+    #[test]
+    fn lru_capacity_bounds_the_cache_and_counts_evictions() {
+        let registry = EngineRegistry::new(Arc::new(regions(6))).with_capacity(3);
+        assert_eq!(registry.capacity(), Some(3));
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        for i in 0..6 {
+            registry.get_or_train(&region_key(i), &template, &empty).unwrap();
+            assert!(registry.len() <= 3, "after key {i}: {} entries", registry.len());
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.evictions, 3, "6 trainings into a 3-slot cache evict 3");
+        assert_eq!(stats.entries, 3);
+        // The three most recent keys survived; the three oldest are gone.
+        for i in 0..3 {
+            assert!(registry.get_if_ready(&region_key(i), &template, &empty).is_none(), "{i}");
+        }
+        for i in 3..6 {
+            assert!(registry.get_if_ready(&region_key(i), &template, &empty).is_some(), "{i}");
+        }
+    }
+
+    #[test]
+    fn lru_hits_refresh_recency() {
+        let registry = EngineRegistry::new(Arc::new(regions(3))).with_capacity(2);
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        registry.get_or_train(&region_key(0), &template, &empty).unwrap();
+        registry.get_or_train(&region_key(1), &template, &empty).unwrap();
+        // Hitting key 0 makes key 1 the least recently resolved …
+        registry.get_or_train(&region_key(0), &template, &empty).unwrap();
+        // … so training key 2 evicts key 1, not key 0.
+        registry.get_or_train(&region_key(2), &template, &empty).unwrap();
+        assert!(registry.get_if_ready(&region_key(0), &template, &empty).is_some());
+        assert!(registry.get_if_ready(&region_key(1), &template, &empty).is_none());
+        assert!(registry.get_if_ready(&region_key(2), &template, &empty).is_some());
+        assert_eq!(registry.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_one_never_evicts_the_engine_just_resolved() {
+        let registry = EngineRegistry::new(Arc::new(regions(4))).with_capacity(1);
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        for i in 0..4 {
+            registry.get_or_train(&region_key(i), &template, &empty).unwrap();
+            // The just-trained engine is protected from its own eviction
+            // pass — a capacity-1 cache still serves the key it trained.
+            assert!(
+                registry.get_if_ready(&region_key(i), &template, &empty).is_some(),
+                "key {i} evicted by its own resolution"
+            );
+            assert_eq!(registry.len(), 1);
+        }
+        assert_eq!(registry.stats().evictions, 3);
+    }
+
+    #[test]
+    fn retired_keys_error_and_never_retrain() {
+        let registry = registry();
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        let engine = registry.get_or_train(&db_key(), &template, &empty).unwrap();
+        assert_eq!(registry.retire_version(&db_key()), 1, "one engine tombstoned");
+        assert!(registry.is_retired(&db_key()));
+        assert!(registry.is_empty());
+
+        let err = registry.get_or_train(&db_key(), &template, &empty).unwrap_err();
+        assert_eq!(err, RegistryError::Retired(db_key()));
+        assert!(err.to_string().contains("retired"));
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 1, "retirement never triggers a retrain");
+        assert_eq!(stats.retirements, 1);
+        assert_eq!(stats.failures, 1, "the refused resolution counts as a failure");
+        assert_eq!(stats.evictions, 0, "retirement is not an LRU eviction");
+        // In-flight Arcs keep serving.
+        assert!(engine.recommend(&record(0.4, 32).history, None).sku_id.is_some());
+        // Other keys are untouched.
+        registry
+            .get_or_train(&CatalogKey::production(DeploymentType::SqlMi), &template, &empty)
+            .unwrap();
+        // Clearing the cache does not un-retire.
+        registry.clear();
+        assert!(matches!(
+            registry.get_or_train(&db_key(), &template, &empty),
+            Err(RegistryError::Retired(_))
+        ));
+    }
+
+    #[test]
+    fn retire_older_than_applies_a_monotone_version_floor() {
+        let provider = InMemoryCatalogProvider::production()
+            .with_region(Region::global(), CatalogVersion(2), &CatalogSpec::default(), 1.0)
+            .with_region(Region::global(), CatalogVersion(3), &CatalogSpec::default(), 1.0);
+        let registry = EngineRegistry::new(Arc::new(provider));
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        for v in 1..=3 {
+            registry
+                .get_or_train(&db_key().at_version(CatalogVersion(v)), &template, &empty)
+                .unwrap();
+        }
+        assert_eq!(registry.retire_older_than(CatalogVersion(3)), 2, "v1 and v2 engines dropped");
+        assert!(registry.is_retired(&db_key()));
+        assert!(registry.is_retired(&db_key().at_version(CatalogVersion(2))));
+        assert!(!registry.is_retired(&db_key().at_version(CatalogVersion(3))));
+        // The floor covers keys never resolved, in any region.
+        assert!(registry.is_retired(&db_key().in_region(Region::new("never-seen"))));
+        // A lower floor later cannot un-retire.
+        registry.retire_older_than(CatalogVersion(2));
+        assert!(registry.is_retired(&db_key().at_version(CatalogVersion(2))));
+        assert_eq!(registry.stats().retirements, 2);
+        assert!(matches!(
+            registry.get_or_train(&db_key(), &template, &empty),
+            Err(RegistryError::Retired(_))
+        ));
+        registry.get_or_train(&db_key().at_version(CatalogVersion(3)), &template, &empty).unwrap();
+        assert_eq!(registry.stats().misses, 3, "the surviving version still serves warm");
+    }
+
+    #[test]
+    fn training_panic_then_retirement_refuses_rather_than_retrains() {
+        // A provider whose catalog prices are NaN: curve generation sorts
+        // by price and panics — a genuine mid-training panic inside the
+        // registry's catch.
+        struct NanPriced;
+        impl CatalogProvider for NanPriced {
+            fn resolve(&self, _key: &CatalogKey) -> Option<doppler_catalog::ResolvedCatalog> {
+                let catalog = azure_paas_catalog(&CatalogSpec::default());
+                let poisoned = Catalog::new(
+                    catalog
+                        .iter()
+                        .map(|sku| {
+                            let mut sku = sku.clone();
+                            sku.price_per_hour = f64::NAN;
+                            sku
+                        })
+                        .collect(),
+                );
+                Some(doppler_catalog::ResolvedCatalog::new(
+                    Arc::new(poisoned),
+                    doppler_catalog::BillingRates::default(),
+                ))
+            }
+        }
+        let registry = EngineRegistry::new(Arc::new(NanPriced));
+        let template = EngineTemplate::production();
+        let training = TrainingSet::new(vec![record(0.5, 64)]);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            registry.get_or_train(&db_key(), &template, &training)
+        }));
+        assert!(outcome.is_err(), "the training panic propagates to the trainer");
+        let stats = registry.stats();
+        assert_eq!((stats.failures, stats.entries), (1, 0), "the failed slot was evicted");
+
+        // Retiring the key after the panic: later resolutions get the
+        // typed retirement error — not another training attempt, and not
+        // another panic.
+        assert_eq!(registry.retire_version(&db_key()), 0, "no engine existed to drop");
+        let err = registry.get_or_train(&db_key(), &template, &training).unwrap_err();
+        assert_eq!(err, RegistryError::Retired(db_key()));
+        assert_eq!(registry.stats().misses, 0, "nothing ever trained successfully");
     }
 
     #[test]

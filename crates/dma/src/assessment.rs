@@ -21,6 +21,12 @@ pub struct MonthlyAdoption {
     pub drift_checks: usize,
     /// Of those, checks that detected a SKU change.
     pub drift_detected: usize,
+    /// Catalog version rolls processed this month (price feeds / catalog
+    /// swaps that superseded a key customers were pinned to).
+    pub catalog_rolls: usize,
+    /// Customers re-priced through the priority lane because their catalog
+    /// key rolled.
+    pub customers_repriced: usize,
 }
 
 /// Adoption counters by month label (e.g. `"Oct-21"`), in first-seen
@@ -62,6 +68,17 @@ impl AdoptionLedger {
         }
     }
 
+    /// Record one catalog version roll and how many pinned customers it
+    /// re-priced — the lifecycle counterpart of
+    /// [`record_drift`](AdoptionLedger::record_drift): a billing change is
+    /// fleet work the same way drift is, and it reads off the same Table 1
+    /// dashboard.
+    pub fn record_roll(&mut self, month: &str, repriced: usize) {
+        let m = self.entry(month);
+        m.catalog_rolls += 1;
+        m.customers_repriced += repriced;
+    }
+
     /// Fold another ledger's counters into this one, month-wise. Months
     /// unseen so far are appended in the other ledger's order, so merging
     /// period reports into a running total preserves chronology.
@@ -73,6 +90,8 @@ impl AdoptionLedger {
             m.recommendations_generated += row.recommendations_generated;
             m.drift_checks += row.drift_checks;
             m.drift_detected += row.drift_detected;
+            m.catalog_rolls += row.catalog_rolls;
+            m.customers_repriced += row.customers_repriced;
         }
     }
 
@@ -141,6 +160,32 @@ mod tests {
         ledger.record("Oct-21", 1, 1);
         assert_eq!(ledger.month("Oct-21").unwrap().unique_instances, 1);
         assert_eq!(ledger.rows().count(), 1);
+    }
+
+    #[test]
+    fn roll_rows_count_rolls_and_repriced_customers() {
+        let mut ledger = AdoptionLedger::default();
+        ledger.record_roll("Oct-21", 12);
+        ledger.record_roll("Oct-21", 0);
+        let m = ledger.month("Oct-21").unwrap();
+        assert_eq!(m.catalog_rolls, 2);
+        assert_eq!(m.customers_repriced, 12);
+        // Roll rows live beside the Table 1 and drift counters, not instead.
+        assert_eq!(m.unique_instances, 0);
+        assert_eq!(m.drift_checks, 0);
+    }
+
+    #[test]
+    fn merge_carries_roll_rows() {
+        let mut total = AdoptionLedger::default();
+        total.record_roll("Oct-21", 3);
+        let mut period = AdoptionLedger::default();
+        period.record_roll("Oct-21", 4);
+        period.record_roll("Nov-21", 1);
+        total.merge(&period);
+        assert_eq!(total.month("Oct-21").unwrap().catalog_rolls, 2);
+        assert_eq!(total.month("Oct-21").unwrap().customers_repriced, 7);
+        assert_eq!(total.month("Nov-21").unwrap().catalog_rolls, 1);
     }
 
     #[test]

@@ -231,6 +231,10 @@ pub struct FleetDriftReport {
     pub inconclusive: usize,
     /// Severity histogram in [`DriftSeverity::ALL`] order.
     pub severity: [usize; 5],
+    /// Catalog version rolls processed since the previous pass
+    /// ([`DriftMonitor::on_catalog_roll`]) — a billing change shows up on
+    /// the same dashboard as drift.
+    pub catalog_rolls: usize,
     /// Sum of the drifted customers' re-recommendation cost deltas
     /// (positive: the fleet grew; negative: right-sizing savings).
     pub total_cost_delta: f64,
@@ -255,6 +259,7 @@ impl FleetDriftReport {
             stable: 0,
             inconclusive: 0,
             severity: [0; 5],
+            catalog_rolls: 0,
             total_cost_delta: 0.0,
             regions: Vec::new(),
             deployments: Vec::new(),
@@ -358,6 +363,9 @@ impl FleetDriftReport {
             if self.total_cost_delta >= 0.0 { "+" } else { "-" },
             self.total_cost_delta.abs()
         ));
+        if self.catalog_rolls > 0 {
+            out.push_str(&format!("catalog rolls since last pass: {}\n", self.catalog_rolls));
+        }
 
         if self.checked > 0 {
             out.push_str("\n--- Severity ---\n");
@@ -518,6 +526,23 @@ struct Watched {
     fresh: Option<PerfHistory>,
 }
 
+/// What one processed catalog roll did to the monitored fleet
+/// ([`DriftMonitor::on_catalog_roll`]).
+#[derive(Debug)]
+pub struct CatalogRollOutcome {
+    /// The key the roll superseded.
+    pub old_key: CatalogKey,
+    /// The key pinned customers now resolve.
+    pub new_key: CatalogKey,
+    /// Engines tombstoned in the shared registry for the old key (0 when
+    /// the service resolves through fixed pipelines instead).
+    pub retired_engines: usize,
+    /// Priority-lane re-assessments of the customers that were pinned to
+    /// the old key, in watch order — their standing recommendations
+    /// re-priced against the new catalog version.
+    pub repriced: Vec<FleetResult>,
+}
+
 /// One completed monitoring pass.
 #[derive(Debug)]
 pub struct DriftPass {
@@ -543,6 +568,9 @@ pub struct DriftMonitor {
     slots: HashMap<String, usize>,
     p_g: f64,
     ledger: AdoptionLedger,
+    /// Catalog rolls processed since the last pass; folded into the next
+    /// [`FleetDriftReport::catalog_rolls`].
+    rolls_since_tick: usize,
 }
 
 impl DriftMonitor {
@@ -562,6 +590,7 @@ impl DriftMonitor {
             slots: HashMap::new(),
             p_g: 0.0,
             ledger: AdoptionLedger::default(),
+            rolls_since_tick: 0,
         }
     }
 
@@ -713,7 +742,8 @@ impl DriftMonitor {
             self.ledger.record_drift(month, outcome.verdict == DriftVerdict::Drifted);
             outcomes.push(outcome);
         }
-        let report = FleetDriftReport::from_outcomes(month, &outcomes);
+        let mut report = FleetDriftReport::from_outcomes(month, &outcomes);
+        report.catalog_rolls = std::mem::take(&mut self.rolls_since_tick);
 
         // Phase 3: drifted customers jump the queue. Their re-assessment
         // runs the *full* pipeline (profiling, matching, and the original
@@ -750,6 +780,82 @@ impl DriftMonitor {
         }
 
         DriftPass { report, outcomes, reassessments }
+    }
+
+    /// Process one catalog version roll — the lifecycle hook a
+    /// [`RefreshableCatalogProvider`](doppler_catalog::RefreshableCatalogProvider)
+    /// feed produces a [`CatalogRoll`](doppler_catalog::CatalogRoll) for:
+    ///
+    /// 1. the old key is **retired** in the shared registry
+    ///    ([`EngineRegistry::retire_version`](doppler_core::EngineRegistry::retire_version)),
+    ///    so nothing can silently retrain or serve the superseded catalog;
+    /// 2. every watched customer pinned to the old key is re-pinned to the
+    ///    new key and **re-assessed through the priority lane** on its
+    ///    baseline window (the workload did not change — its price did),
+    ///    jumping any normal backlog exactly like drifted customers do;
+    /// 3. successful re-assessments roll the customer's standing
+    ///    recommendation (SKU and monthly cost) forward, and the roll is
+    ///    recorded in the ledger's `catalog_rolls` / `customers_repriced`
+    ///    columns and surfaced by the next pass's
+    ///    [`FleetDriftReport::catalog_rolls`].
+    ///
+    /// Customers in other regions (or at other versions) are untouched —
+    /// their keys still resolve warm. Deterministic: re-assessments are
+    /// submitted and collected in watch order, so equal fleets produce
+    /// bit-for-bit equal [`CatalogRollOutcome::repriced`] vectors at any
+    /// worker count.
+    pub fn on_catalog_roll(
+        &mut self,
+        month: &str,
+        old_key: &CatalogKey,
+        new_key: &CatalogKey,
+    ) -> CatalogRollOutcome {
+        let retired_engines =
+            self.service.registry().map_or(0, |registry| registry.retire_version(old_key));
+
+        // Re-pin and re-queue, in watch order. The key moves even if the
+        // re-assessment later fails: the old key is retired, so leaving a
+        // customer pinned to it would strand every future check.
+        let mut tickets = Vec::new();
+        for (slot, w) in self.watched.iter_mut().enumerate() {
+            if w.customer.catalog_key.as_ref() != Some(old_key) {
+                continue;
+            }
+            w.customer.catalog_key = Some(new_key.clone());
+            let c = &w.customer;
+            let request = AssessmentRequest::from_history(
+                c.name.clone(),
+                c.baseline.clone(),
+                c.file_sizes_gib.clone(),
+                c.confidence,
+            );
+            let fleet_request = FleetRequest::new(c.deployment, request)
+                .with_catalog_key(new_key.clone())
+                .with_month(month)
+                .with_priority();
+            if let Ok(ticket) = self.service.submit(fleet_request) {
+                tickets.push((slot, ticket));
+            }
+        }
+
+        let mut repriced = Vec::with_capacity(tickets.len());
+        for (slot, ticket) in tickets {
+            let Some(result) = ticket.recv() else { continue };
+            if let Ok(assessed) = &result.outcome {
+                let w = &mut self.watched[slot];
+                w.customer.baseline_sku = assessed.recommendation.sku_id.clone();
+                w.customer.baseline_cost = assessed.recommendation.monthly_cost;
+            }
+            repriced.push(result);
+        }
+        self.ledger.record_roll(month, repriced.iter().filter(|r| r.outcome.is_ok()).count());
+        self.rolls_since_tick += 1;
+        CatalogRollOutcome {
+            old_key: old_key.clone(),
+            new_key: new_key.clone(),
+            retired_engines,
+            repriced,
+        }
     }
 
     /// Shut the underlying service down, returning its final assessment
@@ -1024,6 +1130,111 @@ mod tests {
         assert!(text.contains("Severity"), "{text}");
         assert!(text.contains("Drifted"), "{text}");
         assert!(text.contains("re-recommendation cost delta"), "{text}");
+    }
+
+    #[test]
+    fn catalog_roll_reprices_pinned_customers_and_retires_the_old_engine() {
+        use doppler_catalog::{PriceFeed, RefreshableCatalogProvider, Region};
+        let provider = Arc::new(RefreshableCatalogProvider::new(Arc::new(
+            InMemoryCatalogProvider::production().with_region(
+                Region::new("westeurope"),
+                CatalogVersion::INITIAL,
+                &CatalogSpec::default(),
+                1.08,
+            ),
+        )));
+        let registry = Arc::new(EngineRegistry::new(
+            Arc::clone(&provider) as Arc<dyn doppler_catalog::CatalogProvider>
+        ));
+        let assessor =
+            FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(2))
+                .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let mut monitor = DriftMonitor::new(assessor);
+
+        let west = Region::new("westeurope");
+        let old_key = CatalogKey::production(DeploymentType::SqlDb).in_region(west.clone());
+        monitor.watch(
+            MonitoredCustomer::new("west-a", DeploymentType::SqlDb, window(0.5, 48))
+                .with_catalog_key(old_key.clone())
+                .with_recommendation("DB_GP_2", Some(100.0)),
+        );
+        monitor.watch(MonitoredCustomer::new("global-b", DeploymentType::SqlDb, window(0.5, 48)));
+        monitor.watch(
+            MonitoredCustomer::new("west-c", DeploymentType::SqlDb, window(0.5, 48))
+                .with_catalog_key(old_key.clone()),
+        );
+        // Train the old key's engine so there is something to retire.
+        monitor.observe("west-a", window(0.5, 48));
+        let pass = monitor.tick("Oct-22");
+        assert_eq!(pass.report.stable, 1);
+        assert_eq!(pass.report.catalog_rolls, 0);
+        let priced_at_v1 = registry
+            .get_or_train(
+                &old_key,
+                &doppler_core::EngineTemplate::production(),
+                &doppler_core::TrainingSet::empty(),
+            )
+            .unwrap()
+            .recommend(&window(0.5, 48), None)
+            .monthly_cost
+            .unwrap();
+
+        // A 10 % price cut lands in West Europe and the region rolls.
+        let rolls = provider.apply_feed(&west, PriceFeed::Multiplier(0.9)).unwrap();
+        let roll = rolls.iter().find(|r| r.old_key == old_key).expect("DB key rolled");
+        let outcome = monitor.on_catalog_roll("Nov-22", &roll.old_key, &roll.new_key);
+
+        assert_eq!(outcome.retired_engines, 1, "the v1 engine was tombstoned");
+        assert_eq!(outcome.repriced.len(), 2, "both pinned customers re-priced, watch order");
+        assert_eq!(outcome.repriced[0].instance_name, "west-a");
+        assert_eq!(outcome.repriced[1].instance_name, "west-c");
+        for result in &outcome.repriced {
+            let rec = &result.outcome.as_ref().unwrap().recommendation;
+            assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"), "same workload, same shape");
+            let cost = rec.monthly_cost.unwrap();
+            assert!((cost - priced_at_v1 * 0.9).abs() < 1e-6, "{cost} vs {priced_at_v1}");
+        }
+
+        // The registry refused to retrain the old key and trained the new
+        // one exactly once.
+        let stats = registry.stats();
+        assert_eq!(stats.retirements, 1);
+        assert!(matches!(
+            registry.get_or_train(
+                &old_key,
+                &doppler_core::EngineTemplate::production(),
+                &doppler_core::TrainingSet::empty(),
+            ),
+            Err(doppler_core::RegistryError::Retired(_))
+        ));
+
+        // The ledger and the next pass's report surface the roll.
+        assert_eq!(monitor.ledger().month("Nov-22").unwrap().catalog_rolls, 1);
+        assert_eq!(monitor.ledger().month("Nov-22").unwrap().customers_repriced, 2);
+        monitor.observe("global-b", window(0.5, 48));
+        let pass = monitor.tick("Nov-22");
+        assert_eq!(pass.report.catalog_rolls, 1);
+        assert!(pass.report.render().contains("catalog rolls since last pass: 1"));
+        let next = monitor.tick("Dec-22");
+        assert_eq!(next.report.catalog_rolls, 0, "rolls are per-pass, not cumulative");
+
+        // The service's own assessment report counted the month-tagged
+        // priority re-assessments.
+        let report = monitor.shutdown();
+        let nov = report.adoption.month("Nov-22").unwrap();
+        assert_eq!(nov.unique_instances, 2, "the two priority re-assessments");
+    }
+
+    #[test]
+    fn catalog_roll_with_no_pinned_customers_still_logs() {
+        let mut monitor = monitor(1);
+        let old = CatalogKey::production(DeploymentType::SqlDb);
+        let new = old.clone().at_version(CatalogVersion(2));
+        let outcome = monitor.on_catalog_roll("Jan-23", &old, &new);
+        assert_eq!(outcome.retired_engines, 0, "no registry behind fixed pipelines");
+        assert!(outcome.repriced.is_empty());
+        assert_eq!(monitor.ledger().month("Jan-23").unwrap().catalog_rolls, 1);
+        assert_eq!(monitor.ledger().month("Jan-23").unwrap().customers_repriced, 0);
     }
 
     #[test]

@@ -26,8 +26,10 @@
 //! * [`drift`] — the [`DriftMonitor`] continuous re-assessment loop
 //!   (assess → deploy → monitor → re-queue): fleet-wide §5.2.3 drift
 //!   checks over the same worker pool, [`FleetDriftReport`] roll-ups per
-//!   region and deployment, and priority-lane re-queueing of drifted
-//!   customers;
+//!   region and deployment, priority-lane re-queueing of drifted
+//!   customers, and the catalog-lifecycle hook
+//!   ([`DriftMonitor::on_catalog_roll`]) that retires a rolled key's
+//!   engines and re-prices its pinned customers through the same lane;
 //! * [`source`] — conversions from `doppler-workload` populations
 //!   (cloud cohorts, on-prem candidates) into fleet request streams.
 //!
@@ -95,8 +97,8 @@ pub use assessor::{
     FleetResult,
 };
 pub use drift::{
-    DeploymentDriftRow, DriftMonitor, DriftOutcome, DriftPass, DriftProbe, DriftVerdict,
-    DriftedRow, FleetDriftReport, MonitoredCustomer, RegionDriftRow,
+    CatalogRollOutcome, DeploymentDriftRow, DriftMonitor, DriftOutcome, DriftPass, DriftProbe,
+    DriftVerdict, DriftedRow, FleetDriftReport, MonitoredCustomer, RegionDriftRow,
 };
 pub use queue::BoundedQueue;
 pub use report::{

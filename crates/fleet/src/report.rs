@@ -455,9 +455,10 @@ impl FleetReport {
         }
 
         if self.adoption.rows().count() > 0 {
-            // Drift columns appear once any month carries drift-outcome
-            // rows (a ledger fed by the drift monitor).
+            // Drift and catalog-roll columns appear once any month carries
+            // such rows (a ledger fed by the drift monitor / roll hook).
             let monitored = self.adoption.rows().any(|(_, row)| row.drift_checks > 0);
+            let rolled = self.adoption.rows().any(|(_, row)| row.catalog_rolls > 0);
             out.push_str("\n--- Adoption (Table 1) ---\n");
             out.push_str(&format!(
                 "{:>8} {:>10} {:>10} {:>16}",
@@ -465,6 +466,9 @@ impl FleetReport {
             ));
             if monitored {
                 out.push_str(&format!(" {:>12} {:>8}", "drift-checks", "drifted"));
+            }
+            if rolled {
+                out.push_str(&format!(" {:>13} {:>9}", "catalog-rolls", "re-priced"));
             }
             out.push('\n');
             for (month, row) in self.adoption.rows() {
@@ -477,6 +481,12 @@ impl FleetReport {
                 ));
                 if monitored {
                     out.push_str(&format!(" {:>12} {:>8}", row.drift_checks, row.drift_detected));
+                }
+                if rolled {
+                    out.push_str(&format!(
+                        " {:>13} {:>9}",
+                        row.catalog_rolls, row.customers_repriced
+                    ));
                 }
                 out.push('\n');
             }
@@ -680,6 +690,23 @@ mod tests {
         let text = report.render();
         assert!(text.contains("Adoption (Table 1)"), "{text}");
         assert!(text.contains("Oct-21"));
+    }
+
+    #[test]
+    fn roll_columns_render_when_the_ledger_carries_rolls() {
+        let mut results = vec![result(0, "a", 0.5)];
+        results[0].month = Some("Oct-21".into());
+        let mut report = FleetReport::from_results(&results);
+        assert!(!report.render().contains("catalog-rolls"), "no rolls, no columns");
+        // A merged lifecycle ledger (the drift monitor's) brings the
+        // catalog-roll columns into the Table 1 section.
+        let mut lifecycle = AdoptionLedger::default();
+        lifecycle.record_roll("Oct-21", 7);
+        report.adoption.merge(&lifecycle);
+        let text = report.render();
+        assert!(text.contains("catalog-rolls"), "{text}");
+        assert!(text.contains("re-priced"), "{text}");
+        assert_eq!(report.adoption.month("Oct-21").unwrap().customers_repriced, 7);
     }
 
     #[test]

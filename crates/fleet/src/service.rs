@@ -441,6 +441,15 @@ impl FleetService {
         Ok(tickets)
     }
 
+    /// The shared [`EngineRegistry`](doppler_core::EngineRegistry) this
+    /// service resolves keyed requests through, when it was built over one
+    /// ([`FleetAssessor::over_registry`]). Fleet operators reach through
+    /// this on catalog rolls — retire the superseded key, read the
+    /// training-economy counters.
+    pub fn registry(&self) -> Option<&Arc<doppler_core::EngineRegistry>> {
+        self.shared.engines.registry()
+    }
+
     /// Current submission/completion counters, read as one consistent
     /// snapshot.
     pub fn progress(&self) -> ServiceProgress {

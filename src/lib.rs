@@ -54,22 +54,24 @@ pub mod dma {
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use doppler_catalog::{
-        azure_paas_catalog, BillingRates, Catalog, CatalogKey, CatalogProvider, CatalogSpec,
-        CatalogVersion, DeploymentType, FileLayout, InMemoryCatalogProvider, Region, ServiceTier,
-        Sku, SkuId,
+        azure_paas_catalog, BillingRates, Catalog, CatalogKey, CatalogProvider, CatalogRoll,
+        CatalogSpec, CatalogVersion, DeploymentType, FeedError, FileLayout,
+        InMemoryCatalogProvider, PriceFeed, RefreshableCatalogProvider, Region, ServiceTier, Sku,
+        SkuId,
     };
     pub use doppler_core::{
         detect_drift, BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine, DriftReport,
         DriftSeverity, EngineConfig, EngineRegistry, EngineTemplate, GroupingStrategy,
-        NegotiabilityStrategy, PricePerformanceCurve, Recommendation, TrainingRecord, TrainingSet,
+        NegotiabilityStrategy, PricePerformanceCurve, Recommendation, RegistryError, RegistryStats,
+        TrainingRecord, TrainingSet,
     };
     pub use doppler_dma::{
         AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline,
     };
     pub use doppler_fleet::{
-        AssessmentService, DriftMonitor, DriftOutcome, DriftPass, DriftVerdict, EngineRoute,
-        FleetAssessment, FleetAssessor, FleetConfig, FleetDriftReport, FleetReport, FleetRequest,
-        FleetService, MonitoredCustomer, Ticket, TicketQueue,
+        AssessmentService, CatalogRollOutcome, DriftMonitor, DriftOutcome, DriftPass, DriftVerdict,
+        EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetDriftReport, FleetReport,
+        FleetRequest, FleetService, MonitoredCustomer, Ticket, TicketQueue,
     };
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
     pub use doppler_workload::{DriftSpec, PopulationSpec, WorkloadArchetype, WorkloadSpec};

@@ -1,0 +1,253 @@
+//! Catalog-lifecycle upgrade equivalence: a 1,000-customer mixed-region
+//! fleet assessed at `v1`, hit by a price feed in exactly one region and
+//! rolled through `DriftMonitor::on_catalog_roll`, must
+//!
+//! 1. re-assess the rolled region's customers **bit-for-bit identical** to
+//!    a fresh fleet (fresh registry, fresh monitor) assessed directly at
+//!    `v2` — the upgrade path may not diverge from a cold start at the new
+//!    version,
+//! 2. leave the untouched regions **byte-identical to their `v1`
+//!    results** — rolling one region must not perturb any other,
+//! 3. show the lifecycle in the registry's counters: **exactly one new
+//!    training** for the rolled key, **retirement — not retraining — of
+//!    the old one** (resolving it returns the typed `Retired` error), and
+//! 4. hold all of the above at 1, 4, and 8 workers, bit-for-bit across
+//!    worker counts.
+//!
+//! Runs single-threaded in the CI determinism job so the service worker
+//! pool is the only concurrency in play.
+
+use std::sync::Arc;
+
+use doppler::prelude::*;
+
+const COHORT: usize = 1_000;
+const REGIONS: [(&str, f64); 3] = [("global", 1.0), ("westeurope", 1.08), ("eastasia", 1.12)];
+const ROLLED_REGION: &str = "westeurope";
+/// The price feed under test: a 7 % cut in West Europe.
+const FEED: PriceFeed = PriceFeed::Multiplier(0.93);
+
+/// Every run builds its provider through the same lineage — construct the
+/// three regions, then (for the fresh-at-v2 reference) apply the same
+/// feed — so prices at each version are bit-for-bit comparable across
+/// providers.
+fn provider() -> Arc<RefreshableCatalogProvider> {
+    let inner = REGIONS.iter().fold(InMemoryCatalogProvider::new(), |p, &(region, multiplier)| {
+        p.with_region(
+            Region::new(region),
+            CatalogVersion::INITIAL,
+            &CatalogSpec::default(),
+            multiplier,
+        )
+    });
+    Arc::new(RefreshableCatalogProvider::new(Arc::new(inner)))
+}
+
+fn key_for(region: &str, version: CatalogVersion) -> CatalogKey {
+    CatalogKey::new(DeploymentType::SqlDb, Region::new(region), version)
+}
+
+/// Customer `i`: region round-robin, a steady workload whose scale varies
+/// by customer so the cohort spreads across SKU rungs.
+fn cohort_request(i: usize, version_in_rolled: CatalogVersion) -> FleetRequest {
+    let (region, _) = REGIONS[i % REGIONS.len()];
+    let version = if region == ROLLED_REGION { version_in_rolled } else { CatalogVersion::INITIAL };
+    let cpu = 0.3 + 0.45 * ((i / REGIONS.len()) % 16) as f64;
+    let history = PerfHistory::new()
+        .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 96]))
+        .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+    FleetRequest::new(
+        DeploymentType::SqlDb,
+        AssessmentRequest::from_history(format!("cust-{i:04}"), history, vec![], None),
+    )
+    .with_catalog_key(key_for(region, version))
+}
+
+fn monitor_over(
+    provider: &Arc<RefreshableCatalogProvider>,
+    workers: usize,
+) -> (Arc<EngineRegistry>, DriftMonitor) {
+    let registry = Arc::new(EngineRegistry::new(Arc::clone(provider) as Arc<dyn CatalogProvider>));
+    let assessor =
+        FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(workers))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+    (registry, DriftMonitor::new(assessor))
+}
+
+/// The reference: a provider that already rolled, a fresh registry, a
+/// fresh monitor — the rolled region's customers assessed directly at v2.
+fn fresh_at_v2(workers: usize) -> Vec<doppler::fleet::FleetResult> {
+    let provider = provider();
+    let rolls = provider.apply_feed(&Region::new(ROLLED_REGION), FEED).unwrap();
+    assert!(!rolls.is_empty());
+    let (_registry, monitor) = monitor_over(&provider, workers);
+    let fleet: Vec<FleetRequest> = (0..COHORT)
+        .filter(|i| REGIONS[i % REGIONS.len()].0 == ROLLED_REGION)
+        .map(|i| cohort_request(i, CatalogVersion(2)))
+        .collect();
+    let mut tickets = Vec::new();
+    for request in fleet {
+        tickets.push(monitor.service().submit(request).expect("open service"));
+    }
+    tickets.into_iter().map(|t| t.recv().expect("assessed")).collect()
+}
+
+struct RolledRun {
+    repriced: Vec<doppler::fleet::FleetResult>,
+    untouched_before: Vec<doppler::fleet::FleetResult>,
+    untouched_after: Vec<doppler::fleet::FleetResult>,
+}
+
+/// The upgrade path: assess everything at v1, watch it, feed + roll one
+/// region, then re-check the untouched regions through the same (still
+/// warm) service.
+fn rolled_run(workers: usize) -> RolledRun {
+    let provider = provider();
+    let (registry, mut monitor) = monitor_over(&provider, workers);
+
+    // 1. Assess the whole cohort at v1 and register it with the monitor.
+    let fleet: Vec<FleetRequest> =
+        (0..COHORT).map(|i| cohort_request(i, CatalogVersion::INITIAL)).collect();
+    let mut tickets = Vec::new();
+    for request in &fleet {
+        tickets.push(monitor.service().submit(request.clone()).expect("open service"));
+    }
+    let results: Vec<doppler::fleet::FleetResult> =
+        tickets.into_iter().map(|t| t.recv().expect("assessed")).collect();
+    for (request, result) in fleet.iter().zip(&results) {
+        assert!(result.outcome.is_ok(), "{}", result.instance_name);
+        assert!(monitor.watch_assessment(request, result));
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.misses, 3, "one training per region at v1 (workers={workers})");
+
+    // 2. The feed lands; the region rolls; the monitor processes it.
+    let rolls = provider.apply_feed(&Region::new(ROLLED_REGION), FEED).unwrap();
+    let old_key = key_for(ROLLED_REGION, CatalogVersion::INITIAL);
+    let roll = rolls.iter().find(|r| r.old_key == old_key).expect("DB key rolled");
+    assert_eq!(roll.new_key, key_for(ROLLED_REGION, CatalogVersion(2)));
+    let outcome = monitor.on_catalog_roll("Roll-22", &roll.old_key, &roll.new_key);
+    assert_eq!(outcome.retired_engines, 1, "workers={workers}");
+
+    // 3. Counter story: exactly one new training (the rolled key), the old
+    //    key retired — resolving it errors instead of retraining.
+    let stats = registry.stats();
+    assert_eq!(stats.misses, 4, "exactly one new training for the roll (workers={workers})");
+    assert_eq!(stats.retirements, 1, "workers={workers}");
+    assert_eq!(stats.evictions, 0);
+    assert!(matches!(
+        registry.get_or_train(&old_key, &EngineTemplate::production(), &TrainingSet::empty()),
+        Err(RegistryError::Retired(_))
+    ));
+    assert_eq!(registry.stats().misses, 4, "the retired key never retrains");
+
+    // 4. Re-check the untouched regions through the same service, still
+    //    pinned at v1 — and collect their original v1 results to compare.
+    let mut untouched_before = Vec::new();
+    let mut untouched_tickets = Vec::new();
+    for (i, result) in results.iter().enumerate() {
+        if REGIONS[i % REGIONS.len()].0 == ROLLED_REGION {
+            continue;
+        }
+        untouched_before.push(result.clone());
+        untouched_tickets.push(
+            monitor
+                .service()
+                .submit(cohort_request(i, CatalogVersion::INITIAL))
+                .expect("open service"),
+        );
+    }
+    let untouched_after =
+        untouched_tickets.into_iter().map(|t| t.recv().expect("assessed")).collect();
+    assert_eq!(
+        registry.stats().misses,
+        4,
+        "re-checking untouched regions resolves warm (workers={workers})"
+    );
+
+    RolledRun { repriced: outcome.repriced, untouched_before, untouched_after }
+}
+
+fn assert_same_outcomes(
+    a: &[doppler::fleet::FleetResult],
+    b: &[doppler::fleet::FleetResult],
+    context: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{context}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.instance_name, y.instance_name, "{context}");
+        let (rx, ry) = (x.outcome.as_ref().unwrap(), y.outcome.as_ref().unwrap());
+        assert_eq!(rx.recommendation, ry.recommendation, "{context}: {}", x.instance_name);
+        assert_eq!(rx.report, ry.report, "{context}: {}", x.instance_name);
+        assert_eq!(rx.databases_assessed, ry.databases_assessed, "{context}");
+    }
+}
+
+#[test]
+fn rolled_region_matches_a_fresh_fleet_at_v2_and_untouched_regions_hold() {
+    let mut baseline: Option<RolledRun> = None;
+    for workers in [1usize, 4, 8] {
+        let run = rolled_run(workers);
+        let reference = fresh_at_v2(workers);
+
+        // The upgrade path equals the cold start at v2, bit for bit.
+        assert_same_outcomes(
+            &run.repriced,
+            &reference,
+            &format!("rolled-vs-fresh workers={workers}"),
+        );
+        // Every re-priced recommendation actually moved with the feed: the
+        // SKU held (the workload did not change) and the bill shrank.
+        let expect_members =
+            (0..COHORT).filter(|i| REGIONS[i % REGIONS.len()].0 == ROLLED_REGION).count();
+        assert_eq!(run.repriced.len(), expect_members);
+
+        // Untouched regions: byte-identical to their v1 results.
+        assert_same_outcomes(
+            &run.untouched_before,
+            &run.untouched_after,
+            &format!("untouched workers={workers}"),
+        );
+
+        // And the whole story is worker-count invariant.
+        if let Some(base) = &baseline {
+            assert_same_outcomes(
+                &base.repriced,
+                &run.repriced,
+                &format!("repriced determinism workers={workers}"),
+            );
+            assert_same_outcomes(
+                &base.untouched_after,
+                &run.untouched_after,
+                &format!("untouched determinism workers={workers}"),
+            );
+        } else {
+            baseline = Some(run);
+        }
+    }
+}
+
+#[test]
+fn repriced_bills_scale_by_exactly_the_feed_multiplier() {
+    let run = rolled_run(2);
+    let provider = provider();
+    let (_registry, monitor) = monitor_over(&provider, 2);
+    // The same customers assessed at v1 on a fresh stack: the rolled
+    // recommendations keep the SKU and scale the monthly bill by the feed.
+    let v1: Vec<doppler::fleet::FleetResult> = {
+        let fleet: Vec<FleetRequest> = (0..COHORT)
+            .filter(|i| REGIONS[i % REGIONS.len()].0 == ROLLED_REGION)
+            .map(|i| cohort_request(i, CatalogVersion::INITIAL))
+            .collect();
+        let tickets: Vec<_> =
+            fleet.into_iter().map(|r| monitor.service().submit(r).expect("open")).collect();
+        tickets.into_iter().map(|t| t.recv().expect("assessed")).collect()
+    };
+    for (rolled, before) in run.repriced.iter().zip(&v1) {
+        let (ra, rb) = (rolled.outcome.as_ref().unwrap(), before.outcome.as_ref().unwrap());
+        assert_eq!(ra.recommendation.sku_id, rb.recommendation.sku_id, "{}", rolled.instance_name);
+        let (ca, cb) =
+            (ra.recommendation.monthly_cost.unwrap(), rb.recommendation.monthly_cost.unwrap());
+        assert!((ca - cb * 0.93).abs() < 1e-6, "{}: {ca} vs {cb}", rolled.instance_name);
+    }
+}

@@ -238,7 +238,11 @@ proptest! {
                 }
             })
             .collect();
-        let report = FleetDriftReport::from_outcomes("Prop-22", &outcomes);
+        let mut report = FleetDriftReport::from_outcomes("Prop-22", &outcomes);
+        // A catalog roll landing between passes annotates the report; the
+        // roll-up sums must be unaffected by its presence.
+        report.catalog_rolls = outcomes.len() % 5;
+        prop_assert_eq!(report.catalog_rolls, outcomes.len() % 5);
         prop_assert_eq!(report.checked, outcomes.len());
         prop_assert_eq!(report.drifted + report.stable + report.inconclusive, report.checked);
         prop_assert_eq!(report.severity.iter().sum::<usize>(), report.checked);
@@ -262,6 +266,126 @@ proptest! {
         for pair in report.regions.windows(2) {
             prop_assert!(pair[0].region.as_str() < pair[1].region.as_str());
         }
+    }
+
+    #[test]
+    fn lru_registry_respects_capacity_and_retirement_under_arbitrary_ops(
+        capacity in 1usize..5,
+        ops in prop::collection::vec((0usize..6, 0u8..8), 1..40),
+    ) {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        // Six single-version regions; each op resolves one of them, or
+        // retires it first.
+        let provider = (0..6).fold(InMemoryCatalogProvider::new(), |p, i| {
+            p.with_region(
+                Region::new(format!("r{i}")),
+                CatalogVersion::INITIAL,
+                &CatalogSpec::default(),
+                1.0,
+            )
+        });
+        let registry = EngineRegistry::new(Arc::new(provider)).with_capacity(capacity);
+        let template = EngineTemplate::production();
+        let empty = TrainingSet::empty();
+        let key = |i: usize| {
+            CatalogKey::new(DeploymentType::SqlDb, Region::new(format!("r{i}")), CatalogVersion::INITIAL)
+        };
+        let mut retired: HashSet<usize> = HashSet::new();
+        let total_ops = ops.len() as u64;
+        let mut misses_before;
+        for (i, action) in ops {
+            // Retire roughly one op in eight; the rest resolve.
+            let retire = action == 0;
+            if retire {
+                registry.retire_version(&key(i));
+                retired.insert(i);
+            }
+            misses_before = registry.stats().misses;
+            match registry.get_or_train(&key(i), &template, &empty) {
+                Ok(_) => {
+                    prop_assert!(!retired.contains(&i), "retired key r{i} resolved");
+                    // The entry resolved this generation is never the one
+                    // evicted by its own resolution.
+                    prop_assert!(
+                        registry.get_if_ready(&key(i), &template, &empty).is_some(),
+                        "r{i} evicted by its own resolution"
+                    );
+                }
+                Err(RegistryError::Retired(_)) => {
+                    prop_assert!(retired.contains(&i), "live key r{i} refused as retired");
+                    prop_assert_eq!(
+                        registry.stats().misses, misses_before,
+                        "retire-then-resolve must never retrain"
+                    );
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+            // The LRU bound holds after every operation.
+            prop_assert!(
+                registry.len() <= capacity,
+                "{} entries exceed capacity {capacity}", registry.len()
+            );
+        }
+        let stats = registry.stats();
+        prop_assert_eq!(stats.entries, registry.len());
+        // Every op completed exactly one resolution.
+        prop_assert_eq!(stats.hits + stats.coalesced + stats.misses + stats.failures, total_ops);
+    }
+
+    #[test]
+    fn provider_versions_are_strictly_monotone_under_interleaved_feeds(
+        ops in prop::collection::vec((0usize..4, 0u8..4), 1..30),
+    ) {
+        use std::collections::HashMap;
+        use std::sync::Arc;
+        let regions = ["r0", "r1", "r2"];
+        let inner = regions.iter().fold(InMemoryCatalogProvider::new(), |p, r| {
+            p.with_region(Region::new(*r), CatalogVersion::INITIAL, &CatalogSpec::default(), 1.0)
+        });
+        let provider = RefreshableCatalogProvider::new(Arc::new(inner));
+        let base = CatalogSpec::default().rates;
+        let mut versions: HashMap<(DeploymentType, String), CatalogVersion> = HashMap::new();
+        let mut logged = 0usize;
+        for (region_idx, kind) in ops {
+            let feed = match kind {
+                0 => PriceFeed::Multiplier(1.0), // always a no-op
+                1 => PriceFeed::Multiplier(0.9),
+                2 => PriceFeed::Multiplier(1.1),
+                _ => PriceFeed::Rates(base.scaled(0.8)), // idempotent once in force
+            };
+            if region_idx == 3 {
+                // Unknown regions are typed errors, never partial updates.
+                prop_assert!(matches!(
+                    provider.apply_feed(&Region::new("mars"), feed),
+                    Err(FeedError::UnknownRegion(_))
+                ));
+                continue;
+            }
+            let region = regions[region_idx];
+            let rolls = provider.apply_feed(&Region::new(region), feed).unwrap();
+            logged += rolls.len();
+            for roll in &rolls {
+                let slot = (roll.new_key.deployment, region.to_string());
+                let prev = versions.get(&slot).copied().unwrap_or(CatalogVersion::INITIAL);
+                prop_assert!(
+                    roll.new_key.version > prev,
+                    "{region}: {} !> {prev}", roll.new_key.version
+                );
+                prop_assert_eq!(&roll.old_key.region, &roll.new_key.region);
+                versions.insert(slot, roll.new_key.version);
+                // Every logged key resolves, and its fingerprint matches.
+                let resolved = provider.resolve(&roll.new_key).unwrap();
+                prop_assert_eq!(resolved.fingerprint, roll.fingerprint);
+            }
+            // The advertised frontier agrees with the model.
+            for (&(deployment, ref r), &v) in &versions {
+                let latest = provider.latest(deployment, &Region::new(r.as_str())).unwrap();
+                prop_assert_eq!(latest.version, v, "{}", r);
+            }
+        }
+        prop_assert_eq!(provider.change_log().len(), logged);
+        prop_assert_eq!(provider.rolls(), logged);
     }
 
     #[test]
