@@ -1,0 +1,86 @@
+//! Observability overhead: the same synthetic customer cohort pushed
+//! through the fleet pool with instrumentation disabled (the no-op
+//! `ObsRegistry`, every metric handle `None`) and enabled (atomic
+//! counters, latency histograms, span timers on every stage).
+//!
+//! The contract the `instrumentation/*` pair checks is that the enabled
+//! row stays within a few percent of the no-op row — instrumentation is
+//! write-aside (`fetch_add` + `Instant::now()` per stage), never a lock on
+//! the hot path. The microbenches underneath put per-operation numbers on
+//! the primitives themselves: a counter bump, a histogram record, and a
+//! full registry snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{azure_paas_catalog, Catalog, CatalogSpec, DeploymentType};
+use doppler_core::{DopplerEngine, EngineConfig};
+use doppler_fleet::{cloud_fleet, FleetAssessor, FleetConfig, FleetRequest};
+use doppler_obs::ObsRegistry;
+use doppler_workload::PopulationSpec;
+
+const COHORT_SIZE: usize = 1000;
+const WORKERS: usize = 4;
+
+fn catalog() -> Catalog {
+    azure_paas_catalog(&CatalogSpec::default())
+}
+
+fn cohort(catalog: &Catalog) -> Vec<FleetRequest> {
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(COHORT_SIZE, 17) };
+    cloud_fleet(&spec, catalog, None).collect()
+}
+
+fn assessor(catalog: &Catalog, obs: &ObsRegistry) -> FleetAssessor {
+    let engine =
+        DopplerEngine::untrained(catalog.clone(), EngineConfig::production(DeploymentType::SqlDb));
+    let mut config = FleetConfig::with_workers(WORKERS);
+    config.keep_results = false;
+    FleetAssessor::new(engine, config).with_obs(obs)
+}
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let catalog = catalog();
+    let fleet = cohort(&catalog);
+    let mut group = c.benchmark_group(format!("obs_overhead_{COHORT_SIZE}_customers"));
+    group.sample_size(10);
+    for (mode, obs) in [("noop", ObsRegistry::disabled()), ("enabled", ObsRegistry::enabled())] {
+        let assessor = assessor(&catalog, &obs);
+        group.bench_with_input(BenchmarkId::new("instrumentation", mode), &fleet, |b, fleet| {
+            b.iter(|| assessor.assess(std::hint::black_box(fleet.clone())).report)
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let obs = ObsRegistry::enabled();
+    let counter = obs.counter("bench.counter");
+    c.bench_function("obs_counter_incr", |b| b.iter(|| counter.incr()));
+
+    let noop = ObsRegistry::disabled().counter("bench.counter");
+    c.bench_function("obs_counter_incr_noop", |b| b.iter(|| noop.incr()));
+
+    let histogram = obs.histogram("bench.histogram");
+    let mut ns = 1u64;
+    c.bench_function("obs_histogram_record", |b| {
+        b.iter(|| {
+            ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record_ns(std::hint::black_box(ns >> 40));
+        })
+    });
+
+    c.bench_function("obs_span_timed", |b| b.iter(|| histogram.start().stop()));
+
+    let populated = ObsRegistry::enabled();
+    for i in 0..32 {
+        populated.counter(&format!("c.{i}")).add(i);
+        let h = populated.histogram(&format!("h.{i}"));
+        for ns in [500, 5_000, 50_000] {
+            h.record_ns(ns);
+        }
+    }
+    c.bench_function("obs_snapshot_32x32_metrics", |b| b.iter(|| populated.snapshot()));
+}
+
+criterion_group!(benches, bench_instrumentation_overhead, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Paired observability-overhead probe: the authoritative check that
+//! instrumentation stays within a few percent of the no-op path.
+//!
+//! The `obs_bench` criterion rows measure `instrumentation/noop` and
+//! `instrumentation/enabled` in separate windows, minutes apart on a busy
+//! CI container — run-to-run drift there (±10 % and more) swamps the
+//! effect being measured. This probe interleaves the two modes
+//! round-robin and compares medians, so machine drift hits both sides
+//! equally:
+//!
+//! ```text
+//! cargo run --release -p doppler-bench --bin overhead_probe
+//! ```
+//!
+//! Env knobs: `COHORT` (default 1000 customers), `ROUNDS` (default 10;
+//! the first round is warm-up and discarded), `FLEET_WORKERS` (default 4).
+//! Exits non-zero when the median overhead exceeds `MAX_OVERHEAD_PCT`
+//! (5 %), so CI can gate on it directly.
+
+use std::time::Instant;
+
+use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+use doppler_core::{DopplerEngine, EngineConfig};
+use doppler_fleet::{cloud_fleet, FleetAssessor, FleetConfig, FleetRequest};
+use doppler_obs::ObsRegistry;
+use doppler_workload::PopulationSpec;
+
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let cohort_size = env_usize("COHORT", 1000);
+    let rounds = env_usize("ROUNDS", 10).max(2);
+    let workers = env_usize("FLEET_WORKERS", 4);
+
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(cohort_size, 17) };
+    let fleet: Vec<FleetRequest> = cloud_fleet(&spec, &catalog, None).collect();
+    let assessor = |obs: &ObsRegistry| {
+        let engine = DopplerEngine::untrained(
+            catalog.clone(),
+            EngineConfig::production(DeploymentType::SqlDb),
+        );
+        let mut config = FleetConfig::with_workers(workers);
+        config.keep_results = false;
+        FleetAssessor::new(engine, config).with_obs(obs)
+    };
+
+    let mut noop = Vec::new();
+    let mut enabled = Vec::new();
+    for round in 0..rounds {
+        for mode in 0..2 {
+            let obs = if mode == 0 { ObsRegistry::disabled() } else { ObsRegistry::enabled() };
+            let a = assessor(&obs);
+            let t0 = Instant::now();
+            std::hint::black_box(a.assess(fleet.clone()).report);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            // Round 0 is warm-up: caches, lazy statics, allocator pools.
+            if round > 0 {
+                if mode == 0 {
+                    noop.push(ms)
+                } else {
+                    enabled.push(ms)
+                }
+            }
+        }
+    }
+    noop.sort_by(f64::total_cmp);
+    enabled.sort_by(f64::total_cmp);
+    let median = |v: &[f64]| v[v.len() / 2];
+    let overhead_pct = (median(&enabled) / median(&noop) - 1.0) * 100.0;
+    println!(
+        "obs overhead probe: {cohort_size} customers x {} measured rounds on {workers} worker(s)",
+        rounds - 1
+    );
+    println!(
+        "  noop    median {:>8.2} ms   (spread {:.2}..{:.2})",
+        median(&noop),
+        noop[0],
+        noop[noop.len() - 1]
+    );
+    println!(
+        "  enabled median {:>8.2} ms   (spread {:.2}..{:.2})",
+        median(&enabled),
+        enabled[0],
+        enabled[enabled.len() - 1]
+    );
+    println!("  overhead: {overhead_pct:.2}% (budget {MAX_OVERHEAD_PCT:.0}%)");
+    if overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!("FAIL: instrumentation overhead exceeds the {MAX_OVERHEAD_PCT:.0}% budget");
+        std::process::exit(1);
+    }
+}

@@ -48,6 +48,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, PoisonError, RwLock};
 
+use doppler_obs::{Counter, Histogram, ObsRegistry};
+
 use crate::billing::BillingRates;
 use crate::catalog::Catalog;
 use crate::generate::{azure_paas_catalog, CatalogSpec};
@@ -554,6 +556,21 @@ struct RefreshState {
 pub struct RefreshableCatalogProvider {
     inner: Arc<dyn CatalogProvider>,
     state: RwLock<RefreshState>,
+    obs: ProviderObs,
+}
+
+/// Write-aside lifecycle instrumentation: feed-apply latency, a roll
+/// counter, and a `catalog.roll` event per published roll. No-ops until
+/// [`RefreshableCatalogProvider::with_obs`] is called.
+#[derive(Default)]
+struct ProviderObs {
+    registry: ObsRegistry,
+    /// `catalog.feed_apply` — one observation per
+    /// [`apply_feed`](RefreshableCatalogProvider::apply_feed) call,
+    /// including rejected and idempotent feeds.
+    feed_apply: Histogram,
+    /// `catalog.rolls` — rolls published by feeds and swaps.
+    rolls: Counter,
 }
 
 impl RefreshableCatalogProvider {
@@ -570,6 +587,33 @@ impl RefreshableCatalogProvider {
         RefreshableCatalogProvider {
             inner,
             state: RwLock::new(RefreshState { overrides: HashMap::new(), latest, log: Vec::new() }),
+            obs: ProviderObs::default(),
+        }
+    }
+
+    /// Record feed-apply latency (`catalog.feed_apply`), a roll counter
+    /// (`catalog.rolls`), and one `catalog.roll` event per published roll
+    /// into `obs`. Write-aside: resolution, feeds, and the change log are
+    /// unaffected. Builder-style; set before sharing the provider.
+    pub fn with_obs(mut self, obs: &ObsRegistry) -> RefreshableCatalogProvider {
+        self.obs = ProviderObs {
+            registry: obs.clone(),
+            feed_apply: obs.histogram("catalog.feed_apply"),
+            rolls: obs.counter("catalog.rolls"),
+        };
+        self
+    }
+
+    /// Emit one `catalog.roll` event per published roll and bump the roll
+    /// counter — shared by feeds and swaps.
+    fn record_rolls(&self, rolls: &[CatalogRoll]) {
+        self.obs.rolls.add(rolls.len() as u64);
+        if self.obs.registry.is_enabled() {
+            for roll in rolls {
+                self.obs
+                    .registry
+                    .event("catalog.roll", &format!("{} -> {}", roll.old_key, roll.new_key));
+            }
         }
     }
 
@@ -615,6 +659,7 @@ impl RefreshableCatalogProvider {
         region: &Region,
         feed: PriceFeed,
     ) -> Result<Vec<CatalogRoll>, FeedError> {
+        let _span = self.obs.feed_apply.start();
         match feed {
             PriceFeed::Multiplier(m) if !m.is_finite() || m <= 0.0 => {
                 return Err(FeedError::InvalidMultiplier(m));
@@ -688,6 +733,8 @@ impl RefreshableCatalogProvider {
             state.log.push(roll.clone());
             rolls.push(roll);
         }
+        drop(state);
+        self.record_rolls(&rolls);
         Ok(rolls)
     }
 
@@ -719,6 +766,8 @@ impl RefreshableCatalogProvider {
         state.latest.insert((deployment, region.clone()), new_key.version);
         state.overrides.insert(new_key, resolved);
         state.log.push(roll.clone());
+        drop(state);
+        self.record_rolls(std::slice::from_ref(&roll));
         Ok(roll)
     }
 }
@@ -756,6 +805,20 @@ mod tests {
 
     fn spec() -> CatalogSpec {
         CatalogSpec::default()
+    }
+
+    #[test]
+    fn with_obs_counts_rolls_and_times_feeds() {
+        let obs = ObsRegistry::enabled();
+        let provider = RefreshableCatalogProvider::production().with_obs(&obs);
+        let rolls = provider.apply_feed(&Region::global(), PriceFeed::Multiplier(0.9)).unwrap();
+        assert!(!rolls.is_empty());
+        // Idempotent duplicate: latency still recorded, no new rolls.
+        provider.apply_feed(&Region::global(), PriceFeed::Multiplier(1.0)).unwrap();
+        let s = obs.snapshot();
+        assert_eq!(s.counter("catalog.rolls"), Some(provider.rolls() as u64));
+        assert_eq!(s.histogram("catalog.feed_apply").unwrap().count, 2);
+        assert_eq!(s.events.iter().filter(|e| e.name == "catalog.roll").count(), rolls.len());
     }
 
     #[test]

@@ -62,6 +62,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use doppler_catalog::{CatalogKey, CatalogProvider, Fingerprint};
+use doppler_obs::{Counter, Histogram, ObsRegistry};
 
 use crate::engine::{DopplerEngine, EngineConfig, TrainingRecord};
 use crate::grouping::GroupingStrategy;
@@ -393,6 +394,27 @@ pub struct EngineRegistry {
     failures: AtomicU64,
     evictions: AtomicU64,
     retirements: AtomicU64,
+    obs: RegistryObs,
+}
+
+/// Write-through observability for the registry: the lifetime counters
+/// above stay authoritative (and are what [`RegistryStats`] reads); these
+/// handles mirror each increment into a shared
+/// [`ObsRegistry`](doppler_obs::ObsRegistry) so registry traffic shows up
+/// in fleet-wide snapshots, plus a train-latency histogram the atomic
+/// counters cannot express. All no-ops until
+/// [`EngineRegistry::with_obs`] is called.
+#[derive(Default)]
+struct RegistryObs {
+    /// `registry.train_latency` — one observation per training run,
+    /// including runs that panic.
+    train: Histogram,
+    hits: Counter,
+    coalesced: Counter,
+    misses: Counter,
+    failures: Counter,
+    evictions: Counter,
+    retirements: Counter,
 }
 
 impl EngineRegistry {
@@ -420,7 +442,26 @@ impl EngineRegistry {
             failures: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             retirements: AtomicU64::new(0),
+            obs: RegistryObs::default(),
         }
+    }
+
+    /// Mirror the training-economy counters into `obs` as `registry.*`
+    /// series and record per-training latency into
+    /// `registry.train_latency`. Write-aside: resolution behaviour and
+    /// [`RegistryStats`] are unaffected. Builder-style; set before sharing
+    /// the registry.
+    pub fn with_obs(mut self, obs: &ObsRegistry) -> EngineRegistry {
+        self.obs = RegistryObs {
+            train: obs.histogram("registry.train_latency"),
+            hits: obs.counter("registry.hits"),
+            coalesced: obs.counter("registry.coalesced"),
+            misses: obs.counter("registry.misses"),
+            failures: obs.counter("registry.failures"),
+            evictions: obs.counter("registry.evictions"),
+            retirements: obs.counter("registry.retirements"),
+        };
+        self
     }
 
     /// Bound the cache to `capacity` trained engines (clamped to ≥ 1),
@@ -458,10 +499,12 @@ impl EngineRegistry {
     ) -> Result<Arc<DopplerEngine>, RegistryError> {
         if self.is_retired(key) {
             self.failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.failures.incr();
             return Err(RegistryError::Retired(key.clone()));
         }
         let (engine_key, resolved) = self.engine_key(key, template, training).ok_or_else(|| {
             self.failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.failures.incr();
             RegistryError::UnknownCatalog(key.clone())
         })?;
         let shard = &self.shards[self.shard_of(&engine_key)];
@@ -492,14 +535,17 @@ impl EngineRegistry {
 
         let config = template.config_for(key.deployment, resolved.rates);
         let catalog = (*resolved.catalog).clone();
+        let train_span = self.obs.train.start();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             DopplerEngine::train(catalog, config, training.records())
         }));
+        drop(train_span);
         match outcome {
             Ok(engine) => {
                 let engine = Arc::new(engine);
                 slot.publish(SlotState::Ready(Arc::clone(&engine)));
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.misses.incr();
                 // The newly published engine joins the LRU set; evict past
                 // the capacity, least-recently-resolved first (never this
                 // one — it was touched last).
@@ -512,6 +558,7 @@ impl EngineRegistry {
                 shard.write().unwrap_or_else(PoisonError::into_inner).remove(&engine_key);
                 slot.publish(SlotState::Failed);
                 self.failures.fetch_add(1, Ordering::Relaxed);
+                self.obs.failures.incr();
                 std::panic::resume_unwind(payload)
             }
         }
@@ -592,6 +639,7 @@ impl EngineRegistry {
         }
         self.lock_lru().last_used.clear();
         self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        self.obs.evictions.add(evicted as u64);
         evicted
     }
 
@@ -653,6 +701,7 @@ impl EngineRegistry {
         }
         drop(lru);
         self.retirements.fetch_add(engines as u64, Ordering::Relaxed);
+        self.obs.retirements.add(engines as u64);
         engines
     }
 
@@ -716,6 +765,7 @@ impl EngineRegistry {
                 .remove(&victim);
             if removed.is_some() {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs.evictions.incr();
             }
         }
     }
@@ -738,17 +788,20 @@ impl EngineRegistry {
     ) -> Result<Arc<DopplerEngine>, RegistryError> {
         if let Some(engine) = slot.get_ready() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.hits.incr();
             self.touch(engine_key);
             return Ok(engine);
         }
         match slot.wait() {
             Some(engine) => {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.obs.coalesced.incr();
                 self.touch(engine_key);
                 Ok(engine)
             }
             None => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
+                self.obs.failures.incr();
                 Err(RegistryError::TrainingFailed(key.clone()))
             }
         }
@@ -789,6 +842,32 @@ mod tests {
             chosen_sku: SkuId("DB_GP_2".into()),
             file_layout: None,
         }
+    }
+
+    #[test]
+    fn with_obs_mirrors_counters_and_times_training() {
+        let obs = ObsRegistry::enabled();
+        let registry = registry().with_obs(&obs);
+        registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        registry
+            .get_or_train(&db_key(), &EngineTemplate::production(), &TrainingSet::empty())
+            .unwrap();
+        let unknown = CatalogKey::production(DeploymentType::SqlDb).in_region(Region::new("nope"));
+        assert!(registry
+            .get_or_train(&unknown, &EngineTemplate::production(), &TrainingSet::empty())
+            .is_err());
+        let stats = registry.stats();
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("registry.misses"), Some(stats.misses));
+        assert_eq!(snapshot.counter("registry.hits"), Some(stats.hits));
+        assert_eq!(snapshot.counter("registry.failures"), Some(stats.failures));
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.failures, 1);
+        // One training run, one latency observation.
+        assert_eq!(snapshot.histogram("registry.train_latency").unwrap().count, stats.misses);
     }
 
     #[test]

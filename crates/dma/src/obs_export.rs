@@ -1,0 +1,199 @@
+//! [`ObsSnapshot`] ⇄ [`Json`] conversion — the machine-readable side of the
+//! observability surface. The ASCII dashboard ([`ObsSnapshot::render`]) is
+//! for terminals; this module is for artifacts: CI jobs export a snapshot
+//! with [`obs_snapshot_to_json`], archive the rendered text, and later runs
+//! re-load it with [`obs_snapshot_from_json`] to diff trajectories.
+//!
+//! Schema (all latencies in integer nanoseconds):
+//!
+//! ```json
+//! {
+//!   "enabled": true,
+//!   "uptime_ns": 123456789,
+//!   "counters": {"fleet.worker.0.tasks": 250},
+//!   "gauges": {"fleet.queue.depth.normal": 0},
+//!   "histograms": [
+//!     {"name": "fleet.stage.assess", "count": 1000, "mean_ns": 52000,
+//!      "p50_ns": 49152, "p95_ns": 98304, "p99_ns": 98304, "max_ns": 812345}
+//!   ],
+//!   "events": [
+//!     {"seq": 0, "at_ns": 1000, "name": "catalog.roll", "detail": "..."}
+//!   ]
+//! }
+//! ```
+
+use doppler_obs::{HistogramSummary, ObsEvent, ObsSnapshot};
+
+use crate::json::Json;
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+/// Export a snapshot as a [`Json`] tree following the module-level schema.
+/// Counter/gauge maps preserve the snapshot's name-sorted order. The
+/// conversion is lossless for the integer range `f64` covers exactly
+/// (counters and nanosecond latencies far below 2^53), so
+/// [`obs_snapshot_from_json`] round-trips it.
+pub fn obs_snapshot_to_json(snapshot: &ObsSnapshot) -> Json {
+    Json::Obj(vec![
+        ("enabled".into(), Json::Bool(snapshot.enabled)),
+        ("uptime_ns".into(), num(snapshot.uptime_ns)),
+        (
+            "counters".into(),
+            Json::Obj(snapshot.counters.iter().map(|(n, v)| (n.clone(), num(*v))).collect()),
+        ),
+        (
+            "gauges".into(),
+            Json::Obj(
+                snapshot.gauges.iter().map(|(n, v)| (n.clone(), Json::Num(*v as f64))).collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Json::Arr(
+                snapshot
+                    .histograms
+                    .iter()
+                    .map(|h| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(h.name.clone())),
+                            ("count".into(), num(h.count)),
+                            ("mean_ns".into(), num(h.mean_ns)),
+                            ("p50_ns".into(), num(h.p50_ns)),
+                            ("p95_ns".into(), num(h.p95_ns)),
+                            ("p99_ns".into(), num(h.p99_ns)),
+                            ("max_ns".into(), num(h.max_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "events".into(),
+            Json::Arr(
+                snapshot
+                    .events
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("seq".into(), num(e.seq)),
+                            ("at_ns".into(), num(e.at_ns)),
+                            ("name".into(), Json::Str(e.name.clone())),
+                            ("detail".into(), Json::Str(e.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn get_u64(json: &Json, key: &str) -> Option<u64> {
+    Some(json.get(key)?.as_f64()? as u64)
+}
+
+fn get_str(json: &Json, key: &str) -> Option<String> {
+    Some(json.get(key)?.as_str()?.to_string())
+}
+
+/// Re-load a snapshot exported by [`obs_snapshot_to_json`]. `None` when the
+/// tree does not follow the schema — the CI round-trip validation treats
+/// that as a broken artifact.
+pub fn obs_snapshot_from_json(json: &Json) -> Option<ObsSnapshot> {
+    let enabled = matches!(json.get("enabled")?, Json::Bool(true));
+    let pairs = |key: &str| -> Option<Vec<(String, f64)>> {
+        match json.get(key)? {
+            Json::Obj(entries) => {
+                entries.iter().map(|(name, value)| Some((name.clone(), value.as_f64()?))).collect()
+            }
+            _ => None,
+        }
+    };
+    Some(ObsSnapshot {
+        enabled,
+        uptime_ns: get_u64(json, "uptime_ns")?,
+        counters: pairs("counters")?.into_iter().map(|(n, v)| (n, v as u64)).collect(),
+        gauges: pairs("gauges")?.into_iter().map(|(n, v)| (n, v as i64)).collect(),
+        histograms: json
+            .get("histograms")?
+            .as_arr()?
+            .iter()
+            .map(|h| {
+                Some(HistogramSummary {
+                    name: get_str(h, "name")?,
+                    count: get_u64(h, "count")?,
+                    mean_ns: get_u64(h, "mean_ns")?,
+                    p50_ns: get_u64(h, "p50_ns")?,
+                    p95_ns: get_u64(h, "p95_ns")?,
+                    p99_ns: get_u64(h, "p99_ns")?,
+                    max_ns: get_u64(h, "max_ns")?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        events: json
+            .get("events")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                Some(ObsEvent {
+                    seq: get_u64(e, "seq")?,
+                    at_ns: get_u64(e, "at_ns")?,
+                    name: get_str(e, "name")?,
+                    detail: get_str(e, "detail")?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppler_obs::ObsRegistry;
+
+    fn populated_snapshot() -> ObsSnapshot {
+        let obs = ObsRegistry::enabled();
+        obs.counter("ops").add(42);
+        obs.gauge("depth").set(-3);
+        let h = obs.histogram("lat");
+        for ns in [100, 1_000, 50_000] {
+            h.record_ns(ns);
+        }
+        obs.event("roll", "west v1 -> v2");
+        obs.snapshot()
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json_text() {
+        let snapshot = populated_snapshot();
+        let text = obs_snapshot_to_json(&snapshot).render_pretty();
+        let parsed = Json::parse(&text).expect("rendered JSON parses");
+        let back = obs_snapshot_from_json(&parsed).expect("schema round-trips");
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn disabled_snapshot_round_trips_too() {
+        let snapshot = ObsRegistry::disabled().snapshot();
+        let json = obs_snapshot_to_json(&snapshot);
+        assert_eq!(obs_snapshot_from_json(&json), Some(snapshot));
+    }
+
+    #[test]
+    fn malformed_trees_return_none() {
+        assert_eq!(obs_snapshot_from_json(&Json::Null), None);
+        let missing = Json::Obj(vec![("enabled".into(), Json::Bool(true))]);
+        assert_eq!(obs_snapshot_from_json(&missing), None);
+        let mut snapshot_json = match obs_snapshot_to_json(&populated_snapshot()) {
+            Json::Obj(entries) => entries,
+            _ => unreachable!(),
+        };
+        for (key, value) in &mut snapshot_json {
+            if key == "histograms" {
+                *value = Json::Str("not an array".into());
+            }
+        }
+        assert_eq!(obs_snapshot_from_json(&Json::Obj(snapshot_json)), None);
+    }
+}

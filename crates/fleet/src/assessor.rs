@@ -24,6 +24,7 @@ use std::sync::Arc;
 use doppler_catalog::{CatalogKey, DeploymentType};
 use doppler_core::{DopplerEngine, EngineRegistry, EngineTemplate, TrainingSet};
 use doppler_dma::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
+use doppler_obs::{Histogram, ObsRegistry};
 
 use crate::report::FleetReport;
 use crate::service::{FleetService, TicketQueue};
@@ -208,11 +209,39 @@ pub(crate) struct EngineSet {
     pipelines: Vec<(DeploymentType, Arc<SkuRecommendationPipeline>)>,
     registry: Option<Arc<EngineRegistry>>,
     routes: Vec<(DeploymentType, EngineRoute)>,
+    obs: EngineSetObs,
+}
+
+/// Per-stage latency histograms for the engine-resolution and assessment
+/// stages of [`EngineSet::assess_one`]. Default handles are no-ops; they
+/// become live via [`EngineSet::instrument`].
+#[derive(Clone, Default)]
+struct EngineSetObs {
+    /// `fleet.stage.resolve` — routing one request to its pipeline
+    /// (including any registry training the first request per key pays).
+    resolve: Histogram,
+    /// `fleet.stage.assess` — running one assessment through the resolved
+    /// pipeline.
+    assess: Histogram,
 }
 
 impl EngineSet {
     pub(crate) fn new() -> EngineSet {
-        EngineSet { pipelines: Vec::new(), registry: None, routes: Vec::new() }
+        EngineSet {
+            pipelines: Vec::new(),
+            registry: None,
+            routes: Vec::new(),
+            obs: EngineSetObs::default(),
+        }
+    }
+
+    /// Register the per-stage histograms with `obs` (a disabled registry
+    /// leaves the set uninstrumented).
+    pub(crate) fn instrument(&mut self, obs: &ObsRegistry) {
+        self.obs = EngineSetObs {
+            resolve: obs.histogram("fleet.stage.resolve"),
+            assess: obs.histogram("fleet.stage.assess"),
+        };
     }
 
     /// Add (or replace) the pipeline serving its engine's deployment.
@@ -298,7 +327,14 @@ impl EngineSet {
         let FleetRequest { deployment, catalog_key, month, request, priority: _ } = task;
         let instance_name = request.instance_name.clone();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            self.resolve(deployment, &catalog_key).map(|pipeline| pipeline.assess(&request))
+            let resolved = {
+                let _span = self.obs.resolve.start();
+                self.resolve(deployment, &catalog_key)
+            };
+            resolved.map(|pipeline| {
+                let _span = self.obs.assess.start();
+                pipeline.assess(&request)
+            })
         }))
         .unwrap_or_else(|payload| Err(AssessmentError { message: panic_message(payload) }));
         FleetResult { index, instance_name, deployment, month, outcome }
@@ -310,6 +346,7 @@ impl EngineSet {
 pub struct FleetAssessor {
     engines: EngineSet,
     config: FleetConfig,
+    obs: ObsRegistry,
 }
 
 impl FleetAssessor {
@@ -328,7 +365,7 @@ impl FleetAssessor {
     ) -> FleetAssessor {
         let mut engines = EngineSet::new();
         engines.insert(pipeline);
-        FleetAssessor { engines, config }
+        FleetAssessor { engines, config, obs: ObsRegistry::disabled() }
     }
 
     /// An assessor that resolves every engine through a shared
@@ -342,7 +379,21 @@ impl FleetAssessor {
     pub fn over_registry(registry: Arc<EngineRegistry>, config: FleetConfig) -> FleetAssessor {
         let mut engines = EngineSet::new();
         engines.set_registry(registry);
-        FleetAssessor { engines, config }
+        FleetAssessor { engines, config, obs: ObsRegistry::disabled() }
+    }
+
+    /// Record hot-path metrics into `obs`: per-stage latency histograms
+    /// (queue wait → engine resolution → assessment → aggregation),
+    /// queue-lane depth gauges and wait histograms, valve trips, and
+    /// per-worker task counters. Instrumentation is strictly write-aside —
+    /// assessments, reports, and their byte-level renders are identical
+    /// whether `obs` is enabled, disabled, or absent. Carried into the
+    /// service by [`into_service`](FleetAssessor::into_service) and every
+    /// [`assess`](FleetAssessor::assess) run.
+    pub fn with_obs(mut self, obs: &ObsRegistry) -> FleetAssessor {
+        self.obs = obs.clone();
+        self.engines.instrument(obs);
+        self
     }
 
     /// Add (or replace) the registry route serving its default key's
@@ -390,8 +441,8 @@ impl FleetAssessor {
     /// Convert into the long-lived streaming front-end, keeping the engine
     /// set and configuration.
     pub fn into_service(self) -> FleetService {
-        let FleetAssessor { engines, config } = self;
-        FleetService::from_parts(engines, config)
+        let FleetAssessor { engines, config, obs } = self;
+        FleetService::from_parts(engines, config, obs)
     }
 
     /// Assess an entire fleet.
@@ -411,7 +462,7 @@ impl FleetAssessor {
     where
         I: IntoIterator<Item = FleetRequest>,
     {
-        let service = FleetService::from_parts(self.engines.clone(), self.config);
+        let service = FleetService::from_parts(self.engines.clone(), self.config, self.obs.clone());
         let keep = self.config.keep_results;
         let mut kept = Vec::new();
         let mut outstanding = TicketQueue::new();

@@ -422,6 +422,18 @@ impl FleetDriftReport {
         render_attention_list(&mut out, "Drifted", &drifted_lines);
         out
     }
+
+    /// [`render`](FleetDriftReport::render) with the ops dashboard from an
+    /// [`ObsSnapshot`](doppler_obs::ObsSnapshot) appended, mirroring
+    /// [`FleetReport::render_with_ops`](crate::FleetReport::render_with_ops):
+    /// the drift verdicts first, then the pass/probe latencies and re-queue
+    /// activity behind them. The report itself never reads the snapshot.
+    pub fn render_with_ops(&self, snapshot: &doppler_obs::ObsSnapshot) -> String {
+        let mut out = self.render();
+        out.push('\n');
+        out.push_str(&snapshot.render());
+        out
+    }
 }
 
 /// One deployed customer the monitor watches: the telemetry window its
@@ -667,6 +679,16 @@ impl DriftMonitor {
     /// fresh window. Deterministic: the same staged windows produce the
     /// same [`DriftPass`] for any worker count.
     pub fn tick(&mut self, month: &str) -> DriftPass {
+        // Write-aside pass instrumentation, through the service's shared
+        // registry — all no-ops unless the service was built with
+        // `FleetAssessor::with_obs`. The probes themselves are timed by the
+        // workers (`fleet.stage.drift_probe`); this layer adds whole-pass
+        // latency, verdict/severity tallies, and the priority-lane
+        // re-queue depth.
+        let obs = self.service.obs().clone();
+        let pass_span = obs.histogram("drift.pass_latency").start();
+        let requeue_depth = obs.gauge("drift.requeue_depth");
+
         // Phase 1: submit every staged check, in registration order. The
         // fresh window is kept aside — the drifted subset re-assesses on
         // it and rolls its baseline forward to it. A fresh window whose
@@ -744,6 +766,12 @@ impl DriftMonitor {
         }
         let mut report = FleetDriftReport::from_outcomes(month, &outcomes);
         report.catalog_rolls = std::mem::take(&mut self.rolls_since_tick);
+        if obs.is_enabled() {
+            for outcome in &outcomes {
+                obs.counter(&format!("drift.verdict.{:?}", outcome.verdict)).incr();
+                obs.counter(&format!("drift.severity.{:?}", outcome.severity)).incr();
+            }
+        }
 
         // Phase 3: drifted customers jump the queue. Their re-assessment
         // runs the *full* pipeline (profiling, matching, and the original
@@ -764,11 +792,13 @@ impl DriftMonitor {
                 fleet_request = fleet_request.with_catalog_key(key.clone());
             }
             if let Ok(ticket) = self.service.submit(fleet_request) {
+                requeue_depth.add(1);
                 tickets.push((slot, fresh, ticket));
             }
         }
         let mut reassessments = Vec::with_capacity(tickets.len());
         for (slot, fresh, ticket) in tickets {
+            requeue_depth.add(-1);
             let Some(result) = ticket.recv() else { continue };
             if let Ok(assessed) = &result.outcome {
                 let w = &mut self.watched[slot];
@@ -779,6 +809,20 @@ impl DriftMonitor {
             reassessments.push(result);
         }
 
+        obs.counter("drift.passes").incr();
+        obs.counter("drift.reassessments").add(reassessments.len() as u64);
+        if obs.is_enabled() {
+            obs.event(
+                "drift.pass",
+                &format!(
+                    "month={month} checked={} drifted={} reassessed={}",
+                    report.checked,
+                    report.drifted,
+                    reassessments.len()
+                ),
+            );
+        }
+        drop(pass_span);
         DriftPass { report, outcomes, reassessments }
     }
 
@@ -850,6 +894,17 @@ impl DriftMonitor {
         }
         self.ledger.record_roll(month, repriced.iter().filter(|r| r.outcome.is_ok()).count());
         self.rolls_since_tick += 1;
+        let obs = self.service.obs();
+        obs.counter("drift.catalog_rolls").incr();
+        if obs.is_enabled() {
+            obs.event(
+                "catalog.roll",
+                &format!(
+                    "month={month} {old_key} -> {new_key} retired={retired_engines} repriced={}",
+                    repriced.len()
+                ),
+            );
+        }
         CatalogRollOutcome {
             old_key: old_key.clone(),
             new_key: new_key.clone(),

@@ -19,6 +19,47 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use doppler_obs::{Counter, Gauge, Histogram, ObsRegistry};
+
+/// Write-aside instrumentation for one queue: per-lane depth gauges, wait
+/// histograms, and the valve-trip counter. All handles are no-ops when the
+/// queue was built with [`BoundedQueue::new`] or a disabled registry, and
+/// `enabled` gates the `Instant::now` reads so the no-op mode never touches
+/// the clock.
+struct QueueObs {
+    enabled: bool,
+    normal_depth: Gauge,
+    priority_depth: Gauge,
+    enqueue_wait: Histogram,
+    pop_wait: Histogram,
+    valve_trips: Counter,
+}
+
+impl QueueObs {
+    fn disabled() -> QueueObs {
+        QueueObs {
+            enabled: false,
+            normal_depth: Gauge::default(),
+            priority_depth: Gauge::default(),
+            enqueue_wait: Histogram::default(),
+            pop_wait: Histogram::default(),
+            valve_trips: Counter::default(),
+        }
+    }
+
+    fn registered(obs: &ObsRegistry, prefix: &str) -> QueueObs {
+        QueueObs {
+            enabled: obs.is_enabled(),
+            normal_depth: obs.gauge(&format!("{prefix}.depth.normal")),
+            priority_depth: obs.gauge(&format!("{prefix}.depth.priority")),
+            enqueue_wait: obs.histogram(&format!("{prefix}.enqueue_wait")),
+            pop_wait: obs.histogram(&format!("{prefix}.pop_wait")),
+            valve_trips: obs.counter(&format!("{prefix}.valve_trips")),
+        }
+    }
+}
 
 struct State<T> {
     priority: VecDeque<T>,
@@ -43,6 +84,7 @@ pub struct BoundedQueue<T> {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    obs: QueueObs,
 }
 
 impl<T> BoundedQueue<T> {
@@ -53,7 +95,7 @@ impl<T> BoundedQueue<T> {
     pub const FAIRNESS: usize = 7;
 
     /// A queue admitting at most `capacity` queued items across both lanes
-    /// (min 1).
+    /// (min 1), with observability disabled.
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
             state: Mutex::new(State {
@@ -65,7 +107,21 @@ impl<T> BoundedQueue<T> {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            obs: QueueObs::disabled(),
         }
+    }
+
+    /// Like [`new`](BoundedQueue::new), but registering per-lane depth
+    /// gauges (`{prefix}.depth.normal` / `.priority`), enqueue- and
+    /// pop-wait histograms (`{prefix}.enqueue_wait` / `.pop_wait`), and the
+    /// anti-starvation valve-trip counter (`{prefix}.valve_trips`) with
+    /// `obs`. Instrumentation is write-aside: queue behavior is identical
+    /// to an uninstrumented queue, and a disabled registry degrades to
+    /// exactly [`new`](BoundedQueue::new).
+    pub fn instrumented(capacity: usize, obs: &ObsRegistry, prefix: &str) -> BoundedQueue<T> {
+        let mut queue = BoundedQueue::new(capacity);
+        queue.obs = QueueObs::registered(obs, prefix);
+        queue
     }
 
     /// Enqueue `item` on the normal lane, blocking while the queue is at
@@ -83,6 +139,7 @@ impl<T> BoundedQueue<T> {
     }
 
     fn push_lane(&self, item: T, priority: bool) -> Result<(), T> {
+        let entered = self.obs.enabled.then(Instant::now);
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if state.closed {
@@ -91,8 +148,13 @@ impl<T> BoundedQueue<T> {
             if state.len() < self.capacity {
                 if priority {
                     state.priority.push_back(item);
+                    self.obs.priority_depth.add(1);
                 } else {
                     state.items.push_back(item);
+                    self.obs.normal_depth.add(1);
+                }
+                if let Some(entered) = entered {
+                    self.obs.enqueue_wait.record(entered.elapsed());
                 }
                 self.not_empty.notify_one();
                 return Ok(());
@@ -106,6 +168,7 @@ impl<T> BoundedQueue<T> {
     /// `None` once the queue is closed *and* both lanes have drained — the
     /// worker shutdown signal.
     pub fn pop(&self) -> Option<T> {
+        let entered = self.obs.enabled.then(Instant::now);
         let mut state = self.state.lock().expect("queue lock");
         loop {
             let normal_waiting = !state.items.is_empty();
@@ -119,6 +182,19 @@ impl<T> BoundedQueue<T> {
                 // priority pop) resets the streak.
                 state.priority_streak =
                     if serve_priority && normal_waiting { state.priority_streak + 1 } else { 0 };
+                if serve_priority {
+                    self.obs.priority_depth.add(-1);
+                } else {
+                    self.obs.normal_depth.add(-1);
+                    // A normal pop forced through while priority work was
+                    // waiting is the valve doing its job — count the trip.
+                    if valve_open && !state.priority.is_empty() {
+                        self.obs.valve_trips.incr();
+                    }
+                }
+                if let Some(entered) = entered {
+                    self.obs.pop_wait.record(entered.elapsed());
+                }
                 self.not_full.notify_one();
                 return Some(item);
             }
@@ -270,6 +346,56 @@ mod tests {
             assert_eq!(q.pop(), Some(20));
         });
         assert_eq!(popped.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn instrumented_queue_tracks_depths_and_waits() {
+        let obs = ObsRegistry::enabled();
+        let q = BoundedQueue::instrumented(64, &obs, "q");
+        q.push(1).unwrap();
+        q.push_priority(2).unwrap();
+        let s = obs.snapshot();
+        assert_eq!(s.gauge("q.depth.normal"), Some(1));
+        assert_eq!(s.gauge("q.depth.priority"), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        let s = obs.snapshot();
+        assert_eq!(s.gauge("q.depth.normal"), Some(0));
+        assert_eq!(s.gauge("q.depth.priority"), Some(0));
+        assert_eq!(s.histogram("q.enqueue_wait").unwrap().count, 2);
+        assert_eq!(s.histogram("q.pop_wait").unwrap().count, 2);
+    }
+
+    #[test]
+    fn instrumented_queue_counts_valve_trips() {
+        let obs = ObsRegistry::enabled();
+        let q = BoundedQueue::instrumented(64, &obs, "q");
+        q.push("normal").unwrap();
+        for _ in 0..BoundedQueue::<&str>::FAIRNESS + 1 {
+            q.push_priority("prio").unwrap();
+        }
+        for _ in 0..BoundedQueue::<&str>::FAIRNESS {
+            assert_eq!(q.pop(), Some("prio"));
+        }
+        // The valve forces the starving normal item through while priority
+        // work is still waiting — exactly one trip.
+        assert_eq!(q.pop(), Some("normal"));
+        assert_eq!(q.pop(), Some("prio"));
+        assert_eq!(obs.snapshot().counter("q.valve_trips"), Some(1));
+    }
+
+    #[test]
+    fn disabled_registry_degrades_to_uninstrumented() {
+        let obs = ObsRegistry::disabled();
+        let q = BoundedQueue::instrumented(4, &obs, "q");
+        q.push(1).unwrap();
+        q.push_priority(2).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        let s = obs.snapshot();
+        assert!(!s.enabled);
+        assert!(s.gauges.is_empty());
+        assert!(s.histograms.is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use doppler_catalog::DeploymentType;
 use doppler_core::{CurveShape, Recommendation};
 use doppler_dma::AdoptionLedger;
+use doppler_obs::ObsSnapshot;
 
 use crate::assessor::FleetResult;
 
@@ -511,6 +512,19 @@ impl FleetReport {
         let failure_lines: Vec<String> =
             self.failures.iter().map(|f| format!("{}: {}", f.instance_name, f.message)).collect();
         render_attention_list(&mut out, "Failures", &failure_lines);
+        out
+    }
+
+    /// [`render`](FleetReport::render) with the ops dashboard from an
+    /// [`ObsSnapshot`] appended — what an operator tails after a fleet run:
+    /// the business numbers first, then where the time went. The report
+    /// itself never depends on the snapshot, so determinism suites keep
+    /// comparing [`render`](FleetReport::render) output byte-for-byte while
+    /// ops tooling layers the (timing-dependent) dashboard on top.
+    pub fn render_with_ops(&self, snapshot: &ObsSnapshot) -> String {
+        let mut out = self.render();
+        out.push('\n');
+        out.push_str(&snapshot.render());
         out
     }
 }

@@ -32,9 +32,11 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use doppler_catalog::DeploymentType;
 use doppler_dma::{AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
+use doppler_obs::{Counter, Histogram, ObsRegistry, ObsSnapshot};
 
 use crate::assessor::{EngineSet, FleetAssessor, FleetConfig, FleetRequest, FleetResult};
 use crate::drift::{DriftOutcome, DriftProbe};
@@ -47,8 +49,50 @@ use crate::report::{FleetAggregator, FleetReport, ResultDigest};
 /// aggregate — the [`DriftMonitor`](crate::drift::DriftMonitor) folds its
 /// own outcomes).
 enum Task {
-    Assess { index: usize, request: FleetRequest, reply: mpsc::Sender<FleetResult> },
-    Drift { index: usize, probe: DriftProbe, reply: mpsc::Sender<DriftOutcome> },
+    Assess {
+        index: usize,
+        request: FleetRequest,
+        reply: mpsc::Sender<FleetResult>,
+        /// Submission instant, for the queue-wait stage histogram. `None`
+        /// when observability is disabled — the no-op mode never reads the
+        /// clock.
+        enqueued: Option<Instant>,
+    },
+    Drift {
+        index: usize,
+        probe: DriftProbe,
+        reply: mpsc::Sender<DriftOutcome>,
+        enqueued: Option<Instant>,
+    },
+}
+
+/// The service's write-aside instrumentation: per-stage latency histograms
+/// shared by every worker, plus the registry handle components downstream
+/// (queue, engine set) registered their own metrics with. All handles are
+/// no-ops under a disabled registry.
+struct ServiceObs {
+    registry: ObsRegistry,
+    /// `fleet.stage.queue_wait` — submit → worker pop, assessment tasks.
+    queue_wait: Histogram,
+    /// `fleet.stage.aggregate` — folding one result into the in-order
+    /// aggregate (includes the progress-lock wait).
+    aggregate: Histogram,
+    /// `fleet.stage.drift_wait` — submit → worker pop, drift checks.
+    drift_wait: Histogram,
+    /// `fleet.stage.drift_probe` — evaluating one drift probe.
+    drift_probe: Histogram,
+}
+
+impl ServiceObs {
+    fn registered(registry: ObsRegistry) -> ServiceObs {
+        ServiceObs {
+            queue_wait: registry.histogram("fleet.stage.queue_wait"),
+            aggregate: registry.histogram("fleet.stage.aggregate"),
+            drift_wait: registry.histogram("fleet.stage.drift_wait"),
+            drift_probe: registry.histogram("fleet.stage.drift_probe"),
+            registry,
+        }
+    }
 }
 
 /// Everything the worker threads share with the front-end handle.
@@ -60,6 +104,7 @@ struct ServiceShared {
     /// assessment submission indices, since drift work never enters the
     /// assessment aggregate.
     drift_submitted: AtomicUsize,
+    obs: ServiceObs,
 }
 
 /// Submission/completion tracking: allocates submission indices, restores
@@ -155,21 +200,33 @@ fn lock_progress(shared: &ServiceShared) -> std::sync::MutexGuard<'_, Progress> 
     shared.progress.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn worker_loop(shared: &ServiceShared) {
+fn worker_loop(shared: &ServiceShared, tasks: &Counter) {
     while let Some(task) = shared.queue.pop() {
+        tasks.incr();
         match task {
-            Task::Assess { index, request, reply } => {
+            Task::Assess { index, request, reply, enqueued } => {
+                if let Some(enqueued) = enqueued {
+                    shared.obs.queue_wait.record(enqueued.elapsed());
+                }
                 let result = shared.engines.assess_one(index, request);
-                lock_progress(shared).accept(&result);
+                {
+                    let _span = shared.obs.aggregate.start();
+                    lock_progress(shared).accept(&result);
+                }
                 // The submitter may have dropped its ticket; that just
                 // means nobody is listening, not that the work failed.
                 let _ = reply.send(result);
             }
-            Task::Drift { index, probe, reply } => {
+            Task::Drift { index, probe, reply, enqueued } => {
+                if let Some(enqueued) = enqueued {
+                    shared.obs.drift_wait.record(enqueued.elapsed());
+                }
                 // Drift checks bypass the Progress fold entirely: they are
                 // not assessments, so they must not perturb the in-order
                 // assessment aggregate (or its determinism).
+                let _span = shared.obs.drift_probe.start();
                 let outcome = crate::drift::evaluate_probe(&shared.engines, index, probe);
+                drop(_span);
                 let _ = reply.send(outcome);
             }
         }
@@ -313,10 +370,11 @@ impl TicketQueue {
     }
 }
 
-/// Point-in-time counters for a running service. The three fields are read
-/// under one lock, so they are mutually consistent (`completed` never
-/// exceeds `submitted`); workers keep completing the moment the lock is
-/// released, of course.
+/// Point-in-time counters for a running service: `submitted`, `completed`,
+/// and `aggregated`. All fields are read under one lock, so they are
+/// mutually consistent (`completed` never exceeds `submitted`, `aggregated`
+/// never exceeds `completed`); workers keep completing the moment the lock
+/// is released, of course.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceProgress {
     /// Requests accepted by [`FleetService::submit`] so far.
@@ -350,19 +408,25 @@ impl FleetService {
         assessor.into_service()
     }
 
-    pub(crate) fn from_parts(engines: EngineSet, config: FleetConfig) -> FleetService {
+    pub(crate) fn from_parts(
+        engines: EngineSet,
+        config: FleetConfig,
+        obs: ObsRegistry,
+    ) -> FleetService {
         let shared = Arc::new(ServiceShared {
-            queue: BoundedQueue::new(config.queue_depth),
+            queue: BoundedQueue::instrumented(config.queue_depth, &obs, "fleet.queue"),
             engines,
             progress: Mutex::new(Progress::new()),
             drift_submitted: AtomicUsize::new(0),
+            obs: ServiceObs::registered(obs),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let tasks = shared.obs.registry.counter(&format!("fleet.worker.{i}.tasks"));
                 std::thread::Builder::new()
                     .name(format!("fleet-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, &tasks))
                     .expect("spawn fleet worker")
             })
             .collect();
@@ -388,7 +452,8 @@ impl FleetService {
         // progress lock must not be held across the queue's backpressure
         // wait, or every dashboard poll would stall with the feeder.
         let index = lock_progress(&self.shared).allocate();
-        let task = Task::Assess { index, request, reply };
+        let enqueued = self.shared.obs.registry.is_enabled().then(Instant::now);
+        let task = Task::Assess { index, request, reply, enqueued };
         let pushed = if priority {
             self.shared.queue.push_priority(task)
         } else {
@@ -417,7 +482,8 @@ impl FleetService {
         let (reply, rx) = mpsc::channel();
         let customer = probe.customer.clone();
         let index = self.shared.drift_submitted.fetch_add(1, Ordering::Relaxed);
-        match self.shared.queue.push(Task::Drift { index, probe, reply }) {
+        let enqueued = self.shared.obs.registry.is_enabled().then(Instant::now);
+        match self.shared.queue.push(Task::Drift { index, probe, reply, enqueued }) {
             Ok(()) => Ok(DriftTicket { index, customer, rx }),
             Err(Task::Drift { probe, .. }) => Err(probe),
             Err(Task::Assess { .. }) => unreachable!("a drift push returns a drift task"),
@@ -448,6 +514,33 @@ impl FleetService {
     /// training-economy counters.
     pub fn registry(&self) -> Option<&Arc<doppler_core::EngineRegistry>> {
         self.shared.engines.registry()
+    }
+
+    /// The observability registry this service (and its queue, engine set,
+    /// and any [`DriftMonitor`](crate::drift::DriftMonitor) over it) record
+    /// into. Disabled unless the service was built via
+    /// [`FleetAssessor::with_obs`].
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.shared.obs.registry
+    }
+
+    /// A point-in-time [`ObsSnapshot`] of every metric recorded so far —
+    /// shorthand for `self.obs().snapshot()`. Render it with
+    /// [`ObsSnapshot::render`] or append it to a report via
+    /// [`FleetReport::render_with_ops`](crate::report::FleetReport::render_with_ops).
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.shared.obs.registry.snapshot()
+    }
+
+    /// Items currently queued across both lanes (racy by nature; for
+    /// dashboards).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Items currently waiting in the priority lane.
+    pub fn queue_priority_len(&self) -> usize {
+        self.shared.queue.priority_len()
     }
 
     /// Current submission/completion counters, read as one consistent

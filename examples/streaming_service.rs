@@ -32,12 +32,18 @@ fn main() {
     // 1. One long-lived service resolving both deployment targets through
     //    a shared registry: each engine is trained at most once — by the
     //    first worker that needs it — and every later resolution is a
-    //    sharded read-lock lookup plus an Arc bump.
-    let registry = Arc::new(EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production())));
+    //    sharded read-lock lookup plus an Arc bump. One `ObsRegistry`
+    //    instruments the whole path: registry trainings, queue lanes, and
+    //    the per-stage worker spans all land in the same snapshot.
+    let obs = ObsRegistry::enabled();
+    let registry = Arc::new(
+        EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production())).with_obs(&obs),
+    );
     let service =
         FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(workers))
             .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
             .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlMi)))
+            .with_obs(&obs)
             .into_service();
 
     // 2. The request stream: a SQL DB cohort chained with a SQL MI cohort,
@@ -67,12 +73,17 @@ fn main() {
         if progress.aggregated >= next_progress_mark * (db_size + mi_size) / 4 {
             next_progress_mark += 1;
             let snapshot = service.report_snapshot();
+            let stats = registry.stats();
             println!(
-                "[{:>6.2?}] submitted {:>4}  in flight {:>3}  aggregated {:>4}  ${:>10.2}/mo so far",
+                "[{:>6.2?}] submitted {:>4}  in flight {:>3}  aggregated {:>4}  queue {:>3}  \
+                 trained {:>2}  warm {:>4}  ${:>10.2}/mo so far",
                 start.elapsed(),
                 progress.submitted,
                 progress.in_flight(),
                 progress.aggregated,
+                service.queue_len(),
+                stats.misses,
+                stats.hits + stats.coalesced,
                 snapshot.total_monthly_cost,
             );
         }
@@ -86,9 +97,12 @@ fn main() {
     let elapsed = start.elapsed();
 
     // 5. Final dashboard — identical to what a one-shot batch run of the
-    //    same cohort would report.
+    //    same cohort would report, plus the ops view (stage latencies,
+    //    per-worker task counts, queue-wait percentiles) appended from the
+    //    observability snapshot. The report half is deterministic; only
+    //    the ops half varies run to run.
     let report = service.shutdown();
-    println!("\n{}", report.render());
+    println!("\n{}", report.render_with_ops(&obs.snapshot()));
     println!(
         "streamed {resolved} instances on {workers} worker(s) in {elapsed:.2?} ({:.1} instances/s)",
         resolved as f64 / elapsed.as_secs_f64()

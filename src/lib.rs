@@ -14,6 +14,7 @@
 //! | [`engine`] | `doppler-core` | the Doppler engine: curves, profiling, matching, confidence |
 //! | [`dma`] | `doppler-dma` | Data Migration Assistant integration |
 //! | [`fleet`] | `doppler-fleet` | concurrent fleet-scale batch assessment |
+//! | [`obs`] | `doppler-obs` | metrics, latency histograms, span timers, ops dashboard |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 pub use doppler_catalog as catalog;
 pub use doppler_core as engine;
 pub use doppler_fleet as fleet;
+pub use doppler_obs as obs;
 pub use doppler_replay as replay;
 pub use doppler_stats as stats;
 pub use doppler_telemetry as telemetry;
@@ -71,8 +73,9 @@ pub mod prelude {
     pub use doppler_fleet::{
         AssessmentService, CatalogRollOutcome, DriftMonitor, DriftOutcome, DriftPass, DriftVerdict,
         EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetDriftReport, FleetReport,
-        FleetRequest, FleetService, MonitoredCustomer, Ticket, TicketQueue,
+        FleetRequest, FleetService, MonitoredCustomer, ServiceProgress, Ticket, TicketQueue,
     };
+    pub use doppler_obs::{ObsRegistry, ObsSnapshot};
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
     pub use doppler_workload::{DriftSpec, PopulationSpec, WorkloadArchetype, WorkloadSpec};
 }

@@ -428,4 +428,62 @@ proptest! {
         prop_assert_eq!(pass.report.stable, n);
         prop_assert!(pass.reassessments.is_empty());
     }
+
+    #[test]
+    fn instrumented_lane_gauges_always_drain_to_zero(
+        ops in lane_ops_strategy(),
+    ) {
+        // Any scripted interleaving of pushes and pops on an instrumented
+        // queue: at every step each lane's depth gauge equals the model's
+        // lane length, and after close + full drain both read zero — the
+        // invariant the ops dashboard's queue-depth rows rely on.
+        let obs = ObsRegistry::enabled();
+        let queue = BoundedQueue::instrumented(ops.len() + 1, &obs, "q");
+        let mut model = LaneModel::new();
+        for (kind, value) in ops {
+            match kind {
+                0 => {
+                    queue.push(value).unwrap();
+                    model.normal.push_back(value);
+                }
+                1 => {
+                    queue.push_priority(value).unwrap();
+                    model.priority.push_back(value);
+                }
+                _ => {
+                    if model.len() > 0 {
+                        queue.pop().unwrap();
+                        model.pop().unwrap();
+                    }
+                }
+            }
+            let snapshot = obs.snapshot();
+            prop_assert_eq!(snapshot.gauge("q.depth.normal"), Some(model.normal.len() as i64));
+            prop_assert_eq!(snapshot.gauge("q.depth.priority"), Some(model.priority.len() as i64));
+        }
+        queue.close();
+        while queue.pop().is_some() {}
+        let snapshot = obs.snapshot();
+        prop_assert_eq!(snapshot.gauge("q.depth.normal"), Some(0));
+        prop_assert_eq!(snapshot.gauge("q.depth.priority"), Some(0));
+    }
+
+    #[test]
+    fn histogram_count_always_equals_observations_recorded(
+        observations in prop::collection::vec(0u64..u64::MAX / 2, 0..200),
+    ) {
+        // However the samples spread across the power-of-two buckets, the
+        // histogram's count is exact — every `record_ns` lands in exactly
+        // one bucket — and the max is the true maximum.
+        let obs = ObsRegistry::enabled();
+        let histogram = obs.histogram("lat");
+        for &ns in &observations {
+            histogram.record_ns(ns);
+        }
+        let snapshot = obs.snapshot();
+        let summary = snapshot.histogram("lat").unwrap();
+        prop_assert_eq!(summary.count, observations.len() as u64);
+        prop_assert_eq!(histogram.count(), observations.len() as u64);
+        prop_assert_eq!(summary.max_ns, observations.iter().copied().max().unwrap_or(0));
+    }
 }
