@@ -1,0 +1,118 @@
+//! Backend dispatch and champion/challenger costs: what a learned
+//! nearest-neighbour recommendation costs next to the plain heuristic,
+//! and what an A/B fleet run costs next to a single-sided one.
+//!
+//! The headline numbers: `backend_recommend` shows the learned lookup is
+//! a small constant on top of the heuristic it falls back to (the corpus
+//! scan is a few hundred normalized-distance evaluations), and
+//! `ab_fleet_*` shows the A/B harness costs what it should — two fleet
+//! passes plus an O(fleet) pairing sweep, nothing superlinear.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+use doppler_core::{
+    DopplerEngine, EngineConfig, LearnedBackend, LearnedConfig, RecommendationBackend,
+    TrainingRecord,
+};
+use doppler_fleet::{cloud_fleet, AbFleet, FleetAssessor, FleetConfig, FleetRequest};
+use doppler_workload::PopulationSpec;
+
+const CORPUS: usize = 128;
+const FLEET: usize = 128;
+
+fn config() -> EngineConfig {
+    EngineConfig::production(DeploymentType::SqlDb)
+}
+
+fn heuristic() -> DopplerEngine {
+    DopplerEngine::untrained(azure_paas_catalog(&CatalogSpec::default()), config())
+}
+
+fn training(n: usize) -> Vec<TrainingRecord> {
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(n, 909) };
+    spec.stream_customers(&catalog)
+        .map(|c| TrainingRecord {
+            history: c.history,
+            chosen_sku: c.chosen_sku,
+            file_layout: c.file_layout,
+        })
+        .collect()
+}
+
+fn learned(floor: f64, records: &[TrainingRecord]) -> LearnedBackend {
+    LearnedBackend::train(
+        azure_paas_catalog(&CatalogSpec::default()),
+        config(),
+        LearnedConfig { similarity_floor: floor, ..LearnedConfig::default() },
+        records,
+    )
+}
+
+/// Per-recommendation latency: heuristic alone, the learned backend doing
+/// a real corpus lookup, and the learned backend with an unclearable floor
+/// (pure fallback — the safeguard's overhead).
+fn bench_backend_recommend(c: &mut Criterion) {
+    let records = training(CORPUS);
+    let heuristic = heuristic();
+    let open = learned(0.0, &records);
+    let floored = learned(2.0, &records);
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(1, 77) };
+    let workload = spec.stream_customers(&catalog).next().expect("one customer").history;
+
+    let mut group = c.benchmark_group(format!("backend_recommend_{CORPUS}_exemplars"));
+    group.sample_size(10);
+    group.bench_function("heuristic", |b| {
+        b.iter(|| std::hint::black_box(heuristic.recommend(&workload, None)))
+    });
+    group.bench_function("learned_nn_lookup", |b| {
+        b.iter(|| std::hint::black_box(RecommendationBackend::recommend(&open, &workload, None)))
+    });
+    group.bench_function("learned_floored_fallback", |b| {
+        b.iter(|| std::hint::black_box(RecommendationBackend::recommend(&floored, &workload, None)))
+    });
+    group.finish();
+}
+
+fn fleet() -> Vec<FleetRequest> {
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(FLEET, 42) };
+    cloud_fleet(&spec, &catalog, None).collect()
+}
+
+/// A/B overhead at fleet scale: one champion-only pass vs the full
+/// champion + challenger + pairing run, at 1 and 4 workers.
+fn bench_ab_fleet(c: &mut Criterion) {
+    let records = training(CORPUS);
+    let cohort = fleet();
+    let mut group = c.benchmark_group(format!("ab_fleet_{FLEET}_instances"));
+    group.sample_size(10);
+
+    for workers in [1usize, 4] {
+        let single = FleetAssessor::new(heuristic(), FleetConfig::with_workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("champion_only/workers", workers),
+            &cohort,
+            |b, cohort| b.iter(|| single.assess(std::hint::black_box(cohort.clone())).report),
+        );
+
+        let ab = AbFleet::new(
+            FleetAssessor::new(heuristic(), FleetConfig::with_workers(workers)),
+            FleetAssessor::new(learned(0.0, &records), FleetConfig::with_workers(workers)),
+        );
+        let ab = Arc::new(ab);
+        group.bench_with_input(
+            BenchmarkId::new("champion_vs_challenger/workers", workers),
+            &cohort,
+            |b, cohort| b.iter(|| ab.assess(std::hint::black_box(cohort.clone())).report),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_recommend, bench_ab_fleet);
+criterion_main!(benches);

@@ -27,9 +27,16 @@
 //! ([`explain`]) that make the recommendation auditable. [`engine`] ties
 //! everything into the [`engine::DopplerEngine`] façade the DMA pipeline
 //! calls, and [`registry`] memoizes trained engines per
-//! `(catalog key, template, training set)` so a whole fleet shares one
-//! training run per distinct key.
+//! `(catalog key, backend, template, training set)` so a whole fleet shares
+//! one training run per distinct key.
+//!
+//! The engine is one of several [`backend::RecommendationBackend`]s: every
+//! consumer (pipeline, fleet, drift monitor, registry) works against the
+//! trait, [`engine::DopplerEngine`] is the default implementation, and
+//! [`learned::LearnedBackend`] is a Lorentz-style learned alternative with a
+//! similarity-floor fallback to the heuristic.
 
+pub mod backend;
 pub mod baseline;
 pub mod confidence;
 pub mod curve;
@@ -38,6 +45,7 @@ pub mod engine;
 pub mod explain;
 pub mod grouping;
 pub mod heuristics;
+pub mod learned;
 pub mod matching;
 pub mod mi;
 pub mod profile;
@@ -45,6 +53,7 @@ pub mod registry;
 pub mod rightsize;
 pub mod throttling;
 
+pub use backend::{BackendSpec, RecommendationBackend};
 pub use baseline::BaselineStrategy;
 pub use confidence::{confidence_score, ConfidenceConfig};
 pub use curve::{CurveShape, PricePerfPoint, PricePerformanceCurve};
@@ -52,6 +61,7 @@ pub use driftdetect::{detect_drift, DriftReport, DriftSeverity};
 pub use engine::{DopplerEngine, EngineConfig, Recommendation, TrainingRecord};
 pub use grouping::{FittedGrouping, GroupingStrategy};
 pub use heuristics::CurveHeuristic;
+pub use learned::{LearnedBackend, LearnedConfig};
 pub use matching::GroupModel;
 pub use mi::{mi_curve, MiAssessment};
 pub use profile::NegotiabilityStrategy;

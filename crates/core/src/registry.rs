@@ -1,5 +1,6 @@
-//! The [`EngineRegistry`]: one trained [`DopplerEngine`] per
-//! `(catalog key, engine template, training set)`, shared fleet-wide.
+//! The [`EngineRegistry`]: one trained
+//! [`RecommendationBackend`] per
+//! `(catalog key, backend, engine template, training set)`, shared fleet-wide.
 //!
 //! Doppler served hundreds of thousands of recommendations (§4, Table 1)
 //! from a handful of trained models — training happens once per offer
@@ -7,11 +8,13 @@
 //! registry is that memoization layer:
 //!
 //! * engines are keyed by the [`CatalogKey`] they serve, the
+//!   [`BackendSpec`] that trained them, the
 //!   [`EngineTemplate`] they were configured from, and the
 //!   [`TrainingSet`]'s content fingerprint, so any input change —
 //!   a revised catalog version, different billing rates, a new grouping
-//!   strategy, one more training record — yields a distinct engine, while
-//!   identical inputs always share one `Arc<DopplerEngine>`;
+//!   strategy, a different backend kind, one more training record — yields
+//!   a distinct engine, while identical inputs always share one
+//!   `Arc<dyn RecommendationBackend>`;
 //! * lookups go through a **sharded `RwLock` map**: warm resolutions take
 //!   one read lock on one shard, so a 16-worker fleet hammering
 //!   [`get_or_train`](EngineRegistry::get_or_train) on a warm key never
@@ -64,7 +67,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use doppler_catalog::{CatalogKey, CatalogProvider, Fingerprint};
 use doppler_obs::{Counter, Histogram, ObsRegistry};
 
-use crate::engine::{DopplerEngine, EngineConfig, TrainingRecord};
+use crate::backend::{BackendSpec, RecommendationBackend};
+use crate::engine::{EngineConfig, TrainingRecord};
 use crate::grouping::GroupingStrategy;
 use crate::profile::NegotiabilityStrategy;
 
@@ -286,8 +290,8 @@ pub struct RegistryStats {
 
 /// The full identity of a cached engine. The map key carries the
 /// [`CatalogKey`] structurally (no hash collisions across keys) plus the
-/// combined content fingerprint of the resolved catalog, the template, and
-/// the training set.
+/// combined content fingerprint of the resolved catalog, the backend spec,
+/// the template, and the training set.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct EngineKey {
     catalog: CatalogKey,
@@ -303,7 +307,7 @@ struct Slot {
 enum SlotState {
     /// The first requester is training; waiters block on the condvar.
     Training,
-    Ready(Arc<DopplerEngine>),
+    Ready(Arc<dyn RecommendationBackend>),
     /// The training run panicked. Terminal for this slot — the trainer
     /// evicts it from the map, so later requesters allocate a fresh one.
     Failed,
@@ -327,7 +331,7 @@ impl Slot {
 
     /// Block until the slot leaves `Training`; `None` means the training
     /// run failed.
-    fn wait(&self) -> Option<Arc<DopplerEngine>> {
+    fn wait(&self) -> Option<Arc<dyn RecommendationBackend>> {
         let mut state = self.lock();
         loop {
             match &*state {
@@ -341,7 +345,7 @@ impl Slot {
     }
 
     /// Non-blocking read of a ready engine.
-    fn get_ready(&self) -> Option<Arc<DopplerEngine>> {
+    fn get_ready(&self) -> Option<Arc<dyn RecommendationBackend>> {
         match &*self.lock() {
             SlotState::Ready(engine) => Some(Arc::clone(engine)),
             _ => None,
@@ -484,29 +488,48 @@ impl EngineRegistry {
         &self.provider
     }
 
-    /// Resolve the engine for `(key, template, training)`, training it
-    /// exactly once across all concurrent callers if it is not cached.
-    ///
-    /// Warm path: one provider lookup, one shard read lock, one map get,
-    /// one `Arc` bump. Cold path: the calling thread trains (outside any
-    /// lock) while concurrent requesters for the same key block on the
-    /// slot; requesters for *other* keys proceed unhindered.
+    /// Resolve the default-backend (heuristic) engine for
+    /// `(key, template, training)`, training it exactly once across all
+    /// concurrent callers if it is not cached. Equivalent to
+    /// [`get_or_train_backend`](EngineRegistry::get_or_train_backend) with
+    /// [`BackendSpec::Heuristic`].
     pub fn get_or_train(
         &self,
         key: &CatalogKey,
         template: &EngineTemplate,
         training: &TrainingSet,
-    ) -> Result<Arc<DopplerEngine>, RegistryError> {
+    ) -> Result<Arc<dyn RecommendationBackend>, RegistryError> {
+        self.get_or_train_backend(key, template, training, &BackendSpec::Heuristic)
+    }
+
+    /// Resolve the backend for `(key, backend spec, template, training)`,
+    /// training it exactly once across all concurrent callers if it is not
+    /// cached. The spec's fingerprint is part of the memo key, so two
+    /// backend kinds trained on identical inputs occupy distinct slots and
+    /// can never cross-serve (champion/challenger safety).
+    ///
+    /// Warm path: one provider lookup, one shard read lock, one map get,
+    /// one `Arc` bump. Cold path: the calling thread trains (outside any
+    /// lock) while concurrent requesters for the same key block on the
+    /// slot; requesters for *other* keys proceed unhindered.
+    pub fn get_or_train_backend(
+        &self,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+        backend: &BackendSpec,
+    ) -> Result<Arc<dyn RecommendationBackend>, RegistryError> {
         if self.is_retired(key) {
             self.failures.fetch_add(1, Ordering::Relaxed);
             self.obs.failures.incr();
             return Err(RegistryError::Retired(key.clone()));
         }
-        let (engine_key, resolved) = self.engine_key(key, template, training).ok_or_else(|| {
-            self.failures.fetch_add(1, Ordering::Relaxed);
-            self.obs.failures.incr();
-            RegistryError::UnknownCatalog(key.clone())
-        })?;
+        let (engine_key, resolved) =
+            self.engine_key(key, template, training, backend).ok_or_else(|| {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.obs.failures.incr();
+                RegistryError::UnknownCatalog(key.clone())
+            })?;
         let shard = &self.shards[self.shard_of(&engine_key)];
 
         // Fast path: shared read lock on the shard.
@@ -537,12 +560,11 @@ impl EngineRegistry {
         let catalog = (*resolved.catalog).clone();
         let train_span = self.obs.train.start();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            DopplerEngine::train(catalog, config, training.records())
+            backend.train(catalog, config, training.records())
         }));
         drop(train_span);
         match outcome {
             Ok(engine) => {
-                let engine = Arc::new(engine);
                 slot.publish(SlotState::Ready(Arc::clone(&engine)));
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 self.obs.misses.incr();
@@ -564,37 +586,53 @@ impl EngineRegistry {
         }
     }
 
-    /// The engine for `(key, template, training)` if it is already trained
-    /// — never blocks, never trains, and counts neither hit nor miss.
+    /// The default-backend engine for `(key, template, training)` if it is
+    /// already trained — never blocks, never trains, and counts neither hit
+    /// nor miss.
     pub fn get_if_ready(
         &self,
         key: &CatalogKey,
         template: &EngineTemplate,
         training: &TrainingSet,
-    ) -> Option<Arc<DopplerEngine>> {
-        let (engine_key, _) = self.engine_key(key, template, training)?;
+    ) -> Option<Arc<dyn RecommendationBackend>> {
+        self.get_if_ready_backend(key, template, training, &BackendSpec::Heuristic)
+    }
+
+    /// The backend for `(key, backend spec, template, training)` if it is
+    /// already trained — never blocks, never trains, and counts neither hit
+    /// nor miss.
+    pub fn get_if_ready_backend(
+        &self,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+        backend: &BackendSpec,
+    ) -> Option<Arc<dyn RecommendationBackend>> {
+        let (engine_key, _) = self.engine_key(key, template, training, backend)?;
         let shard = &self.shards[self.shard_of(&engine_key)];
         let slot =
             shard.read().unwrap_or_else(PoisonError::into_inner).get(&engine_key).cloned()?;
         slot.get_ready()
     }
 
-    /// Derive the cache identity of `(key, template, training)`: resolve
-    /// the provider and combine the catalog, template, and training
-    /// fingerprints. `None` when the provider has no catalog for the key.
-    /// The single implementation behind
-    /// [`get_or_train`](EngineRegistry::get_or_train) and
-    /// [`get_if_ready`](EngineRegistry::get_if_ready), so the two can
-    /// never disagree about what identifies an engine.
+    /// Derive the cache identity of `(key, backend, template, training)`:
+    /// resolve the provider and combine the catalog, backend, template, and
+    /// training fingerprints. `None` when the provider has no catalog for
+    /// the key. The single implementation behind
+    /// [`get_or_train_backend`](EngineRegistry::get_or_train_backend) and
+    /// [`get_if_ready_backend`](EngineRegistry::get_if_ready_backend), so
+    /// the two can never disagree about what identifies an engine.
     fn engine_key(
         &self,
         key: &CatalogKey,
         template: &EngineTemplate,
         training: &TrainingSet,
+        backend: &BackendSpec,
     ) -> Option<(EngineKey, doppler_catalog::ResolvedCatalog)> {
         let resolved = self.provider.resolve(key)?;
         let mut fp = Fingerprint::new();
         fp.write_u64(resolved.fingerprint);
+        fp.write_u64(backend.fingerprint());
         fp.write_u64(template.fingerprint());
         fp.write_u64(training.fingerprint());
         Some((EngineKey { catalog: key.clone(), fingerprint: fp.finish() }, resolved))
@@ -785,7 +823,7 @@ impl EngineRegistry {
         key: &CatalogKey,
         engine_key: &EngineKey,
         slot: &Slot,
-    ) -> Result<Arc<DopplerEngine>, RegistryError> {
+    ) -> Result<Arc<dyn RecommendationBackend>, RegistryError> {
         if let Some(engine) = slot.get_ready() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.obs.hits.incr();
@@ -928,6 +966,39 @@ mod tests {
     }
 
     #[test]
+    fn champion_and_challenger_backends_never_cross_serve() {
+        use crate::learned::LearnedConfig;
+        let registry = registry();
+        let template = EngineTemplate::production();
+        let training = TrainingSet::new(vec![record(0.5, 64)]);
+        let learned = BackendSpec::Learned(LearnedConfig::default());
+
+        let champion = registry
+            .get_or_train_backend(&db_key(), &template, &training, &BackendSpec::Heuristic)
+            .unwrap();
+        let challenger =
+            registry.get_or_train_backend(&db_key(), &template, &training, &learned).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 2, "one training per (key, backend)");
+        assert_eq!(stats.hits, 0, "no cross-hits between backend kinds");
+        assert!(!Arc::ptr_eq(&champion, &challenger));
+        assert_eq!(champion.id(), "heuristic");
+        assert_eq!(challenger.id(), "learned");
+
+        // Warm resolutions stay within their own backend's slot.
+        let champion2 = registry
+            .get_or_train_backend(&db_key(), &template, &training, &BackendSpec::Heuristic)
+            .unwrap();
+        let challenger2 =
+            registry.get_or_train_backend(&db_key(), &template, &training, &learned).unwrap();
+        let stats = registry.stats();
+        assert_eq!((stats.misses, stats.hits), (2, 2));
+        assert!(Arc::ptr_eq(&champion, &champion2));
+        assert!(Arc::ptr_eq(&challenger, &challenger2));
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
     fn unknown_catalog_is_an_error_and_counts_as_failure() {
         let registry = registry();
         let missing = db_key().in_region(Region::new("atlantis"));
@@ -949,7 +1020,7 @@ mod tests {
         let training = TrainingSet::new((0..12).map(|i| record(0.3 + i as f64, 288)).collect());
         const THREADS: usize = 8;
         let barrier = Arc::new(std::sync::Barrier::new(THREADS));
-        let engines: Vec<Arc<DopplerEngine>> = std::thread::scope(|scope| {
+        let engines: Vec<Arc<dyn RecommendationBackend>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..THREADS)
                 .map(|_| {
                     let registry = Arc::clone(&registry);
@@ -978,7 +1049,7 @@ mod tests {
         let training = TrainingSet::new(vec![record(0.6, 96), record(4.0, 96)]);
         let shared =
             registry.get_or_train(&db_key(), &EngineTemplate::production(), &training).unwrap();
-        let direct = DopplerEngine::train(
+        let direct = crate::engine::DopplerEngine::train(
             azure_paas_catalog(&CatalogSpec::default()),
             EngineConfig::production(DeploymentType::SqlDb),
             training.records(),

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use doppler_catalog::{CatalogKey, DeploymentType, FileLayout};
 use doppler_core::{
-    ConfidenceConfig, DopplerEngine, EngineRegistry, EngineTemplate, Recommendation, RegistryError,
-    TrainingSet,
+    BackendSpec, ConfidenceConfig, DopplerEngine, EngineRegistry, EngineTemplate, Recommendation,
+    RecommendationBackend, RegistryError, TrainingSet,
 };
 use doppler_telemetry::PerfHistory;
 
@@ -58,38 +58,43 @@ pub struct AssessmentResult {
     pub report: ResourceUseReport,
 }
 
-/// The pipeline: an engine plus the glue.
+/// The pipeline: a recommendation backend plus the glue.
 ///
 /// Since the registry refactor the pipeline does not *own* its engine: it
-/// holds an `Arc<DopplerEngine>`, so cloning a pipeline (or sharing it
-/// across fleets and services) bumps a reference count instead of copying
-/// a trained model and its catalog. Resolve engines through an
-/// [`EngineRegistry`] with
-/// [`from_registry`](SkuRecommendationPipeline::from_registry) — one
-/// training per distinct `(catalog key, template, training set)` across
-/// every pipeline in the process.
+/// holds an `Arc<dyn RecommendationBackend>`, so cloning a pipeline (or
+/// sharing it across fleets and services) bumps a reference count instead
+/// of copying a trained model and its catalog — and since the backend
+/// redesign the engine behind that `Arc` can be any
+/// [`RecommendationBackend`] (the heuristic [`DopplerEngine`], the learned
+/// `LearnedBackend`, or a third-party implementation). Resolve backends
+/// through an [`EngineRegistry`] with
+/// [`from_registry`](SkuRecommendationPipeline::from_registry) /
+/// [`from_registry_backend`](SkuRecommendationPipeline::from_registry_backend)
+/// — one training per distinct
+/// `(catalog key, backend, template, training set)` across every pipeline
+/// in the process.
 #[derive(Debug, Clone)]
 pub struct SkuRecommendationPipeline {
-    engine: Arc<DopplerEngine>,
+    backend: Arc<dyn RecommendationBackend>,
 }
 
 impl SkuRecommendationPipeline {
-    /// Wrap a trained engine this pipeline will be the only user of. For
-    /// engines shared across consumers, prefer
+    /// Wrap a trained backend this pipeline will be the only user of. For
+    /// backends shared across consumers, prefer
     /// [`from_shared`](SkuRecommendationPipeline::from_shared) or
     /// [`from_registry`](SkuRecommendationPipeline::from_registry).
-    pub fn new(engine: DopplerEngine) -> SkuRecommendationPipeline {
-        SkuRecommendationPipeline::from_shared(Arc::new(engine))
+    pub fn new(backend: impl RecommendationBackend + 'static) -> SkuRecommendationPipeline {
+        SkuRecommendationPipeline::from_shared(Arc::new(backend))
     }
 
-    /// Wrap an already-shared engine — a reference-count bump, no model or
+    /// Wrap an already-shared backend — a reference-count bump, no model or
     /// catalog copies.
-    pub fn from_shared(engine: Arc<DopplerEngine>) -> SkuRecommendationPipeline {
-        SkuRecommendationPipeline { engine }
+    pub fn from_shared(backend: Arc<dyn RecommendationBackend>) -> SkuRecommendationPipeline {
+        SkuRecommendationPipeline { backend }
     }
 
-    /// Resolve the engine through a registry (training it on first use,
-    /// sharing it afterwards) and wrap it.
+    /// Resolve the default (heuristic) backend through a registry
+    /// (training it on first use, sharing it afterwards) and wrap it.
     pub fn from_registry(
         registry: &EngineRegistry,
         key: &CatalogKey,
@@ -99,33 +104,63 @@ impl SkuRecommendationPipeline {
         Ok(SkuRecommendationPipeline::from_shared(registry.get_or_train(key, template, training)?))
     }
 
-    /// The engine in use.
+    /// Resolve a specific backend kind through a registry and wrap it.
+    pub fn from_registry_backend(
+        registry: &EngineRegistry,
+        key: &CatalogKey,
+        template: &EngineTemplate,
+        training: &TrainingSet,
+        backend: &BackendSpec,
+    ) -> Result<SkuRecommendationPipeline, RegistryError> {
+        Ok(SkuRecommendationPipeline::from_shared(
+            registry.get_or_train_backend(key, template, training, backend)?,
+        ))
+    }
+
+    /// The backend in use — the canonical accessor (also the shared handle:
+    /// clone it to hold the backend, `Arc::ptr_eq` it to compare
+    /// allocations).
+    pub fn backend(&self) -> &Arc<dyn RecommendationBackend> {
+        &self.backend
+    }
+
+    /// The engine in use as its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline's backend is not the heuristic
+    /// [`DopplerEngine`] — trait-object pipelines should use
+    /// [`backend`](SkuRecommendationPipeline::backend).
+    #[deprecated(since = "0.1.0", note = "use `backend()`; pipelines are backend-agnostic now")]
     pub fn engine(&self) -> &DopplerEngine {
-        &self.engine
+        self.backend
+            .as_any()
+            .downcast_ref::<DopplerEngine>()
+            .expect("pipeline backend is not the heuristic DopplerEngine; use backend()")
     }
 
-    /// The shared engine handle (for callers that want to hold or compare
-    /// the underlying allocation).
-    pub fn shared_engine(&self) -> &Arc<DopplerEngine> {
-        &self.engine
+    /// The shared backend handle.
+    #[deprecated(since = "0.1.0", note = "use `backend()`; it returns the same shared handle")]
+    pub fn shared_engine(&self) -> &Arc<dyn RecommendationBackend> {
+        &self.backend
     }
 
-    /// The deployment target this pipeline's engine was configured for —
+    /// The deployment target this pipeline's backend was configured for —
     /// the routing key batch layers (e.g. `doppler-fleet`) shard on.
     pub fn deployment(&self) -> DeploymentType {
-        self.engine.config().deployment
+        self.backend.config().deployment
     }
 
     /// Assess one instance.
     pub fn assess(&self, request: &AssessmentRequest) -> AssessmentResult {
         let history: &PerfHistory = &request.input.instance;
-        let layout = (self.engine.config().deployment == DeploymentType::SqlMi
+        let layout = (self.backend.config().deployment == DeploymentType::SqlMi
             && !request.input.file_sizes_gib.is_empty())
         .then(|| FileLayout::from_sizes(&request.input.file_sizes_gib));
 
         let recommendation = match &request.confidence {
-            Some(cfg) => self.engine.recommend_with_confidence(history, layout.as_ref(), cfg),
-            None => self.engine.recommend(history, layout.as_ref()),
+            Some(cfg) => self.backend.recommend_with_confidence(history, layout.as_ref(), cfg),
+            None => self.backend.recommend(history, layout.as_ref()),
         };
         let report = ResourceUseReport::build(history, &recommendation);
         AssessmentResult {
@@ -222,14 +257,49 @@ mod tests {
             &TrainingSet::empty(),
         )
         .unwrap();
-        assert!(Arc::ptr_eq(a.shared_engine(), b.shared_engine()), "one engine, two pipelines");
+        assert!(Arc::ptr_eq(a.backend(), b.backend()), "one engine, two pipelines");
         assert_eq!(registry.stats().misses, 1);
         // Cloning a pipeline is a reference-count bump, not a model copy.
         let c = a.clone();
-        assert!(Arc::ptr_eq(a.shared_engine(), c.shared_engine()));
+        assert!(Arc::ptr_eq(a.backend(), c.backend()));
         assert_eq!(
             a.assess(&request(vec![])).recommendation,
             b.assess(&request(vec![])).recommendation
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_keep_working_on_heuristic_pipelines() {
+        let p = pipeline(DeploymentType::SqlDb);
+        // `engine()` downcasts back to the concrete engine; `shared_engine`
+        // aliases `backend()`.
+        assert_eq!(p.engine().config().deployment, DeploymentType::SqlDb);
+        assert!(Arc::ptr_eq(p.shared_engine(), p.backend()));
+    }
+
+    #[test]
+    fn registry_resolves_learned_backend_pipelines() {
+        use doppler_catalog::InMemoryCatalogProvider;
+        use doppler_core::{LearnedBackend, LearnedConfig};
+        let registry = EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production()));
+        let key = CatalogKey::production(DeploymentType::SqlDb);
+        let spec = BackendSpec::Learned(LearnedConfig::default());
+        let p = SkuRecommendationPipeline::from_registry_backend(
+            &registry,
+            &key,
+            &EngineTemplate::production(),
+            &TrainingSet::empty(),
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(p.backend().id(), "learned");
+        assert!(p.backend().as_any().downcast_ref::<LearnedBackend>().is_some());
+        // An empty corpus means the learned backend is pure fallback.
+        let direct = pipeline(DeploymentType::SqlDb);
+        assert_eq!(
+            p.assess(&request(vec![])).recommendation,
+            direct.assess(&request(vec![])).recommendation
         );
     }
 }

@@ -22,7 +22,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use doppler_catalog::{CatalogKey, DeploymentType};
-use doppler_core::{DopplerEngine, EngineRegistry, EngineTemplate, TrainingSet};
+use doppler_core::{
+    BackendSpec, DopplerEngine, EngineRegistry, EngineTemplate, RecommendationBackend, TrainingSet,
+};
 use doppler_dma::{AssessmentRequest, AssessmentResult, SkuRecommendationPipeline};
 use doppler_obs::{Histogram, ObsRegistry};
 
@@ -163,6 +165,11 @@ pub struct EngineRoute {
     pub default_key: CatalogKey,
     pub template: EngineTemplate,
     pub training: TrainingSet,
+    /// Which backend kind this route trains and serves (the heuristic
+    /// engine by default). Part of the registry memo key, so routes with
+    /// different backends — e.g. a champion and a challenger fleet sharing
+    /// one registry — never cross-serve each other's engines.
+    pub backend: BackendSpec,
 }
 
 impl EngineRoute {
@@ -172,6 +179,7 @@ impl EngineRoute {
             default_key,
             template: EngineTemplate::production(),
             training: TrainingSet::empty(),
+            backend: BackendSpec::Heuristic,
         }
     }
 
@@ -184,6 +192,12 @@ impl EngineRoute {
     /// The same route with a different engine template.
     pub fn with_template(mut self, template: EngineTemplate) -> EngineRoute {
         self.template = template;
+        self
+    }
+
+    /// The same route serving a different backend kind.
+    pub fn with_backend_spec(mut self, backend: BackendSpec) -> EngineRoute {
+        self.backend = backend;
         self
     }
 }
@@ -259,6 +273,11 @@ impl EngineSet {
         self.registry.as_ref()
     }
 
+    /// The configured registry routes, in insertion order.
+    pub(crate) fn routes(&self) -> impl Iterator<Item = &EngineRoute> {
+        self.routes.iter().map(|(_, route)| route)
+    }
+
     /// Add (or replace) the registry route serving its default key's
     /// deployment.
     pub(crate) fn insert_route(&mut self, route: EngineRoute) {
@@ -297,7 +316,7 @@ impl EngineSet {
                 message: format!("no engine route configured for deployment {:?}", key.deployment),
             })?;
             let engine = registry
-                .get_or_train(key, &route.template, &route.training)
+                .get_or_train_backend(key, &route.template, &route.training, &route.backend)
                 .map_err(|e| AssessmentError { message: e.to_string() })?;
             return Ok(SkuRecommendationPipeline::from_shared(engine));
         }
@@ -307,7 +326,12 @@ impl EngineSet {
         match (self.registry.as_deref(), self.route_for(deployment)) {
             (Some(registry), Some(route)) => {
                 let engine = registry
-                    .get_or_train(&route.default_key, &route.template, &route.training)
+                    .get_or_train_backend(
+                        &route.default_key,
+                        &route.template,
+                        &route.training,
+                        &route.backend,
+                    )
                     .map_err(|e| AssessmentError { message: e.to_string() })?;
                 Ok(SkuRecommendationPipeline::from_shared(engine))
             }
@@ -350,10 +374,13 @@ pub struct FleetAssessor {
 }
 
 impl FleetAssessor {
-    /// An assessor serving one deployment target, taken from the engine's
+    /// An assessor serving one deployment target, taken from the backend's
     /// own configuration.
-    pub fn new(engine: DopplerEngine, config: FleetConfig) -> FleetAssessor {
-        FleetAssessor::from_pipeline(Arc::new(SkuRecommendationPipeline::new(engine)), config)
+    pub fn new(
+        backend: impl RecommendationBackend + 'static,
+        config: FleetConfig,
+    ) -> FleetAssessor {
+        FleetAssessor::from_pipeline(Arc::new(SkuRecommendationPipeline::new(backend)), config)
     }
 
     /// An assessor over an already-built (and possibly shared) pipeline —
@@ -413,10 +440,24 @@ impl FleetAssessor {
         self.engines.registry()
     }
 
-    /// Add (or replace) the engine serving `engine.config().deployment` —
-    /// lets one assessor serve a heterogeneous SqlDb + SqlMi fleet.
+    /// The registry routes configured via
+    /// [`with_route`](FleetAssessor::with_route), in insertion order.
+    /// Empty for fixed-pipeline assessors.
+    pub fn routes(&self) -> impl Iterator<Item = &EngineRoute> {
+        self.engines.routes()
+    }
+
+    /// Add (or replace) the backend serving `backend.config().deployment`
+    /// — lets one assessor serve a heterogeneous SqlDb + SqlMi fleet, or
+    /// mix backend kinds across deployments.
+    pub fn with_backend(self, backend: impl RecommendationBackend + 'static) -> FleetAssessor {
+        self.with_pipeline(Arc::new(SkuRecommendationPipeline::new(backend)))
+    }
+
+    /// Add (or replace) the engine serving `engine.config().deployment`.
+    #[deprecated(since = "0.1.0", note = "use `with_backend`; it accepts any backend")]
     pub fn with_engine(self, engine: DopplerEngine) -> FleetAssessor {
-        self.with_pipeline(Arc::new(SkuRecommendationPipeline::new(engine)))
+        self.with_backend(engine)
     }
 
     /// Add (or replace) a shared pipeline for its deployment target.
@@ -578,7 +619,7 @@ mod tests {
             azure_paas_catalog(&CatalogSpec::default()),
             EngineConfig::production(DeploymentType::SqlMi),
         );
-        let assessor = assessor(4).with_engine(mi_engine);
+        let assessor = assessor(4).with_backend(mi_engine);
         let mut mi = request("mi-1", 0.5);
         mi.deployment = DeploymentType::SqlMi;
         mi.request.input.file_sizes_gib = vec![64.0, 64.0];
@@ -764,10 +805,47 @@ mod tests {
         let assessor =
             FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(2))
                 .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
-                .with_engine(engine);
+                .with_backend(engine);
         let out = assessor.assess(vec![request("keyless", 0.5)]);
         assert_eq!(out.report.recommended, 1);
         assert_eq!(registry.stats().misses, 0, "fixed pipeline served it; nothing trained");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_engine_still_routes() {
+        let mi_engine = DopplerEngine::untrained(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlMi),
+        );
+        let assessor = assessor(2).with_engine(mi_engine);
+        assert!(assessor.pipeline_for(DeploymentType::SqlMi).is_some());
+    }
+
+    #[test]
+    fn learned_backend_route_resolves_through_the_registry() {
+        use doppler_core::{LearnedConfig, TrainingRecord};
+        let registry = Arc::new(EngineRegistry::new(Arc::new(
+            doppler_catalog::InMemoryCatalogProvider::production(),
+        )));
+        let training = TrainingSet::new(vec![TrainingRecord {
+            history: PerfHistory::new()
+                .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![0.5; 96]))
+                .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96])),
+            chosen_sku: doppler_catalog::SkuId("DB_GP_2".into()),
+            file_layout: None,
+        }]);
+        let assessor =
+            FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(2))
+                .with_route(
+                    EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb))
+                        .trained(training)
+                        .with_backend_spec(BackendSpec::Learned(LearnedConfig::default())),
+                );
+        let out = assessor.assess(vec![request("learned-1", 0.5)]);
+        assert_eq!(out.report.recommended, 1);
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 1, "one learned training");
     }
 
     #[test]

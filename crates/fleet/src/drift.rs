@@ -137,7 +137,7 @@ pub(crate) fn evaluate_probe(engines: &EngineSet, index: usize, probe: DriftProb
             // The resolved pipeline's catalog is already regional (prices
             // scaled by the provider), so the drift verdict is priced in
             // the customer's own region.
-            let catalog = pipeline.engine().catalog();
+            let catalog = pipeline.backend().catalog();
             let skus = catalog.for_deployment(deployment);
             detect_drift(&history, change_point, &skus, p_g)
         })

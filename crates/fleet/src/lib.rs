@@ -23,6 +23,10 @@
 //!   cost, SKU-mix histogram, curve-shape and confidence distributions,
 //!   per-deployment breakdown, and the unplaceable/failure buckets, with a
 //!   terminal rendering in the style of the bench crate's ASCII figures;
+//! * [`ab`] — the [`AbFleet`] champion/challenger harness: the same
+//!   cohort assessed through two recommendation backends, paired by
+//!   submission index into side-by-side cost / confidence /
+//!   SKU-agreement columns and an adoption row on the [`FleetReport`];
 //! * [`drift`] — the [`DriftMonitor`] continuous re-assessment loop
 //!   (assess → deploy → monitor → re-queue): fleet-wide §5.2.3 drift
 //!   checks over the same worker pool, [`FleetDriftReport`] roll-ups per
@@ -85,6 +89,7 @@
 //! assert_eq!(report.fleet_size, 10);
 //! ```
 
+pub mod ab;
 pub mod assessor;
 pub mod drift;
 pub mod queue;
@@ -92,6 +97,10 @@ pub mod report;
 pub mod service;
 pub mod source;
 
+pub use ab::{
+    ab_summary_from_json, ab_summary_to_json, AbAdoption, AbAssessment, AbFleet, AbSideSummary,
+    AbSummary,
+};
 pub use assessor::{
     AssessmentError, EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest,
     FleetResult,

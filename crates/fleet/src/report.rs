@@ -160,6 +160,10 @@ pub struct FleetReport {
     /// a [`FleetRequest::with_month`](crate::FleetRequest::with_month)
     /// label. Empty when the fleet was untagged.
     pub adoption: AdoptionLedger,
+    /// Champion/challenger comparison, present when the report came out of
+    /// an [`AbFleet`](crate::AbFleet) run. Plain assessments leave it
+    /// `None`.
+    pub ab: Option<crate::ab::AbSummary>,
 }
 
 /// Streaming accumulator behind [`FleetReport`]: accepts results one at a
@@ -377,6 +381,7 @@ impl FleetAggregator {
             unplaceable_instances,
             failures,
             adoption,
+            ab: None,
         }
     }
 }
@@ -491,6 +496,34 @@ impl FleetReport {
                 }
                 out.push('\n');
             }
+        }
+
+        if let Some(ab) = &self.ab {
+            out.push_str("\n--- Champion/challenger ---\n");
+            out.push_str(&format!(
+                "{:>12} {:>12} {:>16} {:>12} {:>12}\n",
+                "side", "recommended", "total $/mo", "mean $/mo", "confidence"
+            ));
+            for side in [&ab.champion, &ab.challenger] {
+                out.push_str(&format!(
+                    "{:>12} {:>12} {:>16} {:>12} {:>12}\n",
+                    side.backend,
+                    side.recommended,
+                    format!("${:.2}", side.total_monthly_cost),
+                    side.mean_monthly_cost.map_or_else(|| "-".into(), |m| format!("${m:.2}")),
+                    side.mean_confidence.map_or_else(|| "-".into(), |c| format!("{c:.3}")),
+                ));
+            }
+            out.push_str(&format!(
+                "SKU agreement: {}/{} pairs{}\n",
+                ab.sku_agreements,
+                ab.both_recommended,
+                ab.agreement_rate().map_or_else(String::new, |r| format!(" ({:.1}%)", r * 100.0)),
+            ));
+            out.push_str(&format!(
+                "adopt challenger on {} cheaper pair(s): ${:.2}/mo projected savings\n",
+                ab.adoption.challenger_cheaper, ab.adoption.projected_monthly_savings
+            ));
         }
 
         if self.deployments.len() > 1 {

@@ -11,7 +11,7 @@
 //! | [`telemetry`] | `doppler-telemetry` | perf-counter series, pre-aggregation, roll-up |
 //! | [`workload`] | `doppler-workload` | synthetic traces, benchmark synthesis, customer cohorts |
 //! | [`replay`] | `doppler-replay` | machine simulator for workload replay |
-//! | [`engine`] | `doppler-core` | the Doppler engine: curves, profiling, matching, confidence |
+//! | [`engine`] | `doppler-core` | the Doppler engine: curves, profiling, matching, confidence, pluggable backends |
 //! | [`dma`] | `doppler-dma` | Data Migration Assistant integration |
 //! | [`fleet`] | `doppler-fleet` | concurrent fleet-scale batch assessment |
 //! | [`obs`] | `doppler-obs` | metrics, latency histograms, span timers, ops dashboard |
@@ -62,18 +62,20 @@ pub mod prelude {
         SkuId,
     };
     pub use doppler_core::{
-        detect_drift, BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine, DriftReport,
-        DriftSeverity, EngineConfig, EngineRegistry, EngineTemplate, GroupingStrategy,
-        NegotiabilityStrategy, PricePerformanceCurve, Recommendation, RegistryError, RegistryStats,
-        TrainingRecord, TrainingSet,
+        detect_drift, BackendSpec, BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine,
+        DriftReport, DriftSeverity, EngineConfig, EngineRegistry, EngineTemplate, GroupingStrategy,
+        LearnedBackend, LearnedConfig, NegotiabilityStrategy, PricePerformanceCurve,
+        Recommendation, RecommendationBackend, RegistryError, RegistryStats, TrainingRecord,
+        TrainingSet,
     };
     pub use doppler_dma::{
         AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline,
     };
     pub use doppler_fleet::{
-        AssessmentService, CatalogRollOutcome, DriftMonitor, DriftOutcome, DriftPass, DriftVerdict,
-        EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetDriftReport, FleetReport,
-        FleetRequest, FleetService, MonitoredCustomer, ServiceProgress, Ticket, TicketQueue,
+        AbAssessment, AbFleet, AbSummary, AssessmentService, CatalogRollOutcome, DriftMonitor,
+        DriftOutcome, DriftPass, DriftVerdict, EngineRoute, FleetAssessment, FleetAssessor,
+        FleetConfig, FleetDriftReport, FleetReport, FleetRequest, FleetService, MonitoredCustomer,
+        ServiceProgress, Ticket, TicketQueue,
     };
     pub use doppler_obs::{ObsRegistry, ObsSnapshot};
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};

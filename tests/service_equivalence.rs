@@ -144,6 +144,76 @@ fn batch_wrapper_matches_the_serial_reference_and_ledger() {
     }
 }
 
+/// Backend equivalence: the same heuristic engine must produce bit-for-bit
+/// identical fleets whether it is consumed concretely
+/// (`FleetAssessor::new`), as a shared trait object
+/// (`SkuRecommendationPipeline::from_shared`), or resolved through the
+/// registry as a `BackendSpec::Heuristic` — and a `LearnedBackend` with an
+/// empty exemplar corpus is contractually pure fallback, so it must match
+/// all of them too. At every worker count.
+#[test]
+fn backend_paths_are_bit_for_bit_equivalent_across_worker_counts() {
+    use doppler::dma::SkuRecommendationPipeline;
+    use std::sync::Arc;
+
+    let requests = cohort(&(0..40).map(|i| 0.25 + (i % 8) as f64 * 0.8).collect::<Vec<f64>>());
+    let fleet: Vec<FleetRequest> =
+        requests.iter().map(|r| FleetRequest::new(DeploymentType::SqlDb, r.clone())).collect();
+    let baseline = FleetAssessor::new(engine(), FleetConfig::with_workers(1)).assess(fleet.clone());
+
+    for workers in WORKER_SWEEP {
+        // Path 1: concrete engine handed to the assessor.
+        let concrete =
+            FleetAssessor::new(engine(), FleetConfig::with_workers(workers)).assess(fleet.clone());
+        assert_eq!(concrete.report, baseline.report, "concrete at {workers} workers");
+
+        // Path 2: the same engine behind an explicit trait-object handle.
+        let shared: Arc<dyn RecommendationBackend> = Arc::new(engine());
+        let trait_object = FleetAssessor::from_pipeline(
+            Arc::new(SkuRecommendationPipeline::from_shared(shared)),
+            FleetConfig::with_workers(workers),
+        )
+        .assess(fleet.clone());
+        assert_eq!(trait_object.report, baseline.report, "trait object at {workers} workers");
+
+        // Path 3: registry-resolved heuristic backend.
+        let registry =
+            Arc::new(EngineRegistry::new(Arc::new(InMemoryCatalogProvider::production())));
+        let registered =
+            FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(workers))
+                .with_route(
+                    EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb))
+                        .trained(TrainingSet::empty()),
+                )
+                .assess(fleet.clone());
+        assert_eq!(registered.report, baseline.report, "registry at {workers} workers");
+        assert_eq!(registry.stats().misses, 1);
+
+        // Path 4: the learned backend with an empty corpus is pure fallback.
+        let learned = LearnedBackend::train(
+            azure_paas_catalog(&CatalogSpec::default()),
+            EngineConfig::production(DeploymentType::SqlDb),
+            LearnedConfig::default(),
+            &[],
+        );
+        let fallback =
+            FleetAssessor::new(learned, FleetConfig::with_workers(workers)).assess(fleet.clone());
+        assert_eq!(fallback.report, baseline.report, "empty-corpus learned at {workers} workers");
+
+        // Per-instance results, not just aggregates.
+        for run in [&concrete, &trait_object, &registered, &fallback] {
+            assert_eq!(run.results.len(), baseline.results.len());
+            for (got, want) in run.results.iter().zip(&baseline.results) {
+                assert_eq!(got.instance_name, want.instance_name);
+                assert_results_identical(
+                    got.outcome.as_ref().unwrap(),
+                    want.outcome.as_ref().unwrap(),
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
