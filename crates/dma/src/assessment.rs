@@ -84,15 +84,23 @@ impl AdoptionLedger {
     /// period reports into a running total preserves chronology.
     pub fn merge(&mut self, other: &AdoptionLedger) {
         for (month, row) in other.rows() {
-            let m = self.entry(month);
-            m.unique_instances += row.unique_instances;
-            m.unique_databases += row.unique_databases;
-            m.recommendations_generated += row.recommendations_generated;
-            m.drift_checks += row.drift_checks;
-            m.drift_detected += row.drift_detected;
-            m.catalog_rolls += row.catalog_rolls;
-            m.customers_repriced += row.customers_repriced;
+            self.add_row(month, row);
         }
+    }
+
+    /// Fold one prebuilt row into `month`, field-wise — appended in
+    /// first-seen order if the month is new. The sharded fleet aggregator
+    /// uses this to rebuild a ledger from per-shard partial rows in a
+    /// caller-chosen month order.
+    pub fn add_row(&mut self, month: &str, row: &MonthlyAdoption) {
+        let m = self.entry(month);
+        m.unique_instances += row.unique_instances;
+        m.unique_databases += row.unique_databases;
+        m.recommendations_generated += row.recommendations_generated;
+        m.drift_checks += row.drift_checks;
+        m.drift_detected += row.drift_detected;
+        m.catalog_rolls += row.catalog_rolls;
+        m.customers_repriced += row.customers_repriced;
     }
 
     /// Iterate rows in first-recorded order.
@@ -173,6 +181,34 @@ mod tests {
         // Roll rows live beside the Table 1 and drift counters, not instead.
         assert_eq!(m.unique_instances, 0);
         assert_eq!(m.drift_checks, 0);
+    }
+
+    #[test]
+    fn add_row_folds_field_wise_in_caller_order() {
+        let mut ledger = AdoptionLedger::default();
+        let row = MonthlyAdoption {
+            unique_instances: 2,
+            unique_databases: 5,
+            recommendations_generated: 7,
+            drift_checks: 3,
+            drift_detected: 1,
+            catalog_rolls: 1,
+            customers_repriced: 4,
+        };
+        ledger.add_row("Nov-21", &row);
+        ledger.add_row("Oct-21", &row);
+        ledger.add_row("Nov-21", &row);
+        let order: Vec<&str> = ledger.rows().map(|(m, _)| m).collect();
+        assert_eq!(order, vec!["Nov-21", "Oct-21"]);
+        let nov = ledger.month("Nov-21").unwrap();
+        assert_eq!(nov.unique_instances, 4);
+        assert_eq!(nov.unique_databases, 10);
+        assert_eq!(nov.recommendations_generated, 14);
+        assert_eq!(nov.drift_checks, 6);
+        assert_eq!(nov.drift_detected, 2);
+        assert_eq!(nov.catalog_rolls, 2);
+        assert_eq!(nov.customers_repriced, 8);
+        assert_eq!(*ledger.month("Oct-21").unwrap(), row);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use doppler_obs::{Histogram, ObsRegistry};
 
 use crate::report::FleetReport;
 use crate::service::{FleetService, TicketQueue};
+use crate::shard::ShardPlan;
 
 /// One fleet member: which deployment target it is assessed against, plus
 /// the ordinary DMA assessment request.
@@ -46,7 +47,9 @@ pub struct FleetRequest {
     /// `None` = the deployment's default route.
     pub catalog_key: Option<CatalogKey>,
     /// Adoption-ledger month label (e.g. `"Oct-21"`); `None` = untracked.
-    pub month: Option<String>,
+    /// Interned: every result and digest derived from this request shares
+    /// the one allocation.
+    pub month: Option<Arc<str>>,
     /// Enter the service queue's priority lane: popped ahead of the
     /// normal backlog (migration-deadline and drifted-customer work),
     /// while aggregation stays in submission order.
@@ -69,7 +72,7 @@ impl FleetRequest {
     }
 
     /// Tag the request with an adoption-ledger month (Table 1).
-    pub fn with_month(mut self, month: impl Into<String>) -> FleetRequest {
+    pub fn with_month(mut self, month: impl Into<Arc<str>>) -> FleetRequest {
         self.month = Some(month.into());
         self
     }
@@ -106,12 +109,16 @@ pub struct AssessmentError {
 /// One fleet member's outcome, tagged with its submission index.
 #[derive(Debug, Clone)]
 pub struct FleetResult {
-    /// Position in the input fleet (results are sorted by this).
+    /// Position in the input fleet (results are sorted by this). Under a
+    /// sharded service this is the *global* submission index — gap-free
+    /// across all shards, in submission order.
     pub index: usize,
-    pub instance_name: String,
+    /// Interned once per assessment; digests and monitors share it by
+    /// refcount instead of re-cloning the heap string per result.
+    pub instance_name: Arc<str>,
     pub deployment: DeploymentType,
     /// The adoption-ledger month the request carried, if any.
-    pub month: Option<String>,
+    pub month: Option<Arc<str>>,
     pub outcome: Result<AssessmentResult, AssessmentError>,
 }
 
@@ -349,7 +356,7 @@ impl EngineSet {
     /// one worker, deadlock the feeder on queue backpressure.
     pub(crate) fn assess_one(&self, index: usize, task: FleetRequest) -> FleetResult {
         let FleetRequest { deployment, catalog_key, month, request, priority: _ } = task;
-        let instance_name = request.instance_name.clone();
+        let instance_name: Arc<str> = Arc::from(request.instance_name.as_str());
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let resolved = {
                 let _span = self.obs.resolve.start();
@@ -370,6 +377,7 @@ impl EngineSet {
 pub struct FleetAssessor {
     engines: EngineSet,
     config: FleetConfig,
+    plan: ShardPlan,
     obs: ObsRegistry,
 }
 
@@ -392,7 +400,7 @@ impl FleetAssessor {
     ) -> FleetAssessor {
         let mut engines = EngineSet::new();
         engines.insert(pipeline);
-        FleetAssessor { engines, config, obs: ObsRegistry::disabled() }
+        FleetAssessor { engines, config, plan: ShardPlan::single(), obs: ObsRegistry::disabled() }
     }
 
     /// An assessor that resolves every engine through a shared
@@ -406,7 +414,7 @@ impl FleetAssessor {
     pub fn over_registry(registry: Arc<EngineRegistry>, config: FleetConfig) -> FleetAssessor {
         let mut engines = EngineSet::new();
         engines.set_registry(registry);
-        FleetAssessor { engines, config, obs: ObsRegistry::disabled() }
+        FleetAssessor { engines, config, plan: ShardPlan::single(), obs: ObsRegistry::disabled() }
     }
 
     /// Record hot-path metrics into `obs`: per-stage latency histograms
@@ -466,6 +474,22 @@ impl FleetAssessor {
         self
     }
 
+    /// Partition the service across independent shards (per-shard queue,
+    /// worker pool, and aggregator), routed by each request's
+    /// [`CatalogKey`] region. [`FleetConfig::workers`] and
+    /// [`FleetConfig::queue_depth`] apply *per shard*. The default
+    /// [`ShardPlan::single`] keeps today's single-shard behavior; any plan
+    /// produces bit-for-bit the same reports and results.
+    pub fn with_shard_plan(mut self, plan: ShardPlan) -> FleetAssessor {
+        self.plan = plan;
+        self
+    }
+
+    /// The shard plan in use.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -482,8 +506,8 @@ impl FleetAssessor {
     /// Convert into the long-lived streaming front-end, keeping the engine
     /// set and configuration.
     pub fn into_service(self) -> FleetService {
-        let FleetAssessor { engines, config, obs } = self;
-        FleetService::from_parts(engines, config, obs)
+        let FleetAssessor { engines, config, plan, obs } = self;
+        FleetService::from_parts(engines, config, plan, obs)
     }
 
     /// Assess an entire fleet.
@@ -503,7 +527,12 @@ impl FleetAssessor {
     where
         I: IntoIterator<Item = FleetRequest>,
     {
-        let service = FleetService::from_parts(self.engines.clone(), self.config, self.obs.clone());
+        let service = FleetService::from_parts(
+            self.engines.clone(),
+            self.config,
+            self.plan.clone(),
+            self.obs.clone(),
+        );
         let keep = self.config.keep_results;
         let mut kept = Vec::new();
         let mut outstanding = TicketQueue::new();
@@ -581,7 +610,7 @@ mod tests {
         assert_eq!(out.results.len(), 64);
         for (i, r) in out.results.iter().enumerate() {
             assert_eq!(r.index, i);
-            assert_eq!(r.instance_name, format!("inst-{i}"));
+            assert_eq!(*r.instance_name, format!("inst-{i}"));
         }
     }
 

@@ -19,8 +19,11 @@
 //!    [`FleetDriftReport`] with per-region and per-deployment roll-ups;
 //! 4. **re-queue** — customers whose recommendation moved are re-assessed
 //!    immediately through the queue's *priority lane*
-//!    ([`FleetRequest::with_priority`]), jumping any normal backlog, and
-//!    their baselines roll forward to the fresh window.
+//!    ([`FleetRequest::with_priority`]), jumping any normal backlog —
+//!    worst drift first (severity-ordered within the lane, Critical ahead
+//!    of High, stable within a grade) and through the shard their catalog
+//!    key routes to — and their baselines roll forward to the fresh
+//!    window.
 //!
 //! Drift checks ride the same worker pool as assessments but stay out of
 //! the service's assessment aggregate — the monitor owns their
@@ -519,7 +522,7 @@ impl MonitoredCustomer {
     ) -> Option<MonitoredCustomer> {
         let assessed = result.outcome.as_ref().ok()?;
         let mut customer = MonitoredCustomer::new(
-            result.instance_name.clone(),
+            result.instance_name.as_ref(),
             request.deployment,
             request.request.input.instance.clone(),
         );
@@ -562,8 +565,10 @@ pub struct DriftPass {
     pub report: FleetDriftReport,
     /// Per-customer outcomes, in registration order.
     pub outcomes: Vec<DriftOutcome>,
-    /// Priority-lane re-assessments of the drifted customers, in the same
-    /// order they appear in [`FleetDriftReport::drifted_customers`].
+    /// Priority-lane re-assessments of the drifted customers, worst drift
+    /// first: severity-ordered (Critical → High → …), stably, so equally
+    /// graded customers keep the order they appear in
+    /// [`FleetDriftReport::drifted_customers`].
     pub reassessments: Vec<FleetResult>,
 }
 
@@ -755,7 +760,7 @@ impl DriftMonitor {
                 Pending::InFlight(slot, fresh, ticket) => {
                     let Some(outcome) = ticket.recv() else { continue };
                     if outcome.verdict == DriftVerdict::Drifted {
-                        requeue.push((slot, fresh));
+                        requeue.push((slot, fresh, outcome.severity));
                     }
                     outcome
                 }
@@ -773,12 +778,17 @@ impl DriftMonitor {
             }
         }
 
-        // Phase 3: drifted customers jump the queue. Their re-assessment
-        // runs the *full* pipeline (profiling, matching, and the original
-        // confidence settings) on the fresh window, month-tagged so the
-        // service's own adoption ledger records the re-assessment wave.
+        // Phase 3: drifted customers jump the queue, worst drift first —
+        // within the priority lane the re-queue is severity-ordered
+        // (Critical ahead of High ahead of Moderate…), stably, so equally
+        // graded customers keep registration order and the pass stays
+        // deterministic. Each re-assessment runs the *full* pipeline
+        // (profiling, matching, and the original confidence settings) on
+        // the fresh window, month-tagged so the service's own adoption
+        // ledger records the re-assessment wave.
+        requeue.sort_by_key(|&(_, _, severity)| std::cmp::Reverse(severity.bucket()));
         let mut tickets = Vec::new();
-        for (slot, fresh) in requeue {
+        for (slot, fresh, _severity) in requeue {
             let c = &self.watched[slot].customer;
             let request = AssessmentRequest::from_history(
                 c.name.clone(),
@@ -976,7 +986,7 @@ mod tests {
 
         // Only the drifted customer re-assessed, through the priority lane.
         assert_eq!(pass.reassessments.len(), 1);
-        assert_eq!(pass.reassessments[0].instance_name, "grower");
+        assert_eq!(&*pass.reassessments[0].instance_name, "grower");
         let new_sku = pass.reassessments[0]
             .outcome
             .as_ref()
@@ -1004,6 +1014,42 @@ mod tests {
         let report = monitor.shutdown();
         assert_eq!(report.fleet_size, 1);
         assert_eq!(report.adoption.month("Nov-21").unwrap().unique_instances, 1);
+    }
+
+    #[test]
+    fn requeue_is_severity_ordered_critical_first() {
+        let mut monitor = monitor(2);
+        // Registration order: the mild drifter first, the runaway one
+        // second — so severity ordering is observably *not* registration
+        // order.
+        monitor.watch(MonitoredCustomer::new("mild", DeploymentType::SqlDb, window(0.5, 96)));
+        monitor.watch(MonitoredCustomer::new("wild", DeploymentType::SqlDb, window(0.5, 96)));
+        // Mild: spiky — a handful of samples above the old SKU moves the
+        // selection, but the throttle exposure stays a few percent.
+        let spiky = PerfHistory::new()
+            .with(
+                PerfDimension::Cpu,
+                TimeSeries::ten_minute([vec![0.5; 90], vec![3.0; 6]].concat()),
+            )
+            .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+        assert!(monitor.observe("mild", spiky));
+        assert!(monitor.observe("wild", window(7.0, 96)));
+
+        let pass = monitor.tick("Nov-21");
+        assert_eq!(pass.report.drifted, 2, "{:?}", pass.outcomes);
+        // Outcomes stay in registration order…
+        assert_eq!(pass.outcomes[0].customer, "mild");
+        assert_eq!(pass.outcomes[1].customer, "wild");
+        assert!(
+            pass.outcomes[1].severity > pass.outcomes[0].severity,
+            "the 14x grower must outrank the mild one ({:?} vs {:?})",
+            pass.outcomes[1].severity,
+            pass.outcomes[0].severity,
+        );
+        // …but the priority-lane re-queue is severity-ordered: worst first.
+        assert_eq!(pass.reassessments.len(), 2);
+        assert_eq!(&*pass.reassessments[0].instance_name, "wild");
+        assert_eq!(&*pass.reassessments[1].instance_name, "mild");
     }
 
     #[test]
@@ -1126,6 +1172,55 @@ mod tests {
     }
 
     #[test]
+    fn sharded_monitor_pass_matches_the_unsharded_pass() {
+        use doppler_catalog::Region;
+        // Re-queues route through `FleetService::submit`, so a sharded
+        // monitor sends each drifted customer to its region's own shard —
+        // and the pass (report, outcomes, re-assessments) must still be
+        // bit-for-bit what a single-shard monitor produces.
+        let run = |shards: usize| {
+            let provider = (0..3).fold(InMemoryCatalogProvider::production(), |p, i| {
+                p.with_region(
+                    Region::new(format!("region-{i}")),
+                    CatalogVersion::INITIAL,
+                    &CatalogSpec::default(),
+                    1.0,
+                )
+            });
+            let registry = Arc::new(EngineRegistry::new(Arc::new(provider)));
+            let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(2))
+                .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+                .with_shard_plan(crate::shard::ShardPlan::by_region(shards));
+            let mut monitor = DriftMonitor::new(assessor);
+            for i in 0..6 {
+                let key = CatalogKey::production(DeploymentType::SqlDb)
+                    .in_region(Region::new(format!("region-{}", i % 3)));
+                monitor.watch(
+                    MonitoredCustomer::new(format!("c{i}"), DeploymentType::SqlDb, window(0.5, 96))
+                        .with_catalog_key(key),
+                );
+                monitor.observe(&format!("c{i}"), window(if i % 2 == 0 { 7.0 } else { 0.5 }, 96));
+            }
+            monitor.tick("Jun-22")
+        };
+        let unsharded = run(1);
+        assert_eq!(unsharded.report.drifted, 3);
+        assert_eq!(unsharded.reassessments.len(), 3);
+        for shards in [2, 3] {
+            let sharded = run(shards);
+            assert_eq!(sharded.report, unsharded.report, "report at {shards} shards");
+            assert_eq!(sharded.outcomes, unsharded.outcomes, "outcomes at {shards} shards");
+            assert_eq!(sharded.reassessments.len(), unsharded.reassessments.len());
+            for (s, u) in sharded.reassessments.iter().zip(&unsharded.reassessments) {
+                assert_eq!(s.instance_name, u.instance_name, "{shards} shards");
+                let (sr, ur) = (s.outcome.as_ref().unwrap(), u.outcome.as_ref().unwrap());
+                assert_eq!(sr.recommendation.sku_id, ur.recommendation.sku_id);
+                assert_eq!(sr.recommendation.monthly_cost, ur.recommendation.monthly_cost);
+            }
+        }
+    }
+
+    #[test]
     fn watch_assessment_seeds_the_monitor_from_a_fleet_run() {
         let engine = DopplerEngine::untrained(
             azure_paas_catalog(&CatalogSpec::default()),
@@ -1241,8 +1336,8 @@ mod tests {
 
         assert_eq!(outcome.retired_engines, 1, "the v1 engine was tombstoned");
         assert_eq!(outcome.repriced.len(), 2, "both pinned customers re-priced, watch order");
-        assert_eq!(outcome.repriced[0].instance_name, "west-a");
-        assert_eq!(outcome.repriced[1].instance_name, "west-c");
+        assert_eq!(&*outcome.repriced[0].instance_name, "west-a");
+        assert_eq!(&*outcome.repriced[1].instance_name, "west-c");
         for result in &outcome.repriced {
             let rec = &result.outcome.as_ref().unwrap().recommendation;
             assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"), "same workload, same shape");

@@ -95,6 +95,7 @@ pub mod drift;
 pub mod queue;
 pub mod report;
 pub mod service;
+pub mod shard;
 pub mod source;
 
 pub use ab::{
@@ -117,4 +118,5 @@ pub use report::{
 pub use service::{
     AssessmentService, DriftTicket, FleetService, ServiceProgress, Ticket, TicketQueue,
 };
+pub use shard::ShardPlan;
 pub use source::{cloud_fleet, customer_request, onprem_fleet, onprem_request};

@@ -6,10 +6,13 @@
 //! report is bit-for-bit identical for any worker count, and
 //! `FleetReport: PartialEq` makes that property directly testable.
 
+use std::sync::Arc;
+
 use doppler_catalog::DeploymentType;
 use doppler_core::{CurveShape, Recommendation};
-use doppler_dma::AdoptionLedger;
+use doppler_dma::{AdoptionLedger, MonthlyAdoption};
 use doppler_obs::ObsSnapshot;
+use doppler_stats::ExactSum;
 
 use crate::assessor::FleetResult;
 
@@ -74,10 +77,14 @@ pub struct FailureRow {
 /// ticket keeps the full result for the submitter).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultDigest {
-    pub instance_name: String,
+    /// Global submission index. The merge path sorts attention lists and
+    /// adoption months by it, so merged per-shard aggregates reproduce the
+    /// sequential submission order bit for bit.
+    pub index: usize,
+    pub instance_name: Arc<str>,
     pub deployment: DeploymentType,
     /// The adoption-ledger month the request carried, if any.
-    pub month: Option<String>,
+    pub month: Option<Arc<str>>,
     pub outcome: DigestOutcome,
 }
 
@@ -91,7 +98,7 @@ pub enum DigestOutcome {
         databases_assessed: usize,
         shape: CurveShape,
         confidence: Option<f64>,
-        sku: Option<(String, f64)>,
+        sku: Option<(Arc<str>, f64)>,
         /// Recommendation variants DMA would surface for this instance:
         /// one per curve point at full score, at least one — the unit the
         /// paper's Table 1 counts as "recommendations generated".
@@ -109,21 +116,69 @@ impl ResultDigest {
                     databases_assessed: r.databases_assessed,
                     shape: r.recommendation.shape,
                     confidence: r.recommendation.confidence,
-                    sku: r
-                        .recommendation
-                        .sku_id
-                        .clone()
-                        .map(|sku_id| (sku_id, r.recommendation.monthly_cost.unwrap_or(0.0))),
+                    sku: r.recommendation.sku_id.as_deref().map(|sku_id| {
+                        (Arc::from(sku_id), r.recommendation.monthly_cost.unwrap_or(0.0))
+                    }),
                     eligible_recommendations: eligible,
                 }
             }
         };
         ResultDigest {
+            index: result.index,
+            // `FleetResult` already holds interned `Arc<str>` strings, so a
+            // digest costs refcount bumps, not fresh heap strings.
             instance_name: result.instance_name.clone(),
             deployment: result.deployment,
             month: result.month.clone(),
             outcome,
         }
+    }
+}
+
+/// Append-only list stored as shared 1024-element chunks plus a mutable
+/// tail. `Clone` bumps the chunk refcounts and copies only the tail, so a
+/// snapshot of a 100k-row attention list costs O(tail + chunk count) — the
+/// fix for `report_snapshot()` deep-cloning O(fleet) state under the
+/// progress lock.
+#[derive(Debug, Clone)]
+struct ChunkedList<T> {
+    full: Vec<Arc<Vec<T>>>,
+    tail: Vec<T>,
+}
+
+const CHUNK: usize = 1024;
+
+impl<T: Clone> ChunkedList<T> {
+    fn new() -> ChunkedList<T> {
+        ChunkedList { full: Vec::new(), tail: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.full.len() * CHUNK + self.tail.len()
+    }
+
+    fn push(&mut self, item: T) {
+        self.tail.push(item);
+        if self.tail.len() == CHUNK {
+            self.full.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+    }
+
+    fn extend_from(&mut self, other: &ChunkedList<T>) {
+        if self.tail.is_empty() {
+            // Sealed chunks are always exactly CHUNK long, so sharing them
+            // wholesale keeps the layout invariant.
+            self.full.extend(other.full.iter().cloned());
+            self.tail.extend_from_slice(&other.tail);
+        } else {
+            for item in other.iter() {
+                self.push(item.clone());
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        self.full.iter().flat_map(|chunk| chunk.iter()).chain(self.tail.iter())
     }
 }
 
@@ -166,29 +221,76 @@ pub struct FleetReport {
     pub ab: Option<crate::ab::AbSummary>,
 }
 
+/// One SKU's accumulating share (internal: exact cost sum + interned id).
+#[derive(Debug, Clone)]
+struct SkuAgg {
+    sku_id: Arc<str>,
+    count: usize,
+    total_monthly_cost: ExactSum,
+}
+
+/// One deployment target's accumulating row (internal: exact cost sum).
+#[derive(Debug, Clone)]
+struct DeploymentAgg {
+    deployment: DeploymentType,
+    fleet: usize,
+    recommended: usize,
+    unplaceable: usize,
+    failed: usize,
+    total_monthly_cost: ExactSum,
+}
+
+/// One adoption month's accumulating row. `first_index` is the smallest
+/// global submission index that recorded into the month, so merged shards
+/// can reconstruct the sequential first-seen month order.
+#[derive(Debug, Clone)]
+struct MonthAgg {
+    label: Arc<str>,
+    first_index: usize,
+    row: MonthlyAdoption,
+}
+
+fn fold_month(dst: &mut MonthlyAdoption, src: &MonthlyAdoption) {
+    dst.unique_instances += src.unique_instances;
+    dst.unique_databases += src.unique_databases;
+    dst.recommendations_generated += src.recommendations_generated;
+    dst.drift_checks += src.drift_checks;
+    dst.drift_detected += src.drift_detected;
+    dst.catalog_rolls += src.catalog_rolls;
+    dst.customers_repriced += src.customers_repriced;
+}
+
 /// Streaming accumulator behind [`FleetReport`]: accepts results one at a
 /// time (in submission order) so the assessor can aggregate on the fly
 /// without buffering the whole fleet. State is O(distinct SKUs + attention
 /// buckets), not O(fleet).
 ///
+/// Cost and confidence totals accumulate in
+/// [`ExactSum`] superaccumulators, so sums are exactly rounded and
+/// independent of fold order — the property that makes
+/// [`merge`](FleetAggregator::merge)d per-shard aggregates bit-for-bit
+/// equal to a sequential fold.
+///
 /// `Clone` exists so a long-lived service can publish point-in-time
-/// [`snapshot`](FleetAggregator::snapshot)s while results keep streaming in.
+/// [`snapshot`](FleetAggregator::snapshot)s while results keep streaming
+/// in; attention lists are chunk-shared, so a clone is cheap even at 100k
+/// accepted results.
 #[derive(Debug, Clone)]
 pub struct FleetAggregator {
     fleet_size: usize,
     recommended: usize,
     databases_assessed: usize,
-    total_monthly_cost: f64,
-    sku_mix: Vec<SkuMixRow>,
+    total_monthly_cost: ExactSum,
+    sku_mix: Vec<SkuAgg>,
     shape_counts: [usize; 3],
     confidence_scored: usize,
-    confidence_sum: f64,
+    confidence_sum: ExactSum,
     confidence_min: f64,
     confidence_buckets: [usize; 5],
-    deployments: Vec<DeploymentMixRow>,
-    unplaceable_instances: Vec<String>,
-    failures: Vec<FailureRow>,
-    adoption: AdoptionLedger,
+    deployments: Vec<DeploymentAgg>,
+    unplaceable_instances: ChunkedList<(usize, Arc<str>)>,
+    failures: ChunkedList<(usize, Arc<str>, String)>,
+    adoption: Vec<MonthAgg>,
 }
 
 impl Default for FleetAggregator {
@@ -203,23 +305,26 @@ impl FleetAggregator {
             fleet_size: 0,
             recommended: 0,
             databases_assessed: 0,
-            total_monthly_cost: 0.0,
+            total_monthly_cost: ExactSum::new(),
             sku_mix: Vec::new(),
             shape_counts: [0; 3],
             confidence_scored: 0,
-            confidence_sum: 0.0,
+            confidence_sum: ExactSum::new(),
             confidence_min: f64::INFINITY,
             confidence_buckets: [0; 5],
             deployments: Vec::new(),
-            unplaceable_instances: Vec::new(),
-            failures: Vec::new(),
-            adoption: AdoptionLedger::default(),
+            unplaceable_instances: ChunkedList::new(),
+            failures: ChunkedList::new(),
+            adoption: Vec::new(),
         }
     }
 
-    /// Fold one result in. Callers must feed results in submission order —
-    /// floating-point sums follow feed order, and bit-for-bit report
-    /// equality across worker counts depends on it.
+    /// Fold one result in. Feed order no longer affects the finished
+    /// report — sums are exact and order-invariant, and attention lists and
+    /// adoption months are keyed by the result's global submission index —
+    /// but the in-flight [`snapshot`](FleetAggregator::snapshot) contract
+    /// (a snapshot is the report of an exact submission prefix) still
+    /// assumes the service feeds results in submission order.
     pub fn accept(&mut self, r: &FleetResult) {
         // One fold implementation: the by-result and by-digest entry points
         // route through the same arithmetic so they cannot drift apart.
@@ -235,13 +340,13 @@ impl FleetAggregator {
             match self.deployments.iter().position(|row| row.deployment == d) {
                 Some(i) => &mut self.deployments[i],
                 None => {
-                    self.deployments.push(DeploymentMixRow {
+                    self.deployments.push(DeploymentAgg {
                         deployment: d,
                         fleet: 0,
                         recommended: 0,
                         unplaceable: 0,
                         failed: 0,
-                        total_monthly_cost: 0.0,
+                        total_monthly_cost: ExactSum::new(),
                     });
                     self.deployments.last_mut().expect("just pushed")
                 }
@@ -251,10 +356,7 @@ impl FleetAggregator {
         match &r.outcome {
             DigestOutcome::Failed { message } => {
                 deployment_row.failed += 1;
-                self.failures.push(FailureRow {
-                    instance_name: r.instance_name.clone(),
-                    message: message.clone(),
-                });
+                self.failures.push((r.index, r.instance_name.clone(), message.clone()));
             }
             DigestOutcome::Assessed {
                 databases_assessed,
@@ -264,7 +366,23 @@ impl FleetAggregator {
                 eligible_recommendations,
             } => {
                 if let Some(month) = &r.month {
-                    self.adoption.record(month, *databases_assessed, *eligible_recommendations);
+                    let row = match self.adoption.iter_mut().find(|m| *m.label == **month) {
+                        Some(m) => {
+                            m.first_index = m.first_index.min(r.index);
+                            &mut m.row
+                        }
+                        None => {
+                            self.adoption.push(MonthAgg {
+                                label: month.clone(),
+                                first_index: r.index,
+                                row: MonthlyAdoption::default(),
+                            });
+                            &mut self.adoption.last_mut().expect("just pushed").row
+                        }
+                    };
+                    row.unique_instances += 1;
+                    row.unique_databases += databases_assessed;
+                    row.recommendations_generated += eligible_recommendations;
                 }
                 self.databases_assessed += databases_assessed;
                 self.shape_counts[match shape {
@@ -274,7 +392,7 @@ impl FleetAggregator {
                 }] += 1;
                 if let Some(c) = *confidence {
                     self.confidence_scored += 1;
-                    self.confidence_sum += c;
+                    self.confidence_sum.add(c);
                     self.confidence_min = self.confidence_min.min(c);
                     self.confidence_buckets[if c >= 1.0 {
                         4
@@ -293,25 +411,85 @@ impl FleetAggregator {
                         self.recommended += 1;
                         deployment_row.recommended += 1;
                         let cost = *cost;
-                        self.total_monthly_cost += cost;
-                        deployment_row.total_monthly_cost += cost;
-                        match self.sku_mix.iter_mut().find(|row| &row.sku_id == sku_id) {
+                        self.total_monthly_cost.add(cost);
+                        deployment_row.total_monthly_cost.add(cost);
+                        match self.sku_mix.iter_mut().find(|row| row.sku_id == *sku_id) {
                             Some(row) => {
                                 row.count += 1;
-                                row.total_monthly_cost += cost;
+                                row.total_monthly_cost.add(cost);
                             }
-                            None => self.sku_mix.push(SkuMixRow {
-                                sku_id: sku_id.clone(),
-                                count: 1,
-                                total_monthly_cost: cost,
-                            }),
+                            None => {
+                                let mut sum = ExactSum::new();
+                                sum.add(cost);
+                                self.sku_mix.push(SkuAgg {
+                                    sku_id: sku_id.clone(),
+                                    count: 1,
+                                    total_monthly_cost: sum,
+                                });
+                            }
                         }
                     }
                     None => {
                         deployment_row.unplaceable += 1;
-                        self.unplaceable_instances.push(r.instance_name.clone());
+                        self.unplaceable_instances.push((r.index, r.instance_name.clone()));
                     }
                 }
+            }
+        }
+    }
+
+    /// Fold another aggregator's accumulated state into this one — the
+    /// sharded-fleet reporting primitive. Merging the per-shard aggregates
+    /// of any partition of a cohort (in any merge grouping) produces the
+    /// same finished report, bit for bit, as accepting every digest
+    /// sequentially: counts and [`ExactSum`] totals are exactly
+    /// associative, and order-sensitive output (attention lists, adoption
+    /// month order) is reconstructed from global submission indices at
+    /// [`finish_ref`](FleetAggregator::finish_ref) time.
+    pub fn merge(&mut self, other: &FleetAggregator) {
+        self.fleet_size += other.fleet_size;
+        self.recommended += other.recommended;
+        self.databases_assessed += other.databases_assessed;
+        self.total_monthly_cost.merge(&other.total_monthly_cost);
+        for sku in &other.sku_mix {
+            match self.sku_mix.iter_mut().find(|row| row.sku_id == sku.sku_id) {
+                Some(row) => {
+                    row.count += sku.count;
+                    row.total_monthly_cost.merge(&sku.total_monthly_cost);
+                }
+                None => self.sku_mix.push(sku.clone()),
+            }
+        }
+        for (dst, src) in self.shape_counts.iter_mut().zip(&other.shape_counts) {
+            *dst += *src;
+        }
+        self.confidence_scored += other.confidence_scored;
+        self.confidence_sum.merge(&other.confidence_sum);
+        self.confidence_min = self.confidence_min.min(other.confidence_min);
+        for (dst, src) in self.confidence_buckets.iter_mut().zip(&other.confidence_buckets) {
+            *dst += *src;
+        }
+        for dep in &other.deployments {
+            match self.deployments.iter_mut().find(|row| row.deployment == dep.deployment) {
+                Some(row) => {
+                    row.fleet += dep.fleet;
+                    row.recommended += dep.recommended;
+                    row.unplaceable += dep.unplaceable;
+                    row.failed += dep.failed;
+                    row.total_monthly_cost.merge(&dep.total_monthly_cost);
+                }
+                None => self.deployments.push(dep.clone()),
+            }
+        }
+        self.unplaceable_instances.extend_from(&other.unplaceable_instances);
+        self.failures.extend_from(&other.failures);
+        for month in &other.adoption {
+            match self.adoption.iter_mut().find(|m| m.label == month.label) {
+                Some(m) => {
+                    m.first_index = m.first_index.min(month.first_index);
+                    fold_month(&mut m.row, &month.row);
+                }
+                None => self.adoption.push(month.clone()),
             }
         }
     }
@@ -328,52 +506,88 @@ impl FleetAggregator {
     /// of the fleet, so two snapshots at the same prefix length are
     /// bit-for-bit equal regardless of worker count or timing.
     pub fn snapshot(&self) -> FleetReport {
-        self.clone().finish()
+        self.finish_ref()
     }
 
-    /// Finalize into the report: sort the histograms into their canonical
-    /// orders and close out the summary statistics.
+    /// Finalize into the report; equivalent to
+    /// [`finish_ref`](FleetAggregator::finish_ref) for callers that own the
+    /// accumulator.
     pub fn finish(self) -> FleetReport {
-        let FleetAggregator {
-            fleet_size,
-            recommended,
-            databases_assessed,
-            total_monthly_cost,
-            mut sku_mix,
-            shape_counts,
-            confidence_scored,
-            confidence_sum,
-            confidence_min,
-            confidence_buckets,
-            mut deployments,
-            unplaceable_instances,
-            failures,
-            adoption,
-        } = self;
+        self.finish_ref()
+    }
+
+    /// Build the finished [`FleetReport`] by reference, without cloning the
+    /// accumulated maps first: histograms sort into their canonical orders,
+    /// attention lists into global submission order, and the exact sums
+    /// round once, here. Strings are materialized only for the report rows
+    /// actually emitted.
+    pub fn finish_ref(&self) -> FleetReport {
+        let mut sku_mix: Vec<SkuMixRow> = self
+            .sku_mix
+            .iter()
+            .map(|row| SkuMixRow {
+                sku_id: row.sku_id.to_string(),
+                count: row.count,
+                total_monthly_cost: row.total_monthly_cost.value(),
+            })
+            .collect();
         sku_mix.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.sku_id.cmp(&b.sku_id)));
+        let mut deployments: Vec<DeploymentMixRow> = self
+            .deployments
+            .iter()
+            .map(|row| DeploymentMixRow {
+                deployment: row.deployment,
+                fleet: row.fleet,
+                recommended: row.recommended,
+                unplaceable: row.unplaceable,
+                failed: row.failed,
+                total_monthly_cost: row.total_monthly_cost.value(),
+            })
+            .collect();
         deployments.sort_by_key(|row| match row.deployment {
             DeploymentType::SqlDb => 0,
             DeploymentType::SqlMi => 1,
         });
         let shape_mix = [CurveShape::Flat, CurveShape::Simple, CurveShape::Complex]
             .into_iter()
-            .zip(shape_counts)
+            .zip(self.shape_counts)
             .map(|(shape, count)| ShapeMixRow { shape, count })
             .collect();
-        let confidence = (confidence_scored > 0).then(|| ConfidenceSummary {
-            scored: confidence_scored,
-            mean: confidence_sum / confidence_scored as f64,
-            min: confidence_min,
-            buckets: confidence_buckets,
+        let confidence = (self.confidence_scored > 0).then(|| ConfidenceSummary {
+            scored: self.confidence_scored,
+            mean: self.confidence_sum.value() / self.confidence_scored as f64,
+            min: self.confidence_min,
+            buckets: self.confidence_buckets,
         });
+        let mut unplaceable: Vec<&(usize, Arc<str>)> = self.unplaceable_instances.iter().collect();
+        unplaceable.sort_by_key(|(index, _)| *index);
+        let unplaceable_instances: Vec<String> =
+            unplaceable.into_iter().map(|(_, name)| name.to_string()).collect();
+        let mut failed: Vec<&(usize, Arc<str>, String)> = self.failures.iter().collect();
+        failed.sort_by_key(|(index, _, _)| *index);
+        let failures: Vec<FailureRow> = failed
+            .into_iter()
+            .map(|(_, name, message)| FailureRow {
+                instance_name: name.to_string(),
+                message: message.clone(),
+            })
+            .collect();
+        let mut months: Vec<&MonthAgg> = self.adoption.iter().collect();
+        months.sort_by_key(|m| m.first_index);
+        let mut adoption = AdoptionLedger::default();
+        for m in months {
+            adoption.add_row(&m.label, &m.row);
+        }
+        let total_monthly_cost = self.total_monthly_cost.value();
         FleetReport {
-            fleet_size,
-            recommended,
-            unplaceable: unplaceable_instances.len(),
-            failed: failures.len(),
-            databases_assessed,
+            fleet_size: self.fleet_size,
+            recommended: self.recommended,
+            unplaceable: self.unplaceable_instances.len(),
+            failed: self.failures.len(),
+            databases_assessed: self.databases_assessed,
             total_monthly_cost,
-            mean_monthly_cost: (recommended > 0).then(|| total_monthly_cost / recommended as f64),
+            mean_monthly_cost: (self.recommended > 0)
+                .then(|| total_monthly_cost / self.recommended as f64),
             sku_mix,
             shape_mix,
             confidence,
@@ -760,5 +974,106 @@ mod tests {
     fn untagged_results_leave_the_ledger_empty() {
         let report = FleetReport::from_results(&[result(0, "a", 0.5)]);
         assert_eq!(report.adoption.rows().count(), 0);
+    }
+
+    /// Synthetic digests covering every fold branch: failures, unplaceable,
+    /// month tags, confidence buckets, repeated SKUs.
+    fn synthetic_digests(n: usize) -> Vec<ResultDigest> {
+        (0..n)
+            .map(|i| {
+                let outcome = match i % 5 {
+                    0 => DigestOutcome::Failed { message: format!("err-{i}") },
+                    1 => DigestOutcome::Assessed {
+                        databases_assessed: 2,
+                        shape: CurveShape::Flat,
+                        confidence: Some(0.3 + (i % 7) as f64 * 0.1),
+                        sku: None, // unplaceable
+                        eligible_recommendations: 1,
+                    },
+                    _ => DigestOutcome::Assessed {
+                        databases_assessed: 1 + i % 3,
+                        shape: if i % 2 == 0 { CurveShape::Simple } else { CurveShape::Complex },
+                        confidence: (i % 4 != 0).then(|| (i % 11) as f64 / 10.0),
+                        sku: Some((
+                            Arc::from(format!("SKU_{}", i % 4).as_str()),
+                            17.25 + i as f64 * 0.125,
+                        )),
+                        eligible_recommendations: 1 + i % 2,
+                    },
+                };
+                ResultDigest {
+                    index: i,
+                    instance_name: Arc::from(format!("inst-{i}").as_str()),
+                    deployment: if i % 3 == 0 {
+                        DeploymentType::SqlMi
+                    } else {
+                        DeploymentType::SqlDb
+                    },
+                    month: (i % 2 == 0).then(|| Arc::from(["Oct-21", "Nov-21", "Dec-21"][i % 3])),
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_shard_aggregates_match_the_sequential_fold() {
+        let digests = synthetic_digests(4000); // > CHUNK so sealed chunks merge
+        let mut sequential = FleetAggregator::new();
+        for d in &digests {
+            sequential.accept_digest(d);
+        }
+        for shards in [2, 3, 4] {
+            let mut parts: Vec<FleetAggregator> =
+                (0..shards).map(|_| FleetAggregator::new()).collect();
+            for d in &digests {
+                parts[d.index % shards].accept_digest(d);
+            }
+            let mut merged = FleetAggregator::new();
+            for part in &parts {
+                merged.merge(part);
+            }
+            assert_eq!(merged.finish_ref(), sequential.finish_ref(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn merge_grouping_does_not_change_the_report() {
+        let digests = synthetic_digests(300);
+        let mut parts: Vec<FleetAggregator> = (0..3).map(|_| FleetAggregator::new()).collect();
+        for d in &digests {
+            parts[d.index % 3].accept_digest(d);
+        }
+        // ((a ⊕ b) ⊕ c) vs (a ⊕ (b ⊕ c)).
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left.finish_ref(), right.finish_ref());
+    }
+
+    #[test]
+    fn snapshot_matches_finish_and_leaves_the_aggregator_usable() {
+        let digests = synthetic_digests(50);
+        let mut agg = FleetAggregator::new();
+        for d in &digests[..30] {
+            agg.accept_digest(d);
+        }
+        let snap = agg.snapshot();
+        assert_eq!(snap.fleet_size, 30);
+        for d in &digests[30..] {
+            agg.accept_digest(d);
+        }
+        assert_eq!(agg.accepted(), 50);
+        assert_eq!(snap, {
+            let mut prefix = FleetAggregator::new();
+            for d in &digests[..30] {
+                prefix.accept_digest(d);
+            }
+            prefix.finish()
+        });
     }
 }

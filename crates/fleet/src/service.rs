@@ -17,10 +17,33 @@
 //!   [`FleetAggregator`], so [`report_snapshot`](FleetService::report_snapshot)
 //!   yields a mid-run [`FleetReport`] a dashboard can render while results
 //!   are still streaming in;
-//! * [`shutdown`](FleetService::shutdown) (or `Drop`) closes the queue,
+//! * [`shutdown`](FleetService::shutdown) (or `Drop`) closes the queues,
 //!   lets the workers drain every accepted request, and joins them —
 //!   dropping a service with in-flight tickets never deadlocks, and the
 //!   buffered results stay receivable from the tickets afterwards.
+//!
+//! # Sharding
+//!
+//! The service scales out by *sharding*: a [`ShardPlan`] (set via
+//! [`FleetAssessor::with_shard_plan`]) partitions the fleet by catalog-key
+//! region into N independent shards, each with its own bounded queue,
+//! worker pool, and in-order aggregator. Shards share nothing on the hot
+//! path — no cross-shard lock is ever taken while assessing — so regional
+//! traffic bursts stay on their own queue and a noisy region cannot stall
+//! the rest of the fleet.
+//!
+//! Determinism survives the fan-out. Every submission takes one *global*
+//! index (submission order across the whole service — what
+//! [`FleetResult::index`] reports) and one *shard-local* index the shard's
+//! reorder buffer sequences on, both allocated atomically under the owning
+//! shard's progress lock. Each shard folds its completions in local
+//! submission order, and [`report_snapshot`](FleetService::report_snapshot) /
+//! [`shutdown`](FleetService::shutdown) merge the per-shard aggregates in
+//! shard-index order with [`FleetAggregator::merge`] — which is exact
+//! (superaccumulator cost totals) and order-insensitive, so a sharded run
+//! reports bit-for-bit what the unsharded run reports. With the default
+//! single-shard plan the service *is* the unsharded service: same metric
+//! names, same thread names, same behavior.
 //!
 //! [`AssessmentService`] — the DMA batch API from the seed — lives here too
 //! as a thin wrapper: one deployment target, `Arc`-shared pipeline, each
@@ -42,15 +65,27 @@ use crate::assessor::{EngineSet, FleetAssessor, FleetConfig, FleetRequest, Fleet
 use crate::drift::{DriftOutcome, DriftProbe};
 use crate::queue::BoundedQueue;
 use crate::report::{FleetAggregator, FleetReport, ResultDigest};
+use crate::shard::ShardPlan;
 
-/// One enqueued unit of work for the pool: an assessment request (its
-/// submission index, the routed request, and the channel its result is
-/// delivered on) or a drift check (which stays out of the assessment
+/// How many tasks a worker drains from its shard queue per lock
+/// acquisition. Batching amortizes the queue's lock/condvar traffic under
+/// a deep backlog without hurting latency — [`BoundedQueue::pop_many`]
+/// never waits to *fill* a batch, it takes what is there.
+const POP_QUANTUM: usize = 8;
+
+/// One enqueued unit of work for a shard's pool: an assessment request
+/// (its submission indices, the routed request, and the channel its result
+/// is delivered on) or a drift check (which stays out of the assessment
 /// aggregate — the [`DriftMonitor`](crate::drift::DriftMonitor) folds its
 /// own outcomes).
 enum Task {
     Assess {
-        index: usize,
+        /// Service-wide submission index — what [`FleetResult::index`]
+        /// carries.
+        global: usize,
+        /// Gap-free index within the owning shard — what the shard's
+        /// reorder buffer sequences on.
+        local: usize,
         request: FleetRequest,
         reply: mpsc::Sender<FleetResult>,
         /// Submission instant, for the queue-wait stage histogram. `None`
@@ -66,67 +101,93 @@ enum Task {
     },
 }
 
-/// The service's write-aside instrumentation: per-stage latency histograms
-/// shared by every worker, plus the registry handle components downstream
-/// (queue, engine set) registered their own metrics with. All handles are
-/// no-ops under a disabled registry.
-struct ServiceObs {
-    registry: ObsRegistry,
-    /// `fleet.stage.queue_wait` — submit → worker pop, assessment tasks.
+/// One shard's write-aside instrumentation: per-stage latency histograms
+/// shared by that shard's workers. All handles are no-ops under a
+/// disabled registry.
+struct StageObs {
+    /// `{prefix}.stage.queue_wait` — submit → worker pop, assessments.
     queue_wait: Histogram,
-    /// `fleet.stage.aggregate` — folding one result into the in-order
+    /// `{prefix}.stage.aggregate` — folding one result into the in-order
     /// aggregate (includes the progress-lock wait).
     aggregate: Histogram,
-    /// `fleet.stage.drift_wait` — submit → worker pop, drift checks.
+    /// `{prefix}.stage.drift_wait` — submit → worker pop, drift checks.
     drift_wait: Histogram,
-    /// `fleet.stage.drift_probe` — evaluating one drift probe.
+    /// `{prefix}.stage.drift_probe` — evaluating one drift probe.
     drift_probe: Histogram,
 }
 
-impl ServiceObs {
-    fn registered(registry: ObsRegistry) -> ServiceObs {
-        ServiceObs {
-            queue_wait: registry.histogram("fleet.stage.queue_wait"),
-            aggregate: registry.histogram("fleet.stage.aggregate"),
-            drift_wait: registry.histogram("fleet.stage.drift_wait"),
-            drift_probe: registry.histogram("fleet.stage.drift_probe"),
-            registry,
+impl StageObs {
+    fn registered(registry: &ObsRegistry, prefix: &str) -> StageObs {
+        StageObs {
+            queue_wait: registry.histogram(&format!("{prefix}.stage.queue_wait")),
+            aggregate: registry.histogram(&format!("{prefix}.stage.aggregate")),
+            drift_wait: registry.histogram(&format!("{prefix}.stage.drift_wait")),
+            drift_probe: registry.histogram(&format!("{prefix}.stage.drift_probe")),
         }
     }
 }
 
+/// The metric/thread name prefix for one shard. A single-shard service
+/// keeps the historical flat names (`fleet.queue`, `fleet.stage.*`,
+/// `fleet-worker-N`) so the default plan is observably identical to the
+/// pre-sharding service; multi-shard services label per shard.
+fn shard_prefix(shards: usize, shard: usize) -> String {
+    if shards == 1 {
+        "fleet".to_string()
+    } else {
+        format!("fleet.shard{shard}")
+    }
+}
+
+/// One independent shard: its queue, its reorder/aggregation state, and
+/// its stage histograms. Workers of shard `s` touch only `shards[s]` —
+/// nothing here is shared across shards.
+struct Shard {
+    queue: BoundedQueue<Task>,
+    progress: Mutex<Progress>,
+    stages: StageObs,
+}
+
 /// Everything the worker threads share with the front-end handle.
 struct ServiceShared {
-    queue: BoundedQueue<Task>,
+    shards: Vec<Shard>,
     engines: EngineSet,
-    progress: Mutex<Progress>,
+    plan: ShardPlan,
+    /// Service-wide submission indices handed out so far. Incremented
+    /// under the owning shard's progress lock (never contended across
+    /// shards for longer than the atomic itself), so a single-threaded
+    /// submitter sees global indices in exact call order regardless of
+    /// the plan.
+    submitted_global: AtomicUsize,
     /// Drift checks submitted so far — a separate sequence from the
     /// assessment submission indices, since drift work never enters the
     /// assessment aggregate.
     drift_submitted: AtomicUsize,
-    obs: ServiceObs,
+    obs: ObsRegistry,
 }
 
-/// Submission/completion tracking: allocates submission indices, restores
-/// submission order over the out-of-order completion stream, and folds
-/// each result into the aggregator the moment it becomes in-order.
-/// Out-of-orderness is bounded by queue depth + worker count, so the
-/// reorder buffer stays small regardless of fleet size.
+/// One shard's submission/completion tracking: allocates the shard-local
+/// indices, restores local submission order over the out-of-order
+/// completion stream, and folds each result into the shard's aggregator
+/// the moment it becomes in-order. Out-of-orderness is bounded by queue
+/// depth + worker count, so the reorder buffer stays small regardless of
+/// fleet size.
 ///
 /// Everything lives under one mutex so [`FleetService::progress`] reads a
-/// consistent snapshot, and that mutex is never held across the queue's
-/// blocking backpressure wait — an allocated index whose push then loses
-/// to a concurrent close is recorded as a tombstone (`None` in `pending`)
-/// so the in-order cursor skips it instead of stalling forever.
+/// consistent per-shard snapshot, and that mutex is never held across the
+/// queue's blocking backpressure wait — an allocated index whose push then
+/// loses to a concurrent close is recorded as a tombstone (`None` in
+/// `pending`) so the in-order cursor skips it instead of stalling forever.
 struct Progress {
-    /// Indices handed out so far (the next submission gets this value).
+    /// Local indices handed out so far (the next submission gets this
+    /// value).
     allocated: usize,
     /// Allocated indices whose enqueue failed (service closed mid-submit).
     abandoned: usize,
     next: usize,
-    /// Early arrivals keyed by index, digested down to the fields the
-    /// aggregator reads (the full result travels on the ticket instead of
-    /// being deep-cloned here); `None` marks an abandoned index.
+    /// Early arrivals keyed by local index, digested down to the fields
+    /// the aggregator reads (the full result travels on the ticket instead
+    /// of being deep-cloned here); `None` marks an abandoned index.
     pending: BTreeMap<usize, Option<ResultDigest>>,
     aggregator: FleetAggregator,
     completed: usize,
@@ -156,18 +217,18 @@ impl Progress {
         self.allocated - self.abandoned
     }
 
-    /// Fold `result` in. In-order results fold immediately; early arrivals
-    /// are buffered — as digests, not full-result clones — until the gap
-    /// before them fills.
-    fn accept(&mut self, result: &FleetResult) {
+    /// Fold `result` (completed under shard-local index `local`) in.
+    /// In-order results fold immediately; early arrivals are buffered — as
+    /// digests, not full-result clones — until the gap before them fills.
+    fn accept(&mut self, local: usize, result: &FleetResult) {
         self.completed += 1;
-        if result.index == self.next {
+        if local == self.next {
             self.aggregator.accept(result);
             self.next += 1;
             self.drain_ready();
         } else {
-            debug_assert!(result.index > self.next, "each submission index completes once");
-            self.pending.insert(result.index, Some(ResultDigest::of(result)));
+            debug_assert!(local > self.next, "each submission index completes once");
+            self.pending.insert(local, Some(ResultDigest::of(result)));
         }
     }
 
@@ -193,41 +254,49 @@ impl Progress {
     }
 }
 
-fn lock_progress(shared: &ServiceShared) -> std::sync::MutexGuard<'_, Progress> {
+fn lock_progress(shard: &Shard) -> std::sync::MutexGuard<'_, Progress> {
     // A worker that panicked mid-assessment is already contained by
     // `EngineSet::assess_one`; tolerate a poisoned lock rather than
     // cascading panics through shutdown and snapshots.
-    shared.progress.lock().unwrap_or_else(PoisonError::into_inner)
+    shard.progress.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn worker_loop(shared: &ServiceShared, tasks: &Counter) {
-    while let Some(task) = shared.queue.pop() {
-        tasks.incr();
-        match task {
-            Task::Assess { index, request, reply, enqueued } => {
-                if let Some(enqueued) = enqueued {
-                    shared.obs.queue_wait.record(enqueued.elapsed());
+/// One shard worker: drain the shard's queue in [`POP_QUANTUM`]-sized
+/// batches until it closes. The batch `Vec` is allocated once per worker
+/// and reused across its whole lifetime — steady-state popping allocates
+/// nothing.
+fn worker_loop(shared: &ServiceShared, shard_index: usize, tasks: &Counter) {
+    let shard = &shared.shards[shard_index];
+    let mut batch = Vec::with_capacity(POP_QUANTUM);
+    while shard.queue.pop_many(POP_QUANTUM, &mut batch) > 0 {
+        for task in batch.drain(..) {
+            tasks.incr();
+            match task {
+                Task::Assess { global, local, request, reply, enqueued } => {
+                    if let Some(enqueued) = enqueued {
+                        shard.stages.queue_wait.record(enqueued.elapsed());
+                    }
+                    let result = shared.engines.assess_one(global, request);
+                    {
+                        let _span = shard.stages.aggregate.start();
+                        lock_progress(shard).accept(local, &result);
+                    }
+                    // The submitter may have dropped its ticket; that just
+                    // means nobody is listening, not that the work failed.
+                    let _ = reply.send(result);
                 }
-                let result = shared.engines.assess_one(index, request);
-                {
-                    let _span = shared.obs.aggregate.start();
-                    lock_progress(shared).accept(&result);
+                Task::Drift { index, probe, reply, enqueued } => {
+                    if let Some(enqueued) = enqueued {
+                        shard.stages.drift_wait.record(enqueued.elapsed());
+                    }
+                    // Drift checks bypass the Progress fold entirely: they
+                    // are not assessments, so they must not perturb the
+                    // in-order assessment aggregate (or its determinism).
+                    let _span = shard.stages.drift_probe.start();
+                    let outcome = crate::drift::evaluate_probe(&shared.engines, index, probe);
+                    drop(_span);
+                    let _ = reply.send(outcome);
                 }
-                // The submitter may have dropped its ticket; that just
-                // means nobody is listening, not that the work failed.
-                let _ = reply.send(result);
-            }
-            Task::Drift { index, probe, reply, enqueued } => {
-                if let Some(enqueued) = enqueued {
-                    shared.obs.drift_wait.record(enqueued.elapsed());
-                }
-                // Drift checks bypass the Progress fold entirely: they are
-                // not assessments, so they must not perturb the in-order
-                // assessment aggregate (or its determinism).
-                let _span = shared.obs.drift_probe.start();
-                let outcome = crate::drift::evaluate_probe(&shared.engines, index, probe);
-                drop(_span);
-                let _ = reply.send(outcome);
             }
         }
     }
@@ -411,30 +480,62 @@ impl FleetService {
     pub(crate) fn from_parts(
         engines: EngineSet,
         config: FleetConfig,
+        plan: ShardPlan,
         obs: ObsRegistry,
     ) -> FleetService {
+        let nshards = plan.shards();
+        let shards = (0..nshards)
+            .map(|s| {
+                let prefix = shard_prefix(nshards, s);
+                Shard {
+                    queue: BoundedQueue::instrumented(
+                        config.queue_depth,
+                        &obs,
+                        &format!("{prefix}.queue"),
+                    ),
+                    progress: Mutex::new(Progress::new()),
+                    stages: StageObs::registered(&obs, &prefix),
+                }
+            })
+            .collect();
         let shared = Arc::new(ServiceShared {
-            queue: BoundedQueue::instrumented(config.queue_depth, &obs, "fleet.queue"),
+            shards,
             engines,
-            progress: Mutex::new(Progress::new()),
+            plan,
+            submitted_global: AtomicUsize::new(0),
             drift_submitted: AtomicUsize::new(0),
-            obs: ServiceObs::registered(obs),
+            obs,
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
+        // Each shard gets its own pool of `config.workers` threads —
+        // worker/queue sizing is per shard, so a plan with more shards
+        // scales the pool out.
+        let workers = (0..nshards)
+            .flat_map(|s| (0..config.workers.max(1)).map(move |i| (s, i)))
+            .map(|(s, i)| {
                 let shared = Arc::clone(&shared);
-                let tasks = shared.obs.registry.counter(&format!("fleet.worker.{i}.tasks"));
+                let (counter_name, thread_name) = if nshards == 1 {
+                    (format!("fleet.worker.{i}.tasks"), format!("fleet-worker-{i}"))
+                } else {
+                    (format!("fleet.shard{s}.worker.{i}.tasks"), format!("fleet-s{s}-worker-{i}"))
+                };
+                let tasks = shared.obs.counter(&counter_name);
                 std::thread::Builder::new()
-                    .name(format!("fleet-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &tasks))
+                    .name(thread_name)
+                    .spawn(move || worker_loop(&shared, s, &tasks))
                     .expect("spawn fleet worker")
             })
             .collect();
         FleetService { shared, workers }
     }
 
-    /// Enqueue one request, blocking while the bounded queue is at capacity
-    /// (backpressure, not unbounded buffering). Requests flagged
+    /// The shard a request routes to under this service's plan.
+    fn shard_for(&self, request: &FleetRequest) -> &Shard {
+        let s = self.shared.plan.shard_of(request.catalog_key.as_ref().map(|k| &k.region));
+        &self.shared.shards[s]
+    }
+
+    /// Enqueue one request, blocking while its shard's bounded queue is at
+    /// capacity (backpressure, not unbounded buffering). Requests flagged
     /// [`FleetRequest::with_priority`] enter the queue's priority lane and
     /// are popped ahead of the normal backlog — their *aggregation* still
     /// happens in submission order, so reports stay deterministic. Returns
@@ -447,24 +548,49 @@ impl FleetService {
     pub fn submit(&self, request: FleetRequest) -> Result<Ticket, FleetRequest> {
         let (reply, rx) = mpsc::channel();
         let instance_name = request.request.instance_name.clone();
+        let index = self.submit_with_reply(request, reply)?;
+        Ok(Ticket { index, instance_name, rx })
+    }
+
+    /// [`submit`](FleetService::submit) with a caller-supplied delivery
+    /// channel instead of a fresh [`Ticket`] — the allocation-lean path
+    /// for high-volume streaming: clone one `Sender` per submission (a
+    /// refcount bump) rather than building a channel pair each. Returns
+    /// the request's submission index ([`FleetResult::index`]); batch
+    /// collectors sort received results by it to restore submission order.
+    /// Dropping the receiver is fine — the assessments still run and still
+    /// count toward the aggregate report.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_with_reply(
+        &self,
+        request: FleetRequest,
+        reply: mpsc::Sender<FleetResult>,
+    ) -> Result<usize, FleetRequest> {
+        let shard = self.shard_for(&request);
         let priority = request.priority;
-        // Allocate the index in its own short critical section — the
+        // Allocate both indices in one short critical section — the
         // progress lock must not be held across the queue's backpressure
         // wait, or every dashboard poll would stall with the feeder.
-        let index = lock_progress(&self.shared).allocate();
-        let enqueued = self.shared.obs.registry.is_enabled().then(Instant::now);
-        let task = Task::Assess { index, request, reply, enqueued };
-        let pushed = if priority {
-            self.shared.queue.push_priority(task)
-        } else {
-            self.shared.queue.push(task)
+        // Taking the global index *under the shard lock* keeps the pair
+        // atomic: no other submission to this shard can interleave between
+        // them, so local order always agrees with global order within a
+        // shard (what sharded ≡ unsharded equivalence rests on).
+        let (global, local) = {
+            let mut progress = lock_progress(shard);
+            let local = progress.allocate();
+            let global = self.shared.submitted_global.fetch_add(1, Ordering::Relaxed);
+            (global, local)
         };
+        let enqueued = self.shared.obs.is_enabled().then(Instant::now);
+        let task = Task::Assess { global, local, request, reply, enqueued };
+        let pushed =
+            if priority { shard.queue.push_priority(task) } else { shard.queue.push(task) };
         match pushed {
-            Ok(()) => Ok(Ticket { index, instance_name, rx }),
+            Ok(()) => Ok(global),
             Err(Task::Assess { request, .. }) => {
-                // The push lost to a concurrent close: tombstone the index
-                // so in-order aggregation steps over it.
-                lock_progress(&self.shared).abandon(index);
+                // The push lost to a concurrent close: tombstone the local
+                // index so in-order aggregation steps over it.
+                lock_progress(shard).abandon(local);
                 Err(request)
             }
             Err(Task::Drift { .. }) => unreachable!("an assess push returns an assess task"),
@@ -473,17 +599,21 @@ impl FleetService {
 
     /// Enqueue one drift check on the normal lane (monitoring sweeps are
     /// background work; it is the *re-assessment* of a drifted customer
-    /// that jumps the queue). Drift checks share the worker pool and its
-    /// backpressure but never enter the assessment aggregate — collect the
-    /// outcome from the returned [`DriftTicket`]. Returns the probe back
-    /// as `Err` if the service has been closed.
+    /// that jumps the queue). The probe routes to the shard of its
+    /// [`catalog_key`](DriftProbe::catalog_key) region — the same shard
+    /// its re-assessment would use. Drift checks share that shard's worker
+    /// pool and backpressure but never enter the assessment aggregate —
+    /// collect the outcome from the returned [`DriftTicket`]. Returns the
+    /// probe back as `Err` if the service has been closed.
     #[allow(clippy::result_large_err)]
     pub fn submit_drift(&self, probe: DriftProbe) -> Result<DriftTicket, DriftProbe> {
         let (reply, rx) = mpsc::channel();
         let customer = probe.customer.clone();
+        let s = self.shared.plan.shard_of(probe.catalog_key.as_ref().map(|k| &k.region));
+        let shard = &self.shared.shards[s];
         let index = self.shared.drift_submitted.fetch_add(1, Ordering::Relaxed);
-        let enqueued = self.shared.obs.registry.is_enabled().then(Instant::now);
-        match self.shared.queue.push(Task::Drift { index, probe, reply, enqueued }) {
+        let enqueued = self.shared.obs.is_enabled().then(Instant::now);
+        match shard.queue.push(Task::Drift { index, probe, reply, enqueued }) {
             Ok(()) => Ok(DriftTicket { index, customer, rx }),
             Err(Task::Drift { probe, .. }) => Err(probe),
             Err(Task::Assess { .. }) => unreachable!("a drift push returns a drift task"),
@@ -521,7 +651,17 @@ impl FleetService {
     /// into. Disabled unless the service was built via
     /// [`FleetAssessor::with_obs`].
     pub fn obs(&self) -> &ObsRegistry {
-        &self.shared.obs.registry
+        &self.shared.obs
+    }
+
+    /// The number of shards this service runs ([`ShardPlan::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The plan routing submissions to shards.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.shared.plan
     }
 
     /// A point-in-time [`ObsSnapshot`] of every metric recorded so far —
@@ -529,52 +669,64 @@ impl FleetService {
     /// [`ObsSnapshot::render`] or append it to a report via
     /// [`FleetReport::render_with_ops`](crate::report::FleetReport::render_with_ops).
     pub fn obs_snapshot(&self) -> ObsSnapshot {
-        self.shared.obs.registry.snapshot()
+        self.shared.obs.snapshot()
     }
 
-    /// Items currently queued across both lanes (racy by nature; for
-    /// dashboards).
+    /// Items currently queued across both lanes of every shard (racy by
+    /// nature; for dashboards).
     pub fn queue_len(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.shards.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Items currently waiting in the priority lane.
+    /// Items currently waiting in the priority lanes across shards.
     pub fn queue_priority_len(&self) -> usize {
-        self.shared.queue.priority_len()
+        self.shared.shards.iter().map(|s| s.queue.priority_len()).sum()
     }
 
-    /// Current submission/completion counters, read as one consistent
-    /// snapshot.
+    /// Current submission/completion counters. Each shard is read as one
+    /// consistent snapshot under its lock and the shards are summed in
+    /// index order; with the default single-shard plan the whole read is
+    /// one consistent snapshot, exactly as before.
     pub fn progress(&self) -> ServiceProgress {
-        let progress = lock_progress(&self.shared);
-        ServiceProgress {
-            submitted: progress.submitted(),
-            completed: progress.completed,
-            aggregated: progress.aggregator.accepted(),
+        let mut total = ServiceProgress { submitted: 0, completed: 0, aggregated: 0 };
+        for shard in &self.shared.shards {
+            let progress = lock_progress(shard);
+            total.submitted += progress.submitted();
+            total.completed += progress.completed;
+            total.aggregated += progress.aggregator.accepted();
         }
+        total
     }
 
-    /// A mid-run [`FleetReport`] over every completion that is part of the
-    /// contiguous submission-order prefix — the incremental dashboard view.
-    /// Once the service is drained this is the final report; mid-run it is
-    /// always the exact report of the first
+    /// A mid-run [`FleetReport`] over every completion that is part of
+    /// each shard's contiguous submission-order prefix, merged across
+    /// shards in shard-index order — the incremental dashboard view. Once
+    /// the service is drained this is the final report; mid-run (single
+    /// shard) it is always the exact report of the first
     /// [`ServiceProgress::aggregated`] submissions, so rendering it never
     /// shows a worker-count-dependent aggregate.
-    /// Cost note: the clone under the lock is O(aggregation state) —
-    /// normally a handful of histogram rows, but one name per unplaceable
-    /// instance and one row per failure, so hot-polling a dashboard over a
-    /// fleet failing wholesale contends with the workers. Poll at human
-    /// rates, not per-completion.
+    ///
+    /// Cost note: each per-shard clone under its lock is O(shard count +
+    /// live attention rows), *not* O(results aggregated) — the
+    /// aggregator's attention lists are chunked behind shared `Arc`s, so
+    /// cloning shares the sealed chunks instead of copying every row.
+    /// Hot-polling a dashboard stays cheap even over a fleet failing
+    /// wholesale; the finishing work (sorting, report materialization)
+    /// runs outside every lock.
     pub fn report_snapshot(&self) -> FleetReport {
-        // Clone the accumulator inside the lock, but do the finishing work
-        // (histogram sorts, summary stats) outside it — workers delivering
-        // results contend on this same mutex.
-        let aggregator = lock_progress(&self.shared).aggregator.clone();
-        aggregator.finish()
+        let mut merged = FleetAggregator::new();
+        for shard in &self.shared.shards {
+            // Clone the accumulator inside the lock (cheap — see above),
+            // merge and finish outside it: workers delivering results
+            // contend on this same mutex.
+            let aggregator = lock_progress(shard).aggregator.clone();
+            merged.merge(&aggregator);
+        }
+        merged.finish()
     }
 
     /// Finish and return the report of everything aggregated since the last
-    /// drain (or service start), resetting the accumulator — the
+    /// drain (or service start), resetting every shard's accumulator — the
     /// billing-period rollover for continuous operation. Without periodic
     /// drains a service that runs forever grows its attention buckets (one
     /// row per failure, one name per unplaceable instance) forever;
@@ -582,39 +734,51 @@ impl FleetService {
     /// [`report_snapshot`](FleetService::report_snapshot)s and
     /// [`ServiceProgress::aggregated`] cover the new period only.
     pub fn drain_report(&self) -> FleetReport {
-        let aggregator = std::mem::take(&mut lock_progress(&self.shared).aggregator);
-        aggregator.finish()
+        let mut merged = FleetAggregator::new();
+        for shard in &self.shared.shards {
+            let aggregator = std::mem::take(&mut lock_progress(shard).aggregator);
+            merged.merge(&aggregator);
+        }
+        merged.finish()
     }
 
     /// Stop accepting new submissions. Requests already queued still run;
-    /// idle workers exit once the queue drains.
+    /// idle workers exit once their shard's queue drains.
     pub fn close(&self) {
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
     }
 
     /// Whether [`close`](FleetService::close) has been called — after which
     /// every [`submit`](FleetService::submit) returns its request back.
+    /// (Shard queues only ever close together.)
     pub fn is_closed(&self) -> bool {
-        self.shared.queue.is_closed()
+        self.shared.shards[0].queue.is_closed()
     }
 
     /// Close, drain every accepted request, join the workers, and return
     /// the final aggregate report (of the current period, if
-    /// [`drain_report`](FleetService::drain_report) was used).
+    /// [`drain_report`](FleetService::drain_report) was used), merged
+    /// across shards in shard-index order.
     pub fn shutdown(mut self) -> FleetReport {
         self.join_workers();
-        // Workers are joined: nothing else reads the aggregator, so
-        // consume it instead of cloning.
-        let aggregator = {
-            let mut progress = lock_progress(&self.shared);
+        // Workers are joined: nothing else reads the aggregators, so
+        // consume them instead of cloning.
+        let mut merged = FleetAggregator::new();
+        for shard in &self.shared.shards {
+            let mut progress = lock_progress(shard);
             debug_assert!(progress.pending.is_empty(), "drained services have no reorder gap");
-            std::mem::take(&mut progress.aggregator)
-        };
-        aggregator.finish()
+            let aggregator = std::mem::take(&mut progress.aggregator);
+            merged.merge(&aggregator);
+        }
+        merged.finish()
     }
 
     fn join_workers(&mut self) {
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         for handle in self.workers.drain(..) {
             // A worker that somehow panicked outside the per-assessment
             // catch still must not break teardown for the others.
@@ -713,29 +877,38 @@ impl AssessmentService {
     }
 
     /// Submit-all/collect-all round trip through the shared worker pool;
-    /// the single implementation behind every batch entry point.
+    /// the single implementation behind every batch entry point. One
+    /// channel serves the whole batch (a `Sender` clone per submission
+    /// instead of a channel pair each); submission order is restored by
+    /// sorting on the monotone submission index, so results come back in
+    /// input order whatever the worker interleaving was.
     fn run_batch(
         &self,
         requests: impl Iterator<Item = AssessmentRequest>,
     ) -> Vec<AssessmentResult> {
-        let tickets: Vec<Ticket> = requests
-            .map(|request| {
-                self.service
-                    .submit(FleetRequest::new(self.deployment, request))
-                    .unwrap_or_else(|_| unreachable!("the wrapper never closes its own service"))
-            })
-            .collect();
-        let results = tickets
+        let (reply, rx) = mpsc::channel();
+        let mut submitted = 0usize;
+        for request in requests {
+            self.service
+                .submit_with_reply(FleetRequest::new(self.deployment, request), reply.clone())
+                .unwrap_or_else(|_| unreachable!("the wrapper never closes its own service"));
+            submitted += 1;
+        }
+        // Drop the batch's own sender so the receive loop ends exactly
+        // when the last worker delivers (workers drop their clones as
+        // they send).
+        drop(reply);
+        let mut results: Vec<FleetResult> = rx.into_iter().collect();
+        debug_assert_eq!(results.len(), submitted, "every submission delivers exactly once");
+        results.sort_by_key(|r| r.index);
+        let results = results
             .into_iter()
-            .map(|ticket| {
-                let result = ticket.recv().expect("the worker pool outlives the batch");
-                match result.outcome {
-                    Ok(result) => result,
-                    // The old fan-out let a panicking assessment unwind into
-                    // the caller; keep that contract rather than silently
-                    // dropping the instance from the batch.
-                    Err(e) => panic!("{}", e.message),
-                }
+            .map(|result| match result.outcome {
+                Ok(result) => result,
+                // The old fan-out let a panicking assessment unwind into
+                // the caller; keep that contract rather than silently
+                // dropping the instance from the batch.
+                Err(e) => panic!("{}", e.message),
             })
             .collect();
         // The wrapper never exposes the fleet report, so reset the
@@ -792,7 +965,7 @@ mod tests {
             assert_eq!(ticket.instance_name(), format!("inst-{i}"));
             let result = ticket.recv().expect("assessed");
             assert_eq!(result.index, i);
-            assert_eq!(result.instance_name, format!("inst-{i}"));
+            assert_eq!(*result.instance_name, format!("inst-{i}"));
             assert!(result.outcome.is_ok());
         }
         let report = service.shutdown();
@@ -1045,7 +1218,71 @@ mod tests {
         // aggregate was unaffected (fleet_size/failed above); per-ticket
         // results keep their submission identity.
         for (ticket, region) in tickets.into_iter().zip(["n0", "n1", "n2", "p0", "p1"]) {
-            assert_eq!(ticket.recv().unwrap().instance_name, region);
+            assert_eq!(&*ticket.recv().unwrap().instance_name, region);
+        }
+    }
+
+    #[test]
+    fn sharded_service_matches_the_single_shard_report() {
+        use doppler_catalog::{CatalogKey, CatalogVersion, InMemoryCatalogProvider, Region};
+        use doppler_core::EngineRegistry;
+
+        use crate::assessor::EngineRoute;
+
+        let regions: Vec<String> = (0..6).map(|i| format!("region-{i}")).collect();
+        let build = |shards: usize| {
+            let provider = regions.iter().fold(InMemoryCatalogProvider::new(), |p, r| {
+                p.with_region(
+                    Region::new(r.clone()),
+                    CatalogVersion::INITIAL,
+                    &CatalogSpec::default(),
+                    1.0,
+                )
+            });
+            let registry = Arc::new(EngineRegistry::new(Arc::new(provider) as _));
+            let config = FleetConfig { workers: 2, queue_depth: 8, keep_results: true };
+            FleetAssessor::over_registry(registry, config)
+                .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+                .with_shard_plan(ShardPlan::by_region(shards))
+                .into_service()
+        };
+        let run = |service: FleetService| {
+            let tickets: Vec<Ticket> = (0..24)
+                .map(|i| {
+                    let region = &regions[i % regions.len()];
+                    let key = CatalogKey::new(
+                        DeploymentType::SqlDb,
+                        Region::new(region.clone()),
+                        CatalogVersion::INITIAL,
+                    );
+                    let r = request(&format!("inst-{i}"), 0.3 + (i % 7) as f64);
+                    service.submit(r.with_catalog_key(key)).unwrap()
+                })
+                .collect();
+            // Global indices are allocated in submission order no matter
+            // which shard each request routed to.
+            for (i, t) in tickets.iter().enumerate() {
+                assert_eq!(t.index(), i);
+            }
+            let mut results: Vec<FleetResult> =
+                tickets.into_iter().map(|t| t.recv().unwrap()).collect();
+            results.sort_by_key(|r| r.index);
+            (results, service.shutdown())
+        };
+        let single = build(1);
+        assert_eq!(single.shard_count(), 1);
+        let (base_results, base_report) = run(single);
+        for shards in [2, 4] {
+            let service = build(shards);
+            assert_eq!(service.shard_count(), shards);
+            let (results, report) = run(service);
+            assert_eq!(report, base_report, "{shards} shards must report what 1 shard reports");
+            assert_eq!(results.len(), base_results.len());
+            for (a, b) in results.iter().zip(&base_results) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.instance_name, b.instance_name);
+                assert_eq!(a.outcome.is_ok(), b.outcome.is_ok());
+            }
         }
     }
 

@@ -1,0 +1,150 @@
+//! Shard planning for the fleet service.
+//!
+//! A [`ShardPlan`] decides which of N independent shards — each with its
+//! own bounded queue, worker pool, and aggregator — a request routes to,
+//! keyed by the request's [`CatalogKey`](doppler_catalog::CatalogKey)
+//! region. Keyless requests route as the global region, so a single-region
+//! fleet with a single-shard plan behaves exactly like the unsharded
+//! service.
+//!
+//! Routing must be a pure function of the request (never of load or
+//! timing): the equivalence suites assert sharded runs are bit-for-bit
+//! identical to unsharded ones, which only holds if the same request
+//! always lands on the same shard.
+
+use doppler_catalog::Region;
+
+/// How a sharded [`FleetService`](crate::FleetService) partitions work.
+///
+/// The default routing hashes the region label (FNV-1a) across
+/// [`shards`](ShardPlan::shards); individual regions can be pinned to a
+/// specific shard for locality or isolation (a noisy region on its own
+/// queue cannot starve the rest of the fleet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    pinned: Vec<(Region, usize)>,
+}
+
+impl Default for ShardPlan {
+    fn default() -> ShardPlan {
+        ShardPlan::single()
+    }
+}
+
+impl ShardPlan {
+    /// One shard: the unsharded service, exactly.
+    pub fn single() -> ShardPlan {
+        ShardPlan::by_region(1)
+    }
+
+    /// `shards` shards (clamped to at least 1), routed by hashing each
+    /// request's region label.
+    pub fn by_region(shards: usize) -> ShardPlan {
+        ShardPlan { shards: shards.max(1), pinned: Vec::new() }
+    }
+
+    /// Pin every request for `region` to `shard`, overriding the hash
+    /// route (and any earlier pin for the same region). Panics if `shard`
+    /// is out of range.
+    pub fn with_pinned_region(mut self, region: Region, shard: usize) -> ShardPlan {
+        assert!(shard < self.shards, "shard {shard} out of range (plan has {})", self.shards);
+        self.pinned.retain(|(r, _)| *r != region);
+        self.pinned.push((region, shard));
+        self
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard a request routes to. `None` — a request with no pinned
+    /// catalog key — routes as [`Region::global`], so keyless and
+    /// explicitly-global requests share a shard.
+    pub fn shard_of(&self, region: Option<&Region>) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let global = Region::global();
+        let region = region.unwrap_or(&global);
+        if let Some((_, shard)) = self.pinned.iter().find(|(r, _)| r == region) {
+            return *shard;
+        }
+        fnv1a(region.as_str().as_bytes()) as usize % self.shards
+    }
+}
+
+/// FNV-1a over the region label: stable across runs and platforms (unlike
+/// `DefaultHasher`, whose keys are randomized per process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let plan = ShardPlan::single();
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.shard_of(None), 0);
+        assert_eq!(plan.shard_of(Some(&Region::new("westeurope"))), 0);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardPlan::by_region(0).shards(), 1);
+    }
+
+    #[test]
+    fn keyless_requests_route_as_the_global_region() {
+        for shards in [2, 3, 4, 7] {
+            let plan = ShardPlan::by_region(shards);
+            assert_eq!(plan.shard_of(None), plan.shard_of(Some(&Region::global())));
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let plan = ShardPlan::by_region(4);
+        for name in ["westeurope", "eastasia", "centralus", "global", "atlantis"] {
+            let region = Region::new(name);
+            let shard = plan.shard_of(Some(&region));
+            assert!(shard < 4);
+            assert_eq!(shard, plan.shard_of(Some(&region)), "{name} must route stably");
+        }
+    }
+
+    #[test]
+    fn distinct_regions_spread_across_shards() {
+        let plan = ShardPlan::by_region(4);
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[plan.shard_of(Some(&Region::new(format!("region-{i}"))))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 regions over 4 shards must hit every shard");
+    }
+
+    #[test]
+    fn pins_override_the_hash_route() {
+        let west = Region::new("westeurope");
+        let plan = ShardPlan::by_region(4).with_pinned_region(west.clone(), 3);
+        assert_eq!(plan.shard_of(Some(&west)), 3);
+        // Re-pinning replaces the earlier pin.
+        let plan = plan.with_pinned_region(west.clone(), 1);
+        assert_eq!(plan.shard_of(Some(&west)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pin_panics() {
+        let _ = ShardPlan::by_region(2).with_pinned_region(Region::new("westeurope"), 2);
+    }
+}

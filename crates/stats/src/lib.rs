@@ -24,6 +24,7 @@ pub mod bootstrap;
 pub mod descriptive;
 pub mod distance;
 pub mod ecdf;
+pub mod exactsum;
 pub mod hierarchical;
 pub mod kmeans;
 pub mod loess;
@@ -38,6 +39,7 @@ pub use bootstrap::{BootstrapWindows, WindowSampler};
 pub use descriptive::{mean, quantile, stddev, variance, Summary};
 pub use distance::{euclidean, euclidean_sq, manhattan};
 pub use ecdf::Ecdf;
+pub use exactsum::ExactSum;
 pub use hierarchical::{hierarchical_cluster, Linkage};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use loess::loess_smooth;

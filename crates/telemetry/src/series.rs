@@ -1,14 +1,21 @@
 //! Evenly spaced time series at a fixed sampling interval.
 
+use std::sync::Arc;
+
 /// Default sampling interval of the DMA collector (§4): 10 minutes.
 pub const DEFAULT_INTERVAL_MINUTES: u32 = 10;
 
 /// An evenly spaced series of samples.
+///
+/// The sample buffer is immutable and `Arc`-shared: cloning a series (or
+/// any request/history holding one) is a refcount bump, never a buffer
+/// copy — what lets a fleet run re-submit multi-week telemetry windows
+/// through queues and worker threads without re-allocating them per hop.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimeSeries {
     /// Minutes between consecutive samples.
     interval_minutes: u32,
-    values: Vec<f64>,
+    values: Arc<[f64]>,
 }
 
 impl TimeSeries {
@@ -21,7 +28,7 @@ impl TimeSeries {
             values.iter().all(|v| v.is_finite()),
             "non-finite sample in TimeSeries; run the pre-aggregator first"
         );
-        TimeSeries { interval_minutes, values }
+        TimeSeries { interval_minutes, values: values.into() }
     }
 
     /// A series at the standard 10-minute DMA interval.
@@ -65,7 +72,7 @@ impl TimeSeries {
         let start = start.min(end);
         TimeSeries {
             interval_minutes: self.interval_minutes,
-            values: self.values[start..end].to_vec(),
+            values: self.values[start..end].into(),
         }
     }
 
@@ -82,7 +89,7 @@ impl TimeSeries {
         assert_eq!(self.values.len(), other.values.len(), "length mismatch");
         TimeSeries {
             interval_minutes: self.interval_minutes,
-            values: self.values.iter().zip(&other.values).map(|(a, b)| a + b).collect(),
+            values: self.values.iter().zip(other.values.iter()).map(|(a, b)| a + b).collect(),
         }
     }
 
@@ -93,7 +100,7 @@ impl TimeSeries {
         assert_eq!(self.values.len(), other.values.len(), "length mismatch");
         TimeSeries {
             interval_minutes: self.interval_minutes,
-            values: self.values.iter().zip(&other.values).map(|(a, b)| a.max(*b)).collect(),
+            values: self.values.iter().zip(other.values.iter()).map(|(a, b)| a.max(*b)).collect(),
         }
     }
 }
@@ -160,6 +167,16 @@ mod tests {
         let a = TimeSeries::ten_minute(vec![1.0, 20.0]);
         let b = TimeSeries::ten_minute(vec![10.0, 2.0]);
         assert_eq!(a.max_with(&b).values(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn clones_share_the_sample_buffer() {
+        let a = TimeSeries::ten_minute(vec![1.5; 1024]);
+        let b = a.clone();
+        // A clone is a refcount bump, not a 1024-sample copy — the fleet
+        // hot path re-submits windows without reallocating them.
+        assert_eq!(a.values().as_ptr(), b.values().as_ptr());
+        assert_eq!(a, b);
     }
 
     #[test]

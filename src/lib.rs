@@ -75,7 +75,7 @@ pub mod prelude {
         AbAssessment, AbFleet, AbSummary, AssessmentService, CatalogRollOutcome, DriftMonitor,
         DriftOutcome, DriftPass, DriftVerdict, EngineRoute, FleetAssessment, FleetAssessor,
         FleetConfig, FleetDriftReport, FleetReport, FleetRequest, FleetService, MonitoredCustomer,
-        ServiceProgress, Ticket, TicketQueue,
+        ServiceProgress, ShardPlan, Ticket, TicketQueue,
     };
     pub use doppler_obs::{ObsRegistry, ObsSnapshot};
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};

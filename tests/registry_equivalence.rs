@@ -114,7 +114,7 @@ fn reference_results(fleet: &[FleetRequest]) -> Vec<FleetResult> {
             let pipeline = &pipelines.iter().find(|(k, _)| *k == key).expect("just inserted").1;
             FleetResult {
                 index,
-                instance_name: request.request.instance_name.clone(),
+                instance_name: request.request.instance_name.as_str().into(),
                 deployment: request.deployment,
                 month: request.month.clone(),
                 outcome: Ok(pipeline.assess(&request.request)),

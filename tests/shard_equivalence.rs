@@ -1,0 +1,274 @@
+//! Shard equivalence: a sharded `FleetService` must be bit-for-bit
+//! indistinguishable from the unsharded one. A mixed-region cohort
+//! streamed through every (shards × workers) combination must produce the
+//! identical `FleetReport` (including its adoption ledger), identical
+//! per-instance results in identical global submission order, and
+//! conserved observability spans (per-shard stage histograms sum to the
+//! cohort size, every lane gauge drains to zero).
+//!
+//! The aggregator-level law behind that guarantee is property-tested
+//! below: `FleetAggregator::merge` agrees with the sequential
+//! `accept_digest` fold for arbitrary digest interleavings, and is
+//! associative, so any shard partition merged in any grouping reports the
+//! same thing.
+//!
+//! CI runs this in the determinism job with `--test-threads=1` and
+//! `SHARD_COHORT=10000`; the default cohort stays small for local runs.
+
+use std::sync::Arc;
+
+use doppler::dma::preprocess::PreprocessedInstance;
+use doppler::fleet::{DigestOutcome, FleetAggregator, FleetResult, ResultDigest};
+use doppler::prelude::*;
+use proptest::prelude::*;
+
+const WORKER_SWEEP: [usize; 3] = [1, 4, 8];
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn cohort_size() -> usize {
+    std::env::var("SHARD_COHORT").ok().and_then(|v| v.parse().ok()).unwrap_or(400)
+}
+
+fn regions() -> Vec<Region> {
+    (0..7).map(|i| Region::new(format!("region-{i}"))).collect()
+}
+
+fn provider(regions: &[Region]) -> InMemoryCatalogProvider {
+    regions.iter().fold(InMemoryCatalogProvider::production(), |p, r| {
+        p.with_region(r.clone(), CatalogVersion::INITIAL, &CatalogSpec::default(), 1.0)
+    })
+}
+
+/// A mixed-region cohort: most requests pinned across seven regional
+/// catalogs, every ninth keyless (routing as the global region), all
+/// month-tagged so the adoption ledger is exercised too.
+fn cohort(size: usize, regions: &[Region]) -> Vec<FleetRequest> {
+    (0..size)
+        .map(|i| {
+            let cpu = 0.3 + (i % 9) as f64 * 0.7;
+            let history = PerfHistory::new()
+                .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 96]))
+                .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 96]));
+            let request = AssessmentRequest {
+                instance_name: format!("inst-{i}"),
+                input: PreprocessedInstance {
+                    instance: history,
+                    databases: (0..1 + i % 3)
+                        .map(|d| (format!("inst-{i}/db{d}"), PerfHistory::new()))
+                        .collect(),
+                    file_sizes_gib: vec![],
+                },
+                confidence: None,
+            };
+            let mut r = FleetRequest::new(DeploymentType::SqlDb, request)
+                .with_month(["Oct-21", "Nov-21", "Dec-21"][i % 3]);
+            if i % 9 != 0 {
+                let region = regions[i % regions.len()].clone();
+                r = r.with_catalog_key(CatalogKey::new(
+                    DeploymentType::SqlDb,
+                    region,
+                    CatalogVersion::INITIAL,
+                ));
+            }
+            r
+        })
+        .collect()
+}
+
+fn build_service(shards: usize, workers: usize, obs: Option<&ObsRegistry>) -> FleetService {
+    let registry = Arc::new(EngineRegistry::new(Arc::new(provider(&regions()))));
+    let config = FleetConfig { workers, queue_depth: workers * 4, keep_results: true };
+    let mut assessor = FleetAssessor::over_registry(registry, config)
+        .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+        .with_shard_plan(ShardPlan::by_region(shards));
+    if let Some(obs) = obs {
+        assessor = assessor.with_obs(obs);
+    }
+    assessor.into_service()
+}
+
+/// Stream the cohort through, collect every ticket, and return the results
+/// sorted by global index plus the final report.
+fn run(service: FleetService, fleet: &[FleetRequest]) -> (Vec<FleetResult>, FleetReport) {
+    let mut queue = TicketQueue::new();
+    let mut results = Vec::new();
+    for r in fleet {
+        queue.push(service.submit(r.clone()).unwrap_or_else(|_| unreachable!("open service")));
+        while let Some(result) = queue.try_next() {
+            results.push(result);
+        }
+    }
+    while let Some(result) = queue.next_blocking() {
+        results.push(result);
+    }
+    results.sort_by_key(|r| r.index);
+    let report = service.shutdown();
+    (results, report)
+}
+
+#[test]
+fn sharded_runs_match_the_unsharded_run_bit_for_bit() {
+    let fleet = cohort(cohort_size(), &regions());
+    let (base_results, base_report) = run(build_service(1, 1, None), &fleet);
+    assert_eq!(base_report.fleet_size, fleet.len());
+    assert!(base_report.failed == 0, "{:?}", base_report.failures);
+
+    for shards in SHARD_SWEEP {
+        for workers in WORKER_SWEEP {
+            let service = build_service(shards, workers, None);
+            assert_eq!(service.shard_count(), shards);
+            let (results, report) = run(service, &fleet);
+            let tag = format!("{shards} shards x {workers} workers");
+            // Reports (cost totals, SKU mix, histograms, attention lists,
+            // adoption ledger) are bit-for-bit identical…
+            assert_eq!(report, base_report, "report at {tag}");
+            assert_eq!(report.adoption, base_report.adoption, "ledger at {tag}");
+            // …and so is every per-instance result, in global submission
+            // order.
+            assert_eq!(results.len(), base_results.len(), "result count at {tag}");
+            for (got, want) in results.iter().zip(&base_results) {
+                assert_eq!(got.index, want.index, "{tag}");
+                assert_eq!(got.instance_name, want.instance_name, "{tag}");
+                let (g, w) = (got.outcome.as_ref().unwrap(), want.outcome.as_ref().unwrap());
+                assert_eq!(g.recommendation.sku_id, w.recommendation.sku_id, "{tag}");
+                assert_eq!(g.recommendation.monthly_cost, w.recommendation.monthly_cost, "{tag}");
+                assert_eq!(g.recommendation.shape, w.recommendation.shape, "{tag}");
+            }
+        }
+    }
+}
+
+/// Observability conservation under sharding: per-shard stage histograms
+/// sum to the cohort size, per-shard worker counters partition it, and
+/// every per-shard lane gauge drains to zero — no span is lost or double
+/// counted by the fan-out, batched popping included.
+#[test]
+fn sharded_obs_spans_conserve_and_gauges_drain() {
+    let fleet = cohort(cohort_size().min(240), &regions());
+    for shards in SHARD_SWEEP {
+        let workers = 2;
+        let obs = ObsRegistry::enabled();
+        let service = build_service(shards, workers, Some(&obs));
+        let (results, report) = run(service, &fleet);
+        assert_eq!(results.len(), fleet.len());
+        assert_eq!(report.fleet_size, fleet.len());
+        let snapshot = obs.snapshot();
+        let prefix =
+            |s: usize| if shards == 1 { "fleet".to_string() } else { format!("fleet.shard{s}") };
+
+        for stage in ["stage.queue_wait", "stage.aggregate", "queue.pop_wait"] {
+            let total: u64 = (0..shards)
+                .map(|s| {
+                    snapshot.histogram(&format!("{}.{stage}", prefix(s))).map_or(0, |h| h.count)
+                })
+                .sum();
+            assert_eq!(total, fleet.len() as u64, "{stage} at {shards} shards");
+        }
+        let worker_tasks: u64 = (0..shards)
+            .flat_map(|s| (0..workers).map(move |i| (s, i)))
+            .map(|(s, i)| {
+                let name = if shards == 1 {
+                    format!("fleet.worker.{i}.tasks")
+                } else {
+                    format!("fleet.shard{s}.worker.{i}.tasks")
+                };
+                snapshot.counter(&name).unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(worker_tasks, fleet.len() as u64, "worker tasks at {shards} shards");
+        for s in 0..shards {
+            for lane in ["normal", "priority"] {
+                assert_eq!(
+                    snapshot.gauge(&format!("{}.queue.depth.{lane}", prefix(s))),
+                    Some(0),
+                    "lane {lane} at shard {s}/{shards}"
+                );
+            }
+        }
+        // The engine-set stages stay global: one resolve/assess span per
+        // assessment regardless of the plan.
+        assert_eq!(
+            snapshot.histogram("fleet.stage.assess").map(|h| h.count),
+            Some(fleet.len() as u64),
+            "assess spans at {shards} shards"
+        );
+    }
+}
+
+/// Build one synthetic digest from a generated spec tuple.
+fn digest(index: usize, kind: u8, sku: u8, month: u8, flagged: bool) -> ResultDigest {
+    let outcome = if kind == 0 {
+        DigestOutcome::Failed { message: format!("boom-{index}") }
+    } else {
+        DigestOutcome::Assessed {
+            databases_assessed: 1 + (kind as usize % 3),
+            shape: [CurveShape::Flat, CurveShape::Simple, CurveShape::Complex][kind as usize % 3],
+            confidence: flagged.then_some(0.2 + 0.15 * kind as f64),
+            // kind == 1 leaves the instance unplaceable (no SKU selected).
+            sku: (kind != 1)
+                .then(|| (Arc::from(format!("SKU_{sku}").as_str()), 7.5 * sku as f64 + 1.0)),
+            eligible_recommendations: 1 + sku as usize,
+        }
+    };
+    ResultDigest {
+        index,
+        instance_name: Arc::from(format!("inst-{index}").as_str()),
+        deployment: if kind.is_multiple_of(2) {
+            DeploymentType::SqlDb
+        } else {
+            DeploymentType::SqlMi
+        },
+        month: (month > 0).then(|| Arc::from(["Oct-21", "Nov-21"][month as usize - 1])),
+        outcome,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary digest streams and arbitrary shard assignments,
+    /// folding per shard then merging reports exactly what the sequential
+    /// fold reports — and the merge is associative, so the grouping of the
+    /// merges doesn't matter either.
+    #[test]
+    fn merge_agrees_with_the_sequential_fold_and_is_associative(
+        spec in proptest::collection::vec((0u8..5, 0u8..4, 0u8..3, 0u8..2), 0..120),
+        shards in 1usize..5,
+        salt in 0usize..97,
+    ) {
+        let digests: Vec<ResultDigest> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, sku, month, flagged))| digest(i, kind, sku, month, flagged == 1))
+            .collect();
+
+        let mut sequential = FleetAggregator::new();
+        for d in &digests {
+            sequential.accept_digest(d);
+        }
+
+        // Arbitrary deterministic shard assignment (index-mixed, salted).
+        let mut parts: Vec<FleetAggregator> =
+            (0..shards).map(|_| FleetAggregator::new()).collect();
+        for (i, d) in digests.iter().enumerate() {
+            parts[(i.wrapping_mul(31) + salt) % shards].accept_digest(d);
+        }
+
+        // Left-to-right merge matches the sequential fold…
+        let mut left = FleetAggregator::new();
+        for p in &parts {
+            left.merge(p);
+        }
+        prop_assert_eq!(left.finish_ref(), sequential.finish_ref());
+
+        // …and so does the opposite grouping: fold the tail first, then
+        // merge the head into it last.
+        let mut tail = FleetAggregator::new();
+        for p in parts.iter().skip(1).rev() {
+            tail.merge(p);
+        }
+        let mut right = parts.into_iter().next().unwrap_or_default();
+        right.merge(&tail);
+        prop_assert_eq!(right.finish_ref(), sequential.finish_ref());
+    }
+}
