@@ -1,0 +1,110 @@
+//! Simulator throughput: how many simulated years of fleet life the
+//! [`FleetScheduler`] turns per wall-clock second, as the service scales
+//! from one shard to four.
+//!
+//! Each iteration is one complete two-year simulation — staggered
+//! onboarding across three regions, monthly telemetry with mid-life
+//! drift for every fifth customer, a rotating price cut every six months
+//! (dispatched through the change-log cursor), and idle-TTL retirement —
+//! so `iters_per_sec × 2` reads directly as simulated-years/sec.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{
+    CatalogKey, CatalogSpec, CatalogVersion, DeploymentType, InMemoryCatalogProvider, PriceFeed,
+    RefreshableCatalogProvider, Region,
+};
+use doppler_core::EngineRegistry;
+use doppler_fleet::{
+    DriftMonitor, EngineRoute, FleetAssessor, FleetConfig, FleetScheduler, MonitoredCustomer,
+    ShardPlan, SimClock,
+};
+use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
+
+const COHORT: usize = 48;
+const YEARS: usize = 2;
+const WORKERS: usize = 2;
+const REGIONS: [(&str, f64); 3] = [("global", 1.0), ("westeurope", 1.08), ("eastasia", 1.12)];
+
+fn window(cpu: f64) -> PerfHistory {
+    PerfHistory::new()
+        .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 48]))
+        .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 48]))
+}
+
+/// A fully scheduled simulation, ready to run: the same calendar
+/// `examples/fleet_sim.rs` uses, shrunk to bench scale.
+fn scheduled_sim(shards: usize) -> FleetScheduler {
+    let horizon = YEARS * 12;
+    let inner = REGIONS.iter().fold(InMemoryCatalogProvider::new(), |p, &(region, multiplier)| {
+        p.with_region(
+            Region::new(region),
+            CatalogVersion::INITIAL,
+            &CatalogSpec::default(),
+            multiplier,
+        )
+    });
+    let provider = Arc::new(RefreshableCatalogProvider::new(Arc::new(inner)));
+    let registry = Arc::new(EngineRegistry::new(
+        Arc::clone(&provider) as Arc<dyn doppler_catalog::CatalogProvider>
+    ));
+    let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(WORKERS))
+        .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+        .with_shard_plan(ShardPlan::by_region(shards));
+    let mut sim = FleetScheduler::new(DriftMonitor::new(assessor), SimClock::starting(2022, 1))
+        .with_provider(Arc::clone(&provider))
+        .with_idle_ttl(6)
+        .with_version_window(2);
+
+    for i in 0..COHORT {
+        let (region, _) = REGIONS[i % REGIONS.len()];
+        let key = CatalogKey::new(DeploymentType::SqlDb, Region::new(region), CatalogVersion(1));
+        let name = format!("cust-{i:04}");
+        let base = 0.3 + 0.45 * ((i / REGIONS.len()) % 16) as f64;
+        let onboard = i % 12;
+        sim.onboard_at(
+            onboard,
+            MonitoredCustomer::new(&name, DeploymentType::SqlDb, window(base))
+                .with_catalog_key(key),
+        );
+        for m in onboard + 1..(onboard + 18).min(horizon) {
+            let cpu = if i % 5 == 0 && m >= onboard + 6 { base * 3.0 + 2.0 } else { base };
+            sim.telemetry_at(m, &name, window(cpu));
+        }
+    }
+    for (k, m) in (5..horizon).step_by(6).enumerate() {
+        let (region, _) = REGIONS[k % REGIONS.len()];
+        sim.feed_at(m, Region::new(region), PriceFeed::Multiplier(0.95));
+    }
+    sim
+}
+
+/// Run the whole simulated life and return the work actually done, so
+/// the compiler cannot elide any month.
+fn simulate(shards: usize) -> usize {
+    let mut sim = scheduled_sim(shards);
+    sim.run(YEARS * 12);
+    let summary = sim.summary();
+    let work = summary.drift_checks + summary.customers_repriced + summary.customers_retired;
+    let report = sim.shutdown();
+    assert!(report.schedule.is_some());
+    work
+}
+
+/// Simulated-years/sec at 1, 2, and 4 shards: one complete two-year,
+/// 48-customer fleet life per iteration.
+fn bench_sim_years(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("fleet_sim_{YEARS}y_{COHORT}_customers"));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| simulate(std::hint::black_box(shards)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_years);
+criterion_main!(benches);

@@ -644,6 +644,19 @@ impl RefreshableCatalogProvider {
         self.read().log.clone()
     }
 
+    /// The change log from `offset` onward — the cursor-based
+    /// subscription primitive. A consumer that has already handled the
+    /// first `offset` rolls calls this with its cursor and advances it by
+    /// the returned length; replaying the same cursor twice between rolls
+    /// returns nothing, so a subscriber (e.g.
+    /// `DriftMonitor::dispatch_rolls`) never re-dispatches a roll it has
+    /// handled. An `offset` past the end of the log is not an error — it
+    /// returns the empty tail.
+    pub fn change_log_since(&self, offset: usize) -> Vec<CatalogRoll> {
+        let state = self.read();
+        state.log[offset.min(state.log.len())..].to_vec()
+    }
+
     /// Rolls applied so far.
     pub fn rolls(&self) -> usize {
         self.read().log.len()
@@ -954,6 +967,34 @@ mod tests {
         // The untouched region's frontier did not move.
         let global = provider.latest(DeploymentType::SqlDb, &Region::global()).unwrap();
         assert_eq!(global.version, CatalogVersion::INITIAL);
+    }
+
+    #[test]
+    fn change_log_since_is_a_replay_safe_cursor() {
+        let provider = refreshable();
+        let west = Region::new("westeurope");
+        assert!(provider.change_log_since(0).is_empty(), "no rolls yet");
+
+        let first = provider.apply_feed(&west, PriceFeed::Multiplier(0.9)).unwrap();
+        assert_eq!(provider.change_log_since(0), provider.change_log());
+        assert_eq!(provider.change_log_since(0), first);
+        let mut cursor = provider.rolls();
+        assert!(provider.change_log_since(cursor).is_empty(), "cursor drained the log");
+        assert!(
+            provider.change_log_since(cursor).is_empty(),
+            "replaying the same cursor twice yields nothing new"
+        );
+
+        let second = provider.apply_feed(&Region::global(), PriceFeed::Multiplier(0.8)).unwrap();
+        let tail = provider.change_log_since(cursor);
+        assert_eq!(tail, second, "only the rolls after the cursor come back");
+        cursor += tail.len();
+        assert_eq!(cursor, provider.rolls());
+        assert!(provider.change_log_since(cursor).is_empty());
+        assert!(
+            provider.change_log_since(cursor + 10).is_empty(),
+            "past-the-end is empty, not a panic"
+        );
     }
 
     #[test]

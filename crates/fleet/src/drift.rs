@@ -58,8 +58,9 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use doppler_catalog::{CatalogKey, DeploymentType, Region};
+use doppler_catalog::{CatalogKey, DeploymentType, RefreshableCatalogProvider, Region};
 use doppler_core::{detect_drift, ConfidenceConfig, DriftSeverity};
 use doppler_dma::{AdoptionLedger, AssessmentRequest};
 use doppler_telemetry::PerfHistory;
@@ -554,8 +555,14 @@ pub struct CatalogRollOutcome {
     pub retired_engines: usize,
     /// Priority-lane re-assessments of the customers that were pinned to
     /// the old key, in watch order — their standing recommendations
-    /// re-priced against the new catalog version.
+    /// re-priced against the new catalog version. Every pinned customer
+    /// appears here exactly once: a re-price that could not run (the
+    /// service closed mid-roll) is surfaced as a *failed* result, never
+    /// silently dropped.
     pub repriced: Vec<FleetResult>,
+    /// How many of [`repriced`](CatalogRollOutcome::repriced) failed —
+    /// assessment errors plus re-prices the service refused or dropped.
+    pub reprice_failures: usize,
 }
 
 /// One completed monitoring pass.
@@ -588,6 +595,10 @@ pub struct DriftMonitor {
     /// Catalog rolls processed since the last pass; folded into the next
     /// [`FleetDriftReport::catalog_rolls`].
     rolls_since_tick: usize,
+    /// How far into a provider's change log
+    /// [`dispatch_rolls`](DriftMonitor::dispatch_rolls) has dispatched —
+    /// the last-seen-roll cursor that makes log replay idempotent.
+    roll_cursor: usize,
 }
 
 impl DriftMonitor {
@@ -608,6 +619,7 @@ impl DriftMonitor {
             p_g: 0.0,
             ledger: AdoptionLedger::default(),
             rolls_since_tick: 0,
+            roll_cursor: 0,
         }
     }
 
@@ -651,6 +663,27 @@ impl DriftMonitor {
     /// Customers currently watched.
     pub fn watched(&self) -> usize {
         self.watched.len()
+    }
+
+    /// The watched customer names, in pass (registration) order.
+    pub fn watched_names(&self) -> impl Iterator<Item = &str> {
+        self.watched.iter().map(|w| w.customer.name.as_str())
+    }
+
+    /// Stop watching `name`, dropping its entry (and any staged window).
+    /// The remaining customers keep their relative pass order. Returns
+    /// `false` for unknown names. O(watched) — the name→slot map
+    /// re-indexes — so retire in batches (the scheduler's TTL sweep),
+    /// not per telemetry sample.
+    pub fn unwatch(&mut self, name: &str) -> bool {
+        let Some(slot) = self.slots.remove(name) else { return false };
+        self.watched.remove(slot);
+        for s in self.slots.values_mut() {
+            if *s > slot {
+                *s -= 1;
+            }
+        }
+        true
     }
 
     /// Stage `name`'s freshest telemetry window for the next pass
@@ -837,7 +870,7 @@ impl DriftMonitor {
     }
 
     /// Process one catalog version roll — the lifecycle hook a
-    /// [`RefreshableCatalogProvider`](doppler_catalog::RefreshableCatalogProvider)
+    /// [`RefreshableCatalogProvider`]
     /// feed produces a [`CatalogRoll`](doppler_catalog::CatalogRoll) for:
     ///
     /// 1. the old key is **retired** in the shared registry
@@ -869,8 +902,15 @@ impl DriftMonitor {
 
         // Re-pin and re-queue, in watch order. The key moves even if the
         // re-assessment later fails: the old key is retired, so leaving a
-        // customer pinned to it would strand every future check.
-        let mut tickets = Vec::new();
+        // customer pinned to it would strand every future check. A submit
+        // the service refuses (closed mid-roll) must still surface — the
+        // customer was already re-pinned, so dropping it here would hide
+        // an un-re-priced customer from the outcome and the ledger.
+        enum Submitted {
+            InFlight(crate::service::Ticket),
+            Refused,
+        }
+        let mut pending = Vec::new();
         for (slot, w) in self.watched.iter_mut().enumerate() {
             if w.customer.catalog_key.as_ref() != Some(old_key) {
                 continue;
@@ -887,18 +927,40 @@ impl DriftMonitor {
                 .with_catalog_key(new_key.clone())
                 .with_month(month)
                 .with_priority();
-            if let Ok(ticket) = self.service.submit(fleet_request) {
-                tickets.push((slot, ticket));
-            }
+            let submitted = match self.service.submit(fleet_request) {
+                Ok(ticket) => Submitted::InFlight(ticket),
+                Err(_) => Submitted::Refused,
+            };
+            pending.push((slot, submitted));
         }
 
-        let mut repriced = Vec::with_capacity(tickets.len());
-        for (slot, ticket) in tickets {
-            let Some(result) = ticket.recv() else { continue };
-            if let Ok(assessed) = &result.outcome {
-                let w = &mut self.watched[slot];
-                w.customer.baseline_sku = assessed.recommendation.sku_id.clone();
-                w.customer.baseline_cost = assessed.recommendation.monthly_cost;
+        let month_label: Arc<str> = Arc::from(month);
+        let mut repriced = Vec::with_capacity(pending.len());
+        let mut reprice_failures = 0usize;
+        for (position, (slot, submitted)) in pending.into_iter().enumerate() {
+            // A refused submit — or a ticket the shut-down service never
+            // answers — becomes a failed result for the customer, indexed
+            // by its position in this roll.
+            let failed = |message: &str| FleetResult {
+                index: position,
+                instance_name: Arc::from(self.watched[slot].customer.name.as_str()),
+                deployment: self.watched[slot].customer.deployment,
+                month: Some(Arc::clone(&month_label)),
+                outcome: Err(AssessmentError { message: message.to_string() }),
+            };
+            let result = match submitted {
+                Submitted::InFlight(ticket) => ticket
+                    .recv()
+                    .unwrap_or_else(|| failed("re-price dropped: service shut down mid-roll")),
+                Submitted::Refused => failed("re-price refused: service closed"),
+            };
+            match &result.outcome {
+                Ok(assessed) => {
+                    let w = &mut self.watched[slot];
+                    w.customer.baseline_sku = assessed.recommendation.sku_id.clone();
+                    w.customer.baseline_cost = assessed.recommendation.monthly_cost;
+                }
+                Err(_) => reprice_failures += 1,
             }
             repriced.push(result);
         }
@@ -906,11 +968,14 @@ impl DriftMonitor {
         self.rolls_since_tick += 1;
         let obs = self.service.obs();
         obs.counter("drift.catalog_rolls").incr();
+        if reprice_failures > 0 {
+            obs.counter("drift.reprice_failures").add(reprice_failures as u64);
+        }
         if obs.is_enabled() {
             obs.event(
                 "catalog.roll",
                 &format!(
-                    "month={month} {old_key} -> {new_key} retired={retired_engines} repriced={}",
+                    "month={month} {old_key} -> {new_key} retired={retired_engines} repriced={} failed={reprice_failures}",
                     repriced.len()
                 ),
             );
@@ -920,7 +985,38 @@ impl DriftMonitor {
             new_key: new_key.clone(),
             retired_engines,
             repriced,
+            reprice_failures,
         }
+    }
+
+    /// Dispatch every change-log roll this monitor has not yet handled —
+    /// oldest first, each through
+    /// [`on_catalog_roll`](DriftMonitor::on_catalog_roll) — and advance
+    /// the monitor's last-seen-roll cursor past them.
+    ///
+    /// This is the replay-safe subscription over
+    /// [`RefreshableCatalogProvider::change_log_since`]: because the
+    /// monitor only ever reads the log *after* its cursor, feeding it the
+    /// same provider twice (or re-running a dispatch loop over an
+    /// unchanged log) dispatches nothing the second time — each roll
+    /// re-prices its pinned customers exactly once. Hand-replaying the
+    /// full [`change_log`](RefreshableCatalogProvider::change_log) into
+    /// [`on_catalog_roll`](DriftMonitor::on_catalog_roll) has no such
+    /// protection and double-dispatches; prefer this entry point.
+    pub fn dispatch_rolls(
+        &mut self,
+        month: &str,
+        provider: &RefreshableCatalogProvider,
+    ) -> Vec<CatalogRollOutcome> {
+        let rolls = provider.change_log_since(self.roll_cursor);
+        self.roll_cursor += rolls.len();
+        rolls.iter().map(|roll| self.on_catalog_roll(month, &roll.old_key, &roll.new_key)).collect()
+    }
+
+    /// How many change-log rolls
+    /// [`dispatch_rolls`](DriftMonitor::dispatch_rolls) has dispatched.
+    pub fn roll_cursor(&self) -> usize {
+        self.roll_cursor
     }
 
     /// Shut the underlying service down, returning its final assessment
@@ -1385,6 +1481,163 @@ mod tests {
         assert!(outcome.repriced.is_empty());
         assert_eq!(monitor.ledger().month("Jan-23").unwrap().catalog_rolls, 1);
         assert_eq!(monitor.ledger().month("Jan-23").unwrap().customers_repriced, 0);
+    }
+
+    /// A monitor over a registry-backed service with `pinned` customers
+    /// pinned to the initial West Europe DB key, for the roll-dispatch
+    /// tests. Returns the monitor, the provider, and the pinned key.
+    fn pinned_monitor(
+        pinned: usize,
+    ) -> (DriftMonitor, Arc<doppler_catalog::RefreshableCatalogProvider>, CatalogKey) {
+        use doppler_catalog::{RefreshableCatalogProvider, Region};
+        let provider = Arc::new(RefreshableCatalogProvider::new(Arc::new(
+            InMemoryCatalogProvider::production().with_region(
+                Region::new("westeurope"),
+                CatalogVersion::INITIAL,
+                &CatalogSpec::default(),
+                1.08,
+            ),
+        )));
+        let registry = Arc::new(EngineRegistry::new(
+            Arc::clone(&provider) as Arc<dyn doppler_catalog::CatalogProvider>
+        ));
+        let assessor = FleetAssessor::over_registry(registry, FleetConfig::with_workers(2))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)));
+        let mut monitor = DriftMonitor::new(assessor);
+        let key =
+            CatalogKey::production(DeploymentType::SqlDb).in_region(Region::new("westeurope"));
+        for i in 0..pinned {
+            monitor.watch(
+                MonitoredCustomer::new(format!("pin-{i}"), DeploymentType::SqlDb, window(0.5, 48))
+                    .with_catalog_key(key.clone()),
+            );
+        }
+        (monitor, provider, key)
+    }
+
+    #[test]
+    fn twice_replayed_change_log_reprices_each_customer_exactly_once() {
+        use doppler_catalog::{PriceFeed, Region};
+        let (mut monitor, provider, key) = pinned_monitor(2);
+        let west = Region::new("westeurope");
+
+        // Nothing in the log yet: dispatch is a no-op.
+        assert!(monitor.dispatch_rolls("Oct-22", &provider).is_empty());
+        assert_eq!(monitor.roll_cursor(), 0);
+
+        // A price cut rolls the region (both deployments). The first
+        // dispatch re-prices each pinned customer exactly once.
+        provider.apply_feed(&west, PriceFeed::Multiplier(0.9)).unwrap();
+        let outcomes = monitor.dispatch_rolls("Nov-22", &provider);
+        assert_eq!(outcomes.len(), 2, "DB and MI keys of the region rolled together");
+        assert_eq!(monitor.roll_cursor(), provider.rolls());
+        let db_roll = outcomes.iter().find(|o| o.old_key == key).expect("DB key rolled");
+        assert_eq!(db_roll.repriced.len(), 2);
+        assert_eq!(db_roll.reprice_failures, 0);
+        assert_eq!(monitor.ledger().month("Nov-22").unwrap().customers_repriced, 2);
+
+        // The regression: replaying the (unchanged) log again — the exact
+        // call pattern that used to double-dispatch when operators fed
+        // `change_log()` back into `on_catalog_roll` — dispatches nothing.
+        assert!(monitor.dispatch_rolls("Nov-22", &provider).is_empty());
+        assert!(monitor.dispatch_rolls("Nov-22", &provider).is_empty());
+        assert_eq!(
+            monitor.ledger().month("Nov-22").unwrap().customers_repriced,
+            2,
+            "a twice-replayed log re-prices each customer exactly once"
+        );
+        assert_eq!(monitor.ledger().month("Nov-22").unwrap().catalog_rolls, 2);
+
+        // A *new* roll after the cursor still dispatches (exactly once).
+        provider.apply_feed(&west, PriceFeed::Multiplier(0.8)).unwrap();
+        let outcomes = monitor.dispatch_rolls("Dec-22", &provider);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(monitor.ledger().month("Dec-22").unwrap().customers_repriced, 2);
+        assert!(monitor.dispatch_rolls("Dec-22", &provider).is_empty());
+        assert_eq!(monitor.ledger().month("Dec-22").unwrap().customers_repriced, 2);
+    }
+
+    #[test]
+    fn refused_reprices_surface_as_failed_results_not_silent_drops() {
+        use doppler_catalog::PriceFeed;
+        let (mut monitor, provider, key) = pinned_monitor(2);
+        provider
+            .apply_feed(&doppler_catalog::Region::new("westeurope"), PriceFeed::Multiplier(0.9))
+            .unwrap();
+        let roll = provider.change_log().into_iter().find(|r| r.old_key == key).unwrap();
+
+        // The service closes under the monitor (operator shutdown racing a
+        // feed). Every pinned customer's re-price submit is refused — the
+        // old behavior dropped them from the outcome entirely.
+        monitor.service().close();
+        let outcome = monitor.on_catalog_roll("Jan-23", &roll.old_key, &roll.new_key);
+        assert_eq!(outcome.repriced.len(), 2, "refused re-prices still surface, in watch order");
+        assert_eq!(outcome.reprice_failures, 2);
+        for (i, result) in outcome.repriced.iter().enumerate() {
+            assert_eq!(&*result.instance_name, &format!("pin-{i}"));
+            assert_eq!(result.month.as_deref(), Some("Jan-23"));
+            let err = result.outcome.as_ref().unwrap_err();
+            assert!(err.message.contains("re-price refused"), "{}", err.message);
+        }
+        // The ledger only counts *successful* re-prices, but the roll is
+        // recorded (the failure count rides the outcome).
+        assert_eq!(monitor.ledger().month("Jan-23").unwrap().catalog_rolls, 1);
+        assert_eq!(monitor.ledger().month("Jan-23").unwrap().customers_repriced, 0);
+    }
+
+    #[test]
+    fn rewatching_replaces_the_baseline_and_keeps_pass_order() {
+        let mut monitor = monitor(2);
+        monitor.watch(
+            MonitoredCustomer::new("a", DeploymentType::SqlDb, window(0.5, 96))
+                .with_recommendation("DB_GP_2", Some(100.0)),
+        );
+        monitor.watch(MonitoredCustomer::new("b", DeploymentType::SqlDb, window(0.5, 96)));
+
+        // Re-watch "a" with a *grown* baseline: the slot must be replaced
+        // in place — same pass order, no stale duplicate left behind.
+        monitor.watch(MonitoredCustomer::new("a", DeploymentType::SqlDb, window(7.0, 96)));
+        assert_eq!(monitor.watched(), 2, "no duplicate entry");
+        assert_eq!(monitor.watched_names().collect::<Vec<_>>(), ["a", "b"]);
+
+        // Drift verdicts prove the *new* baseline is in force: the same
+        // 7.0-CPU window that would read as drifted against the old
+        // baseline is stable against the replacement.
+        monitor.observe("a", window(7.0, 96));
+        monitor.observe("b", window(0.5, 96));
+        let pass = monitor.tick("Feb-23");
+        assert_eq!(pass.outcomes[0].customer, "a", "pass order is registration order");
+        assert_eq!(pass.outcomes[0].verdict, DriftVerdict::Stable, "new baseline in force");
+        assert_eq!(pass.outcomes[1].customer, "b");
+    }
+
+    #[test]
+    fn unwatch_retires_the_entry_and_keeps_the_remaining_order() {
+        let mut monitor = monitor(2);
+        for name in ["a", "b", "c"] {
+            monitor.watch(MonitoredCustomer::new(name, DeploymentType::SqlDb, window(0.5, 48)));
+        }
+        monitor.observe("b", window(0.5, 48));
+        assert!(monitor.unwatch("b"));
+        assert!(!monitor.unwatch("b"), "already gone");
+        assert!(!monitor.unwatch("stranger"));
+        assert_eq!(monitor.watched(), 2);
+        assert_eq!(monitor.watched_names().collect::<Vec<_>>(), ["a", "c"]);
+        assert_eq!(monitor.observed(), 0, "the retired entry took its staged window with it");
+        assert!(!monitor.observe("b", window(0.5, 48)), "retired names are unknown");
+
+        // The survivors' slots re-indexed: both still observable, pass
+        // order preserved.
+        monitor.observe("a", window(0.5, 48));
+        monitor.observe("c", window(0.5, 48));
+        let pass = monitor.tick("Mar-23");
+        assert_eq!(pass.outcomes.len(), 2);
+        assert_eq!(pass.outcomes[0].customer, "a");
+        assert_eq!(pass.outcomes[1].customer, "c");
+
+        // Re-watching a retired name registers fresh, at the end.
+        monitor.watch(MonitoredCustomer::new("b", DeploymentType::SqlDb, window(0.5, 48)));
+        assert_eq!(monitor.watched_names().collect::<Vec<_>>(), ["a", "c", "b"]);
     }
 
     #[test]

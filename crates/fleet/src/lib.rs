@@ -34,6 +34,11 @@
 //!   customers, and the catalog-lifecycle hook
 //!   ([`DriftMonitor::on_catalog_roll`]) that retires a rolled key's
 //!   engines and re-prices its pinned customers through the same lane;
+//! * [`scheduler`] — the [`FleetScheduler`] autonomous lifecycle loop: a
+//!   virtual [`SimClock`] drives telemetry arrival, monthly drift ticks,
+//!   price-feed application, cursor-based catalog-roll dispatch, and
+//!   TTL-based retirement — years of fleet life simulated in seconds,
+//!   bit-for-bit equal to the operator-cranked sequence;
 //! * [`source`] — conversions from `doppler-workload` populations
 //!   (cloud cohorts, on-prem candidates) into fleet request streams.
 //!
@@ -94,6 +99,7 @@ pub mod assessor;
 pub mod drift;
 pub mod queue;
 pub mod report;
+pub mod scheduler;
 pub mod service;
 pub mod shard;
 pub mod source;
@@ -114,6 +120,10 @@ pub use queue::BoundedQueue;
 pub use report::{
     eligible_recommendations, ConfidenceSummary, DeploymentMixRow, DigestOutcome, FailureRow,
     FleetAggregator, FleetReport, ResultDigest, ShapeMixRow, SkuMixRow,
+};
+pub use scheduler::{
+    schedule_summary_from_json, schedule_summary_to_json, FleetScheduler, ScheduleMonthRow,
+    ScheduleSummary, SimClock, SimMonth,
 };
 pub use service::{
     AssessmentService, DriftTicket, FleetService, ServiceProgress, Ticket, TicketQueue,

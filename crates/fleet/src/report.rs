@@ -219,6 +219,11 @@ pub struct FleetReport {
     /// an [`AbFleet`](crate::AbFleet) run. Plain assessments leave it
     /// `None`.
     pub ab: Option<crate::ab::AbSummary>,
+    /// Per-month simulation trace, present when the report came out of a
+    /// [`FleetScheduler`](crate::FleetScheduler) run
+    /// ([`FleetScheduler::shutdown`](crate::FleetScheduler::shutdown)).
+    /// Operator-cranked runs leave it `None`.
+    pub schedule: Option<crate::scheduler::ScheduleSummary>,
 }
 
 /// One SKU's accumulating share (internal: exact cost sum + interned id).
@@ -596,6 +601,7 @@ impl FleetAggregator {
             failures,
             adoption,
             ab: None,
+            schedule: None,
         }
     }
 }
@@ -738,6 +744,55 @@ impl FleetReport {
                 "adopt challenger on {} cheaper pair(s): ${:.2}/mo projected savings\n",
                 ab.adoption.challenger_cheaper, ab.adoption.projected_monthly_savings
             ));
+        }
+
+        if let Some(schedule) = &self.schedule {
+            out.push_str("\n--- Simulation schedule ---\n");
+            out.push_str(&format!(
+                "{} simulated month(s) from {}: {} telemetry window(s), {} feed(s), {} roll(s), \
+                 {} re-priced ({} failed), {} drift check(s) ({} drifted, {} re-assessed), \
+                 {} customer(s) and {} engine(s) retired\n",
+                schedule.sim_months(),
+                schedule.start,
+                schedule.telemetry_windows,
+                schedule.feeds_applied,
+                schedule.rolls_dispatched,
+                schedule.customers_repriced,
+                schedule.reprice_failures,
+                schedule.drift_checks,
+                schedule.drift_detected,
+                schedule.reassessments,
+                schedule.customers_retired,
+                schedule.engines_retired,
+            ));
+            out.push_str(&format!(
+                "{:>8} {:>8} {:>6} {:>6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                "month",
+                "telem",
+                "feeds",
+                "rolls",
+                "repriced",
+                "checked",
+                "drifted",
+                "reassess",
+                "retired",
+                "watched"
+            ));
+            for row in &schedule.months {
+                out.push_str(&format!(
+                    "{:>8} {:>8} {:>6} {:>6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                    row.month,
+                    row.telemetry,
+                    row.feeds,
+                    row.rolls,
+                    row.repriced,
+                    row.checked,
+                    row.drifted,
+                    row.reassessed,
+                    row.retired_customers,
+                    row.watched,
+                ));
+            }
         }
 
         if self.deployments.len() > 1 {

@@ -74,8 +74,9 @@ pub mod prelude {
     pub use doppler_fleet::{
         AbAssessment, AbFleet, AbSummary, AssessmentService, CatalogRollOutcome, DriftMonitor,
         DriftOutcome, DriftPass, DriftVerdict, EngineRoute, FleetAssessment, FleetAssessor,
-        FleetConfig, FleetDriftReport, FleetReport, FleetRequest, FleetService, MonitoredCustomer,
-        ServiceProgress, ShardPlan, Ticket, TicketQueue,
+        FleetConfig, FleetDriftReport, FleetReport, FleetRequest, FleetScheduler, FleetService,
+        MonitoredCustomer, ScheduleSummary, ServiceProgress, ShardPlan, SimClock, SimMonth, Ticket,
+        TicketQueue,
     };
     pub use doppler_obs::{ObsRegistry, ObsSnapshot};
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};

@@ -1,0 +1,350 @@
+//! Scheduler ≡ operator equivalence: a [`FleetScheduler`] run over a
+//! fixed calendar — staggered onboarding, monthly telemetry with
+//! mid-life drift, three price feeds, churned tenants aging out through
+//! the idle TTL — must be **bit-for-bit identical** to the same sequence
+//! cranked by hand through the public `DriftMonitor` /
+//! `RefreshableCatalogProvider` API in the documented six-step month
+//! order:
+//!
+//! 1. scheduled runs agree with themselves at 1, 4, and 8 workers —
+//!    every month digest, the schedule summary, the adoption ledger, and
+//!    the final report;
+//! 2. a scheduled run equals the operator-cranked sequence at each
+//!    worker count — the scheduler adds no behavior, only a calendar;
+//! 3. a run paused and resumed mid-simulation (`run(3)+run(3)+run(2)`,
+//!    or month by month) is indistinguishable from a straight `run(8)`.
+//!
+//! Runs single-threaded in the CI determinism job so the service worker
+//! pool is the only concurrency in play.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use doppler::fleet::FleetResult;
+use doppler::prelude::*;
+
+const COHORT: usize = 24;
+const MONTHS: usize = 8;
+const REGIONS: [(&str, f64); 3] = [("global", 1.0), ("westeurope", 1.08), ("eastasia", 1.12)];
+const IDLE_TTL: usize = 3;
+const VERSION_WINDOW: u32 = 1;
+const SHARDS: usize = 2;
+
+fn window(cpu: f64) -> PerfHistory {
+    PerfHistory::new()
+        .with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![cpu; 48]))
+        .with(PerfDimension::IoLatency, TimeSeries::ten_minute(vec![6.0; 48]))
+}
+
+fn base_cpu(i: usize) -> f64 {
+    0.4 + 0.5 * ((i / REGIONS.len()) % 8) as f64
+}
+
+fn onboard_month(i: usize) -> usize {
+    i % 3
+}
+
+/// Every fourth customer's workload triples four months into its life.
+fn drifts(i: usize) -> bool {
+    i.is_multiple_of(4)
+}
+
+/// The last four customers churn: telemetry stops after month 2, so the
+/// idle TTL unwatches them in month `2 + IDLE_TTL`.
+fn churns(i: usize) -> bool {
+    i >= COHORT - 4
+}
+
+/// Customers scheduled to onboard in month `m`, in cohort order — the
+/// single source both the scheduler and the hand crank consume.
+fn onboardings(m: usize) -> Vec<MonitoredCustomer> {
+    (0..COHORT)
+        .filter(|&i| onboard_month(i) == m)
+        .map(|i| {
+            let (region, _) = REGIONS[i % REGIONS.len()];
+            MonitoredCustomer::new(
+                format!("cust-{i:04}"),
+                DeploymentType::SqlDb,
+                window(base_cpu(i)),
+            )
+            .with_catalog_key(CatalogKey::new(
+                DeploymentType::SqlDb,
+                Region::new(region),
+                CatalogVersion::INITIAL,
+            ))
+        })
+        .collect()
+}
+
+/// Telemetry windows arriving in month `m`, in cohort order.
+fn telemetry(m: usize) -> Vec<(String, PerfHistory)> {
+    (0..COHORT)
+        .filter(|&i| m > onboard_month(i) && !(churns(i) && m > 2))
+        .map(|i| {
+            let base = base_cpu(i);
+            let cpu = if drifts(i) && m >= onboard_month(i) + 4 { base * 3.0 + 2.0 } else { base };
+            (format!("cust-{i:04}"), window(cpu))
+        })
+        .collect()
+}
+
+/// Price feeds landing in month `m`.
+fn feeds(m: usize) -> Vec<(Region, PriceFeed)> {
+    match m {
+        2 => vec![(Region::new("westeurope"), PriceFeed::Multiplier(0.93))],
+        4 => vec![(Region::new("eastasia"), PriceFeed::Multiplier(0.90))],
+        5 => vec![(Region::new("westeurope"), PriceFeed::Multiplier(0.95))],
+        _ => Vec::new(),
+    }
+}
+
+fn build_monitor(
+    workers: usize,
+) -> (DriftMonitor, Arc<RefreshableCatalogProvider>, Arc<EngineRegistry>) {
+    let inner = REGIONS.iter().fold(InMemoryCatalogProvider::new(), |p, &(region, multiplier)| {
+        p.with_region(
+            Region::new(region),
+            CatalogVersion::INITIAL,
+            &CatalogSpec::default(),
+            multiplier,
+        )
+    });
+    let provider = Arc::new(RefreshableCatalogProvider::new(Arc::new(inner)));
+    let registry = Arc::new(EngineRegistry::new(Arc::clone(&provider) as Arc<dyn CatalogProvider>));
+    let assessor =
+        FleetAssessor::over_registry(Arc::clone(&registry), FleetConfig::with_workers(workers))
+            .with_route(EngineRoute::production(CatalogKey::production(DeploymentType::SqlDb)))
+            .with_shard_plan(ShardPlan::by_region(SHARDS));
+    (DriftMonitor::new(assessor), provider, registry)
+}
+
+/// A comparable projection of one [`FleetResult`] ([`FleetResult`] itself
+/// carries no `PartialEq`): name, ledger month, and the full
+/// recommendation or the typed error message.
+#[derive(Debug, PartialEq)]
+struct ResultDigest {
+    name: String,
+    month: Option<String>,
+    recommendation: Option<Recommendation>,
+    error: Option<String>,
+}
+
+fn digest(result: &FleetResult) -> ResultDigest {
+    ResultDigest {
+        name: result.instance_name.to_string(),
+        month: result.month.as_deref().map(str::to_string),
+        recommendation: result.outcome.as_ref().ok().map(|r| r.recommendation.clone()),
+        error: result.outcome.as_ref().err().map(|e| e.message.clone()),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct RollDigest {
+    old_key: String,
+    new_key: String,
+    retired_engines: usize,
+    reprice_failures: usize,
+    repriced: Vec<ResultDigest>,
+}
+
+/// Everything one simulated month did, in comparable form.
+#[derive(Debug, PartialEq)]
+struct MonthDigest {
+    label: String,
+    rolls: Vec<RollDigest>,
+    report: FleetDriftReport,
+    outcomes: Vec<DriftOutcome>,
+    reassessed: Vec<ResultDigest>,
+    retired_customers: Vec<String>,
+    retired_engines: usize,
+}
+
+fn roll_digest(outcome: &CatalogRollOutcome) -> RollDigest {
+    RollDigest {
+        old_key: outcome.old_key.to_string(),
+        new_key: outcome.new_key.to_string(),
+        retired_engines: outcome.retired_engines,
+        reprice_failures: outcome.reprice_failures,
+        repriced: outcome.repriced.iter().map(digest).collect(),
+    }
+}
+
+struct Run {
+    months: Vec<MonthDigest>,
+    ledger: AdoptionLedger,
+    /// The final report, schedule trace stripped so scheduled and
+    /// hand-cranked runs compare on the assessment payload alone.
+    report: FleetReport,
+    summary: Option<ScheduleSummary>,
+}
+
+/// The scheduled run, stepped in `chunks` (which must sum to [`MONTHS`])
+/// to exercise pause/resume.
+fn scheduled(workers: usize, chunks: &[usize]) -> Run {
+    let (monitor, provider, _registry) = build_monitor(workers);
+    let mut sim = FleetScheduler::new(monitor, SimClock::starting(2022, 1))
+        .with_provider(Arc::clone(&provider))
+        .with_idle_ttl(IDLE_TTL)
+        .with_version_window(VERSION_WINDOW);
+    for m in 0..MONTHS {
+        for customer in onboardings(m) {
+            sim.onboard_at(m, customer);
+        }
+        for (name, w) in telemetry(m) {
+            sim.telemetry_at(m, name, w);
+        }
+        for (region, feed) in feeds(m) {
+            sim.feed_at(m, region, feed);
+        }
+    }
+    assert_eq!(chunks.iter().sum::<usize>(), MONTHS);
+    let mut months = Vec::new();
+    for &chunk in chunks {
+        for month in sim.run(chunk) {
+            months.push(MonthDigest {
+                label: month.label,
+                rolls: month.rolls.iter().map(roll_digest).collect(),
+                report: month.pass.report,
+                outcomes: month.pass.outcomes,
+                reassessed: month.pass.reassessments.iter().map(digest).collect(),
+                retired_customers: month.retired_customers,
+                retired_engines: month.retired_engines,
+            });
+        }
+    }
+    let ledger = sim.monitor().ledger().clone();
+    let summary = sim.summary().clone();
+    let mut report = sim.shutdown();
+    assert_eq!(report.schedule.as_ref(), Some(&summary), "the trace rides the report");
+    report.schedule = None;
+    Run { months, ledger, report, summary: Some(summary) }
+}
+
+/// The reference: the same calendar cranked by hand through the public
+/// API, in the six-step order the scheduler module documents — watch,
+/// observe, feed, change-log cursor dispatch, tick, TTL retirement.
+fn hand_cranked(workers: usize) -> Run {
+    let (mut monitor, provider, registry) = build_monitor(workers);
+    let mut clock = SimClock::starting(2022, 1);
+    let mut cursor = 0usize;
+    let mut frontier = 0u32;
+    let mut last_seen: HashMap<String, usize> = HashMap::new();
+    let mut months = Vec::new();
+
+    for m in 0..MONTHS {
+        let label = clock.label();
+        // 1. Onboarding.
+        for customer in onboardings(m) {
+            last_seen.insert(customer.name.clone(), m);
+            monitor.watch(customer);
+        }
+        // 2. Telemetry arrival.
+        for (name, w) in telemetry(m) {
+            if monitor.observe(&name, w) {
+                last_seen.insert(name, m);
+            }
+        }
+        // 3. Price feeds.
+        for (region, feed) in feeds(m) {
+            provider.apply_feed(&region, feed).expect("known region");
+        }
+        // 4. Roll dispatch via the change-log cursor.
+        let published = provider.change_log_since(cursor);
+        cursor += published.len();
+        let mut rolls = Vec::new();
+        for roll in &published {
+            rolls.push(roll_digest(&monitor.on_catalog_roll(&label, &roll.old_key, &roll.new_key)));
+            frontier = frontier.max(roll.new_key.version.0);
+        }
+        // 5. The drift pass.
+        let pass = monitor.tick(&label);
+        // 6. TTL retirement: idle customers, then stale engines.
+        let idle: Vec<String> = monitor
+            .watched_names()
+            .filter(|name| m - last_seen.get(*name).copied().unwrap_or(m) >= IDLE_TTL)
+            .map(str::to_string)
+            .collect();
+        let mut retired_customers = Vec::new();
+        for name in idle {
+            if monitor.unwatch(&name) {
+                last_seen.remove(&name);
+                retired_customers.push(name);
+            }
+        }
+        let retired_engines = if frontier > VERSION_WINDOW {
+            registry.retire_older_than(CatalogVersion(frontier - VERSION_WINDOW))
+        } else {
+            0
+        };
+
+        months.push(MonthDigest {
+            label,
+            rolls,
+            report: pass.report,
+            outcomes: pass.outcomes,
+            reassessed: pass.reassessments.iter().map(digest).collect(),
+            retired_customers,
+            retired_engines,
+        });
+        clock.advance();
+    }
+
+    let ledger = monitor.ledger().clone();
+    let report = monitor.shutdown();
+    assert_eq!(report.schedule, None, "no scheduler, no trace");
+    Run { months, ledger, report, summary: None }
+}
+
+fn assert_same_run(a: &Run, b: &Run, context: &str) {
+    assert_eq!(a.months.len(), b.months.len(), "{context}");
+    for (x, y) in a.months.iter().zip(&b.months) {
+        assert_eq!(x, y, "{context}: month {}", x.label);
+    }
+    assert_eq!(a.ledger, b.ledger, "{context}: ledger");
+    assert_eq!(a.report, b.report, "{context}: final report");
+}
+
+/// The scenario is only a regression guard if it actually exercises the
+/// lifecycle — drift caught, rolls dispatched, re-prices issued,
+/// churned tenants retired.
+fn assert_scenario_is_live(run: &Run, context: &str) {
+    let summary = run.summary.as_ref().expect("scheduled run");
+    assert_eq!(summary.sim_months(), MONTHS, "{context}");
+    assert_eq!(summary.customers_onboarded, COHORT, "{context}");
+    assert_eq!(summary.drift_detected, 5, "{context}: 6 drifters minus the churned one");
+    assert_eq!(summary.reassessments, 5, "{context}");
+    assert!(summary.rolls_dispatched >= 3, "{context}: three feeds rolled");
+    assert!(summary.customers_repriced > 0, "{context}");
+    assert_eq!(summary.reprice_failures, 0, "{context}");
+    assert_eq!(summary.customers_retired, 4, "{context}: the churned tail aged out");
+}
+
+#[test]
+fn scheduled_runs_are_worker_count_invariant() {
+    let baseline = scheduled(1, &[MONTHS]);
+    assert_scenario_is_live(&baseline, "workers=1");
+    for workers in [4usize, 8] {
+        let run = scheduled(workers, &[MONTHS]);
+        assert_same_run(&baseline, &run, &format!("workers 1 vs {workers}"));
+        assert_eq!(baseline.summary, run.summary, "schedule trace, workers 1 vs {workers}");
+    }
+}
+
+#[test]
+fn scheduled_equals_the_operator_cranked_sequence() {
+    for workers in [1usize, 4, 8] {
+        let sim = scheduled(workers, &[MONTHS]);
+        let hand = hand_cranked(workers);
+        assert_same_run(&sim, &hand, &format!("scheduled vs hand-cranked, workers={workers}"));
+    }
+}
+
+#[test]
+fn paused_and_resumed_runs_are_indistinguishable() {
+    let straight = scheduled(4, &[MONTHS]);
+    for chunks in [&[3usize, 3, 2][..], &[1; MONTHS][..]] {
+        let paused = scheduled(4, chunks);
+        assert_same_run(&straight, &paused, &format!("pauses at {chunks:?}"));
+        assert_eq!(straight.summary, paused.summary, "schedule trace, pauses at {chunks:?}");
+    }
+}
