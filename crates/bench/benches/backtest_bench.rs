@@ -1,0 +1,124 @@
+//! Backtest and featurization costs: what the richer shape-feature
+//! fingerprints cost at training time, and what a replayed back-test
+//! costs per held-out case.
+//!
+//! The headline numbers: `learned_train_*` shows the FULL feature set
+//! (quantiles + burst + diurnal on top of mean/peak) is a small multiple
+//! of the MEAN_PEAK baseline — the quantile sort dominates — and
+//! `backtest_run` shows the harness costs two fleet passes plus one
+//! queueing-machine replay per (case, side), linear in the cohort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use doppler_catalog::{azure_paas_catalog, CatalogSpec, DeploymentType};
+use doppler_core::{
+    CompressorSpec, DopplerEngine, EngineConfig, FeatureSpec, LearnedBackend, LearnedConfig,
+    TrainingRecord,
+};
+use doppler_fleet::{Backtest, BacktestCase, FleetAssessor, FleetConfig};
+use doppler_stats::Linkage;
+use doppler_workload::PopulationSpec;
+
+const CORPUS: usize = 128;
+
+fn config() -> EngineConfig {
+    EngineConfig::production(DeploymentType::SqlDb)
+}
+
+fn training(n: usize) -> Vec<TrainingRecord> {
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(n, 909) };
+    spec.stream_customers(&catalog)
+        .map(|c| TrainingRecord {
+            history: c.history,
+            chosen_sku: c.chosen_sku,
+            file_layout: c.file_layout,
+        })
+        .collect()
+}
+
+/// Training cost per feature set: the fingerprint families are the only
+/// variable — same corpus, same normalization, same compressor.
+fn bench_featurization(c: &mut Criterion) {
+    let records = training(CORPUS);
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let sets: [(&str, FeatureSpec); 4] = [
+        ("mean_peak", FeatureSpec::MEAN_PEAK),
+        ("quantiles", FeatureSpec { quantiles: true, ..FeatureSpec::MEAN_PEAK }),
+        ("burst", FeatureSpec { burst: true, ..FeatureSpec::MEAN_PEAK }),
+        ("full", FeatureSpec::FULL),
+    ];
+    let mut group = c.benchmark_group(format!("learned_train_{CORPUS}_records"));
+    group.sample_size(10);
+    for (label, features) in sets {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &features, |b, &features| {
+            b.iter(|| {
+                std::hint::black_box(LearnedBackend::train(
+                    catalog.clone(),
+                    config(),
+                    LearnedConfig { features, ..LearnedConfig::default() },
+                    &records,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Corpus compression: k-means vs the hierarchical linkages, on a corpus
+/// big enough to trigger compression.
+fn bench_compressors(c: &mut Criterion) {
+    let records = training(CORPUS);
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let compressors: [(&str, CompressorSpec); 3] = [
+        ("kmeans", CompressorSpec::KMeans),
+        ("hier_average", CompressorSpec::Hierarchical(Linkage::Average)),
+        ("hier_complete", CompressorSpec::Hierarchical(Linkage::Complete)),
+    ];
+    let mut group = c.benchmark_group(format!("learned_compress_{CORPUS}_to_32"));
+    group.sample_size(10);
+    for (label, compressor) in compressors {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &compressor,
+            |b, &compressor| {
+                b.iter(|| {
+                    std::hint::black_box(LearnedBackend::train(
+                        catalog.clone(),
+                        config(),
+                        LearnedConfig { compressor, max_profiles: 32, ..LearnedConfig::default() },
+                        &records,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end back-test cost over a held-out cohort: two assessor passes
+/// plus two replays per case.
+fn bench_backtest_run(c: &mut Criterion) {
+    let catalog = azure_paas_catalog(&CatalogSpec::default());
+    let records = training(64);
+    let spec = PopulationSpec { days: 1.0, ..PopulationSpec::sql_db(64, 4242) };
+    let cases: Vec<BacktestCase> =
+        spec.customers(&catalog).iter().map(BacktestCase::from_customer).collect();
+    let learned =
+        LearnedBackend::train(catalog.clone(), config(), LearnedConfig::default(), &records);
+    let harness = Backtest::new(
+        catalog.clone(),
+        FleetAssessor::new(learned, FleetConfig::with_workers(4)),
+        FleetAssessor::new(
+            DopplerEngine::untrained(catalog.clone(), config()),
+            FleetConfig::with_workers(4),
+        ),
+    );
+    let mut group = c.benchmark_group("backtest_run_64_cases");
+    group.sample_size(10);
+    group.bench_function("replay_scored", |b| b.iter(|| std::hint::black_box(harness.run(&cases))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurization, bench_compressors, bench_backtest_run);
+criterion_main!(benches);

@@ -178,7 +178,10 @@ impl BackendSpec {
     }
 
     /// Deterministic fingerprint over the backend kind *and* its
-    /// hyper-parameters — part of the registry memo key.
+    /// hyper-parameters — part of the registry memo key. For learned
+    /// backends this includes the [`FeatureSpec`](crate::FeatureSpec) and
+    /// [`CompressorSpec`](crate::CompressorSpec): two feature sets over
+    /// one catalog/training key are two distinct memo slots.
     pub fn fingerprint(&self) -> u64 {
         let mut fp = Fingerprint::new();
         fp.write_str(self.id());
@@ -186,11 +189,18 @@ impl BackendSpec {
             fp.write_f64(cfg.similarity_floor);
             fp.write_usize(cfg.max_profiles);
             fp.write_u64(cfg.seed);
+            fp.write_u64(cfg.features.bits());
+            fp.write_str(cfg.compressor.tag());
         }
         fp.finish()
     }
 
     /// Train a backend of this kind on migrated customers.
+    ///
+    /// Panics on a degenerate learned-training corpus (see
+    /// [`LearnedTrainError`](crate::LearnedTrainError)); the registry's
+    /// single-flight slot converts that panic into a counted failure. Use
+    /// [`BackendSpec::try_train`] to handle the typed error directly.
     pub fn train(
         &self,
         catalog: Catalog,
@@ -201,6 +211,23 @@ impl BackendSpec {
             BackendSpec::Heuristic => Arc::new(DopplerEngine::train(catalog, config, records)),
             BackendSpec::Learned(cfg) => {
                 Arc::new(LearnedBackend::train(catalog, config, *cfg, records))
+            }
+        }
+    }
+
+    /// [`train`](BackendSpec::train) with degenerate corpora surfaced as
+    /// typed errors instead of panics. The heuristic backend accepts any
+    /// corpus and never errors.
+    pub fn try_train(
+        &self,
+        catalog: Catalog,
+        config: EngineConfig,
+        records: &[TrainingRecord],
+    ) -> Result<Arc<dyn RecommendationBackend>, crate::learned::LearnedTrainError> {
+        match self {
+            BackendSpec::Heuristic => Ok(Arc::new(DopplerEngine::train(catalog, config, records))),
+            BackendSpec::Learned(cfg) => {
+                Ok(Arc::new(LearnedBackend::try_train(catalog, config, *cfg, records)?))
             }
         }
     }

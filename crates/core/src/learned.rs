@@ -11,13 +11,17 @@
 //! machinery:
 //!
 //! * **Workload fingerprints** — per profiled dimension (§5.2.1's CPU /
-//!   memory / IOPS / log-rate set), the mean and peak utilization over the
-//!   telemetry window, min-max normalized across the training corpus
-//!   ([`doppler_stats::scaling`]);
+//!   memory / IOPS / log-rate set), the feature families selected by
+//!   [`FeatureSpec`]: mean/peak utilization, quantiles (p25/p50/p75/p95),
+//!   burst shape (spike dwell fraction, peak-to-mean ratio), and diurnal
+//!   shape (the first 24-hour harmonic, mean-normalized) — min-max
+//!   normalized across the training corpus ([`doppler_stats::scaling`]);
 //! * **Nearest neighbour** — Euclidean distance
 //!   ([`doppler_stats::distance`]) against the training exemplars; corpora
-//!   larger than [`LearnedConfig::max_profiles`] are compressed to k-means
-//!   centroids ([`mod@doppler_stats::kmeans`]) labeled by their cluster's
+//!   larger than [`LearnedConfig::max_profiles`] are compressed by the
+//!   configured [`CompressorSpec`] — k-means centroids
+//!   ([`mod@doppler_stats::kmeans`]) or agglomerative hierarchical clusters
+//!   ([`doppler_stats::hierarchical_cluster`]) — labeled by their cluster's
 //!   majority SKU;
 //! * **Similarity floor** — `similarity = 1 / (1 + distance)`; below
 //!   [`LearnedConfig::similarity_floor`] the backend returns the embedded
@@ -25,21 +29,131 @@
 //!   so a sparse or mismatched training corpus can never make things worse
 //!   than the paper's engine.
 //!
-//! Everything is deterministic: feature extraction is pure, k-means runs
-//! under [`LearnedConfig::seed`], and nearest-neighbour ties break on
-//! exemplar order — the fleet's bit-for-bit report equality across worker
-//! counts holds for this backend too.
+//! Everything is deterministic: feature extraction is pure, compression
+//! runs under [`LearnedConfig::seed`], and nearest-neighbour ties break on
+//! exemplar order ([`f64::total_cmp`] semantics, so a non-finite distance
+//! can never win) — the fleet's bit-for-bit report equality across worker
+//! counts holds for this backend too. Degenerate training corpora surface
+//! as typed [`LearnedTrainError`]s from [`LearnedBackend::try_train`]
+//! instead of panics or NaN-poisoned distances.
+
+use std::fmt;
 
 use doppler_catalog::{Catalog, FileLayout, Fingerprint};
 use doppler_stats::distance::euclidean;
+use doppler_stats::hierarchical::{hierarchical_cluster, Linkage};
 use doppler_stats::kmeans::{kmeans, KMeansConfig};
 use doppler_stats::scaling::minmax_scale;
+use doppler_stats::{quantile_sorted, spike_dwell_fraction};
 use doppler_telemetry::{PerfDimension, PerfHistory};
 
 use crate::confidence::{confidence_score, ConfidenceConfig};
 use crate::engine::{
     profiled_dimensions, DopplerEngine, EngineConfig, Recommendation, TrainingRecord,
 };
+
+/// Which feature families make up a workload fingerprint, per profiled
+/// dimension. Part of the backend fingerprint (and therefore the registry
+/// memo key): two [`LearnedBackend`]s trained with different feature sets
+/// never cross-serve from one registry slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSpec {
+    /// Mean and peak utilization (2 features) — PR-7's original
+    /// fingerprint.
+    pub mean_peak: bool,
+    /// p25 / p50 / p75 / p95 over the window (4 features), via
+    /// [`doppler_stats::quantile_sorted`].
+    pub quantiles: bool,
+    /// Burst shape (2 features): the §3.3 spike dwell fraction
+    /// ([`doppler_stats::spike_dwell_fraction`]) and the peak-to-mean
+    /// ratio (0 when the mean is 0).
+    pub burst: bool,
+    /// Diurnal shape (2 features): cosine and sine coefficients of the
+    /// first 24-hour harmonic, normalized by the window mean — two
+    /// workloads with the same load level but opposite day/night phase
+    /// land far apart.
+    pub diurnal: bool,
+}
+
+impl FeatureSpec {
+    /// Mean + peak only — bit-compatible with the PR-7 fingerprint.
+    pub const MEAN_PEAK: FeatureSpec =
+        FeatureSpec { mean_peak: true, quantiles: false, burst: false, diurnal: false };
+
+    /// Every feature family (10 features per dimension).
+    pub const FULL: FeatureSpec =
+        FeatureSpec { mean_peak: true, quantiles: true, burst: true, diurnal: true };
+
+    /// Features extracted per profiled dimension.
+    pub fn per_dimension(&self) -> usize {
+        2 * usize::from(self.mean_peak)
+            + 4 * usize::from(self.quantiles)
+            + 2 * usize::from(self.burst)
+            + 2 * usize::from(self.diurnal)
+    }
+
+    /// Stable bitmask for fingerprinting (one bit per family).
+    pub fn bits(&self) -> u64 {
+        u64::from(self.mean_peak)
+            | u64::from(self.quantiles) << 1
+            | u64::from(self.burst) << 2
+            | u64::from(self.diurnal) << 3
+    }
+
+    /// A compact human-readable tag, e.g. `"mean_peak+quantiles"`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.mean_peak {
+            parts.push("mean_peak");
+        }
+        if self.quantiles {
+            parts.push("quantiles");
+        }
+        if self.burst {
+            parts.push("burst");
+        }
+        if self.diurnal {
+            parts.push("diurnal");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl Default for FeatureSpec {
+    fn default() -> FeatureSpec {
+        FeatureSpec::MEAN_PEAK
+    }
+}
+
+/// How an oversized training corpus is compressed down to
+/// [`LearnedConfig::max_profiles`] exemplars. Part of the backend
+/// fingerprint, like [`FeatureSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressorSpec {
+    /// Lloyd's k-means under [`LearnedConfig::seed`] (the PR-7 default).
+    #[default]
+    KMeans,
+    /// Agglomerative hierarchical clustering with the given linkage; the
+    /// exemplar sits at each cluster's member mean. Deterministic without
+    /// a seed.
+    Hierarchical(Linkage),
+}
+
+impl CompressorSpec {
+    /// Stable tag for fingerprints and bench labels.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CompressorSpec::KMeans => "kmeans",
+            CompressorSpec::Hierarchical(Linkage::Single) => "hier-single",
+            CompressorSpec::Hierarchical(Linkage::Complete) => "hier-complete",
+            CompressorSpec::Hierarchical(Linkage::Average) => "hier-average",
+        }
+    }
+}
 
 /// Hyper-parameters for [`LearnedBackend`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,17 +164,72 @@ pub struct LearnedConfig {
     /// always trusts the neighbour; anything `> 1.0` always falls back.
     pub similarity_floor: f64,
     /// Maximum number of exemplars kept; larger training corpora are
-    /// compressed to this many k-means centroids.
+    /// compressed to this many clusters by [`LearnedConfig::compressor`].
     pub max_profiles: usize,
     /// Seed for the k-means compression (only used when compressing).
     pub seed: u64,
+    /// Which feature families fingerprints carry.
+    pub features: FeatureSpec,
+    /// How oversized corpora are compressed.
+    pub compressor: CompressorSpec,
 }
 
 impl Default for LearnedConfig {
     fn default() -> LearnedConfig {
-        LearnedConfig { similarity_floor: 0.75, max_profiles: 256, seed: 0 }
+        LearnedConfig {
+            similarity_floor: 0.75,
+            max_profiles: 256,
+            seed: 0,
+            features: FeatureSpec::MEAN_PEAK,
+            compressor: CompressorSpec::KMeans,
+        }
     }
 }
+
+/// Why a training corpus was rejected by [`LearnedBackend::try_train`].
+/// Degenerate inputs are *typed* errors, never panics or silently
+/// NaN-poisoned exemplars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LearnedTrainError {
+    /// A training record carries an empty telemetry window: either one of
+    /// its profiled series is present but has no samples (`dimension` set)
+    /// or the record has no samples in *any* profiled dimension
+    /// (`dimension` `None`). A record with some dimensions absent but at
+    /// least one populated is fine — absent telemetry reads as zero.
+    EmptyWindow {
+        /// Index of the offending record in the training slice.
+        record: usize,
+        /// The empty-but-present series, when one was identified.
+        dimension: Option<PerfDimension>,
+    },
+    /// A training record carries a NaN or infinite sample; one corrupt
+    /// point would otherwise poison the min-max normalization for the
+    /// whole corpus.
+    NonFiniteSample {
+        /// Index of the offending record in the training slice.
+        record: usize,
+        /// The series carrying the non-finite sample.
+        dimension: PerfDimension,
+    },
+}
+
+impl fmt::Display for LearnedTrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnedTrainError::EmptyWindow { record, dimension: Some(dim) } => {
+                write!(f, "training record {record}: empty telemetry window for {dim:?}")
+            }
+            LearnedTrainError::EmptyWindow { record, dimension: None } => {
+                write!(f, "training record {record}: no telemetry in any profiled dimension")
+            }
+            LearnedTrainError::NonFiniteSample { record, dimension } => {
+                write!(f, "training record {record}: non-finite sample in {dim:?}", dim = dimension)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnedTrainError {}
 
 /// One training exemplar: a normalized workload fingerprint and the SKU its
 /// cluster of migrated customers retained.
@@ -82,47 +251,138 @@ pub struct LearnedBackend {
 }
 
 /// Summarize a history into the raw (unnormalized) workload fingerprint:
-/// mean and peak per profiled dimension, zero where telemetry is absent.
-fn raw_profile(history: &PerfHistory, dims: &[PerfDimension]) -> Vec<f64> {
-    let mut profile = Vec::with_capacity(dims.len() * 2);
+/// the [`FeatureSpec`]'s feature families per profiled dimension, zero
+/// where telemetry is absent.
+fn raw_profile(history: &PerfHistory, dims: &[PerfDimension], features: FeatureSpec) -> Vec<f64> {
+    let per_dim = features.per_dimension();
+    let mut profile = Vec::with_capacity(dims.len() * per_dim);
     for &dim in dims {
         match history.values(dim) {
             Some(values) if !values.is_empty() => {
-                let mean = values.iter().sum::<f64>() / values.len() as f64;
-                let peak = values.iter().cloned().fold(f64::MIN, f64::max);
-                profile.push(mean);
-                profile.push(peak);
+                let n = values.len() as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                let peak = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                if features.mean_peak {
+                    profile.push(mean);
+                    profile.push(peak);
+                }
+                if features.quantiles {
+                    let mut sorted = values.to_vec();
+                    sorted.sort_by(f64::total_cmp);
+                    for q in [0.25, 0.50, 0.75, 0.95] {
+                        profile.push(quantile_sorted(&sorted, q));
+                    }
+                }
+                if features.burst {
+                    profile.push(spike_dwell_fraction(values));
+                    profile.push(if mean > 0.0 { peak / mean } else { 0.0 });
+                }
+                if features.diurnal {
+                    // First harmonic at the 24-hour period: a workload's
+                    // day/night shape as a (cos, sin) pair, normalized by
+                    // its own mean so the features capture *shape*, not
+                    // scale. Windows shorter than a day read as a partial
+                    // arc — still deterministic and comparable within one
+                    // corpus.
+                    let samples_per_day =
+                        f64::from((24 * 60) / history.interval_minutes().max(1)).max(1.0);
+                    let (mut a, mut b) = (0.0f64, 0.0f64);
+                    for (t, &x) in values.iter().enumerate() {
+                        let theta = std::f64::consts::TAU * t as f64 / samples_per_day;
+                        a += x * theta.cos();
+                        b += x * theta.sin();
+                    }
+                    let scale = if mean != 0.0 { 2.0 / (n * mean) } else { 0.0 };
+                    profile.push(a * scale);
+                    profile.push(b * scale);
+                }
             }
-            _ => {
-                profile.push(0.0);
-                profile.push(0.0);
-            }
+            _ => profile.resize(profile.len() + per_dim, 0.0),
         }
     }
     profile
 }
 
+/// Validate one training record: every *present* profiled series must be
+/// non-empty and fully finite, and at least one profiled dimension must
+/// carry telemetry.
+fn validate_record(
+    index: usize,
+    record: &TrainingRecord,
+    dims: &[PerfDimension],
+) -> Result<(), LearnedTrainError> {
+    let mut populated = false;
+    for &dim in dims {
+        match record.history.values(dim) {
+            Some([]) => {
+                return Err(LearnedTrainError::EmptyWindow { record: index, dimension: Some(dim) })
+            }
+            Some(values) => {
+                if values.iter().any(|x| !x.is_finite()) {
+                    return Err(LearnedTrainError::NonFiniteSample {
+                        record: index,
+                        dimension: dim,
+                    });
+                }
+                populated = true;
+            }
+            None => {}
+        }
+    }
+    if !populated {
+        return Err(LearnedTrainError::EmptyWindow { record: index, dimension: None });
+    }
+    Ok(())
+}
+
 impl LearnedBackend {
     /// Train on migrated customers: fingerprint and normalize every profile,
-    /// compress to k-means centroids when the corpus exceeds
-    /// [`LearnedConfig::max_profiles`], and train the embedded heuristic
-    /// fallback on the same records.
+    /// compress when the corpus exceeds [`LearnedConfig::max_profiles`],
+    /// and train the embedded heuristic fallback on the same records.
+    ///
+    /// Panics on a degenerate corpus (see [`LearnedTrainError`]); prefer
+    /// [`LearnedBackend::try_train`] when the training set comes from an
+    /// untrusted pipeline. The registry's single-flight slot converts the
+    /// panic into a counted training failure, never a poisoned engine.
     pub fn train(
         catalog: Catalog,
         config: EngineConfig,
         learned: LearnedConfig,
         records: &[TrainingRecord],
     ) -> LearnedBackend {
-        let dims = profiled_dimensions(config.deployment);
-        let raw: Vec<Vec<f64>> = records.iter().map(|r| raw_profile(&r.history, dims)).collect();
+        match Self::try_train(catalog, config, learned, records) {
+            Ok(backend) => backend,
+            Err(e) => panic!("LearnedBackend::train: {e}"),
+        }
+    }
 
-        let n_features = dims.len() * 2;
+    /// [`train`](LearnedBackend::train) with degenerate corpora surfaced
+    /// as typed errors: an empty telemetry window or a non-finite sample
+    /// in any training record returns a [`LearnedTrainError`] instead of
+    /// panicking or NaN-poisoning the normalization.
+    pub fn try_train(
+        catalog: Catalog,
+        config: EngineConfig,
+        learned: LearnedConfig,
+        records: &[TrainingRecord],
+    ) -> Result<LearnedBackend, LearnedTrainError> {
+        let dims = profiled_dimensions(config.deployment);
+        for (index, record) in records.iter().enumerate() {
+            validate_record(index, record, dims)?;
+        }
+        let raw: Vec<Vec<f64>> =
+            records.iter().map(|r| raw_profile(&r.history, dims, learned.features)).collect();
+
+        let n_features = dims.len() * learned.features.per_dimension();
         let mut norms = Vec::with_capacity(n_features);
         let mut normalized = vec![Vec::with_capacity(n_features); raw.len()];
         for f in 0..n_features {
             let column: Vec<f64> = raw.iter().map(|p| p[f]).collect();
             let min = column.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = column.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            // Degenerate (constant or empty) columns clamp to a zero
+            // range: both training and query normalization map them to
+            // 0.0 instead of dividing by zero.
             let range = if max > min { max - min } else { 0.0 };
             norms.push(if column.is_empty() { (0.0, 0.0) } else { (min, range) });
             for (row, &scaled) in normalized.iter_mut().zip(minmax_scale(&column).iter()) {
@@ -143,32 +403,54 @@ impl LearnedBackend {
         };
 
         let fallback = DopplerEngine::train(catalog, config, records);
-        LearnedBackend { fallback, learned, norms, exemplars }
+        Ok(LearnedBackend { fallback, learned, norms, exemplars })
     }
 
-    /// k-means compression: one exemplar per cluster, positioned at the
-    /// centroid and labeled with the cluster's majority SKU (ties break to
-    /// the lexicographically smallest, for determinism).
+    /// Corpus compression: one exemplar per cluster, positioned at the
+    /// cluster's representative point and labeled with its majority SKU
+    /// (ties break to the lexicographically smallest, for determinism).
+    /// K-means places exemplars at fitted centroids; hierarchical
+    /// clustering at member means.
     fn compress(
         normalized: &[Vec<f64>],
         records: &[TrainingRecord],
         learned: &LearnedConfig,
     ) -> Vec<Exemplar> {
-        let fitted = kmeans(
-            normalized,
-            &KMeansConfig {
-                k: learned.max_profiles.max(1),
-                seed: learned.seed,
-                ..KMeansConfig::default()
-            },
-        );
-        fitted
-            .centroids
+        let k = learned.max_profiles.max(1);
+        let (centroids, assignments) = match learned.compressor {
+            CompressorSpec::KMeans => {
+                let fitted = kmeans(
+                    normalized,
+                    &KMeansConfig { k, seed: learned.seed, ..KMeansConfig::default() },
+                );
+                (fitted.centroids, fitted.assignments)
+            }
+            CompressorSpec::Hierarchical(linkage) => {
+                let labels = hierarchical_cluster(normalized, k, linkage);
+                let clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
+                let width = normalized.first().map_or(0, Vec::len);
+                let mut sums = vec![vec![0.0f64; width]; clusters];
+                let mut counts = vec![0usize; clusters];
+                for (point, &label) in normalized.iter().zip(&labels) {
+                    counts[label] += 1;
+                    for (s, &x) in sums[label].iter_mut().zip(point) {
+                        *s += x;
+                    }
+                }
+                let means = sums
+                    .into_iter()
+                    .zip(&counts)
+                    .map(|(sum, &n)| sum.into_iter().map(|s| s / (n.max(1) as f64)).collect())
+                    .collect();
+                (means, labels)
+            }
+        };
+        centroids
             .iter()
             .enumerate()
             .filter_map(|(cluster, centroid)| {
                 let mut counts = std::collections::BTreeMap::new();
-                for (&assigned, record) in fitted.assignments.iter().zip(records) {
+                for (&assigned, record) in assignments.iter().zip(records) {
                     if assigned == cluster {
                         *counts.entry(record.chosen_sku.0.as_str()).or_insert(0usize) += 1;
                     }
@@ -212,7 +494,7 @@ impl LearnedBackend {
     /// Normalize a query history with the training-corpus normalization.
     fn query_profile(&self, history: &PerfHistory) -> Vec<f64> {
         let dims = profiled_dimensions(self.fallback.config().deployment);
-        raw_profile(history, dims)
+        raw_profile(history, dims, self.learned.features)
             .iter()
             .zip(&self.norms)
             .map(|(&x, &(min, range))| if range > 0.0 { (x - min) / range } else { 0.0 })
@@ -220,14 +502,21 @@ impl LearnedBackend {
     }
 
     /// The nearest exemplar's SKU and its similarity `1 / (1 + distance)`,
-    /// or `None` when no exemplars exist. Ties break on exemplar order.
+    /// or `None` when no exemplars exist. The scan orders distances with
+    /// [`f64::total_cmp`] and skips non-finite ones outright, so a NaN
+    /// distance (a corrupt exemplar or a NaN query sample) can never win —
+    /// a fully non-finite scan returns `None` and the caller falls back to
+    /// the heuristic. Ties break on exemplar order.
     pub fn nearest(&self, history: &PerfHistory) -> Option<(&str, f64)> {
         let query = self.query_profile(history);
         let mut best: Option<(&Exemplar, f64)> = None;
         for exemplar in &self.exemplars {
             let d = euclidean(&exemplar.profile, &query);
+            if !d.is_finite() {
+                continue;
+            }
             match best {
-                Some((_, bd)) if bd <= d => {}
+                Some((_, bd)) if bd.total_cmp(&d).is_le() => {}
                 _ => best = Some((exemplar, d)),
             }
         }
@@ -287,6 +576,8 @@ impl LearnedBackend {
         fp.write_f64(self.learned.similarity_floor);
         fp.write_usize(self.learned.max_profiles);
         fp.write_u64(self.learned.seed);
+        fp.write_u64(self.learned.features.bits());
+        fp.write_str(self.learned.compressor.tag());
         for &(min, range) in &self.norms {
             fp.write_f64(min);
             fp.write_f64(range);
@@ -435,6 +726,176 @@ mod tests {
             &corpus(),
         );
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_present_window_is_a_typed_error() {
+        let mut records = corpus();
+        records[1].history =
+            PerfHistory::new().with(PerfDimension::Cpu, TimeSeries::ten_minute(vec![]));
+        let err =
+            LearnedBackend::try_train(catalog(), config(), LearnedConfig::default(), &records)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            LearnedTrainError::EmptyWindow { record: 1, dimension: Some(PerfDimension::Cpu) }
+        );
+        assert!(err.to_string().contains("record 1"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_free_record_is_a_typed_error() {
+        let mut records = corpus();
+        records[3].history = PerfHistory::new();
+        assert_eq!(
+            LearnedBackend::try_train(catalog(), config(), LearnedConfig::default(), &records)
+                .unwrap_err(),
+            LearnedTrainError::EmptyWindow { record: 3, dimension: None }
+        );
+    }
+
+    #[test]
+    fn non_finite_sample_is_a_typed_error_not_nan_poisoning() {
+        // TimeSeries::new rejects non-finite samples, but the roll-up
+        // arithmetic (TimeSeries::add) can overflow two finite series to
+        // infinity — exactly the corrupt-but-sanctioned path the typed
+        // error exists for.
+        let big = TimeSeries::ten_minute(vec![f64::MAX; 96]);
+        let overflow = big.add(&big);
+        assert!(overflow.values().iter().all(|v| v.is_infinite()), "overflowed to infinity");
+        let mut records = corpus();
+        records[2].history = PerfHistory::new().with(PerfDimension::Cpu, overflow);
+        assert_eq!(
+            LearnedBackend::try_train(catalog(), config(), LearnedConfig::default(), &records)
+                .unwrap_err(),
+            LearnedTrainError::NonFiniteSample { record: 2, dimension: PerfDimension::Cpu }
+        );
+    }
+
+    #[test]
+    fn constant_columns_clamp_to_zero_and_still_recommend() {
+        // Every record identical: every feature column is constant, so
+        // min-max normalization would divide by zero without the clamp.
+        let records: Vec<TrainingRecord> = (0..4).map(|_| record(0.5, 100.0, "DB_GP_2")).collect();
+        let cfg = LearnedConfig { similarity_floor: 0.0, ..LearnedConfig::default() };
+        let b = LearnedBackend::train(catalog(), config(), cfg, &records);
+        let rec = b.recommend(&history(0.5, 100.0), None);
+        assert_eq!(rec.sku_id.as_deref(), Some("DB_GP_2"));
+        assert!(rec.monthly_cost.unwrap().is_finite());
+        let (_, similarity) = b.nearest(&history(0.5, 100.0)).expect("exemplars exist");
+        assert!(similarity.is_finite());
+        assert_eq!(similarity, 1.0, "identical constant profiles sit at distance zero");
+    }
+
+    #[test]
+    fn nan_fingerprint_exemplar_can_never_win() {
+        let trained =
+            LearnedBackend::train(catalog(), config(), LearnedConfig::default(), &corpus());
+        // Plant a corrupt exemplar whose distance to any query is NaN,
+        // ahead of the legitimate ones.
+        let mut corrupt = trained.clone();
+        corrupt.exemplars.insert(
+            0,
+            Exemplar {
+                profile: vec![f64::NAN; corrupt.exemplars[0].profile.len()],
+                sku_id: "BAD".into(),
+            },
+        );
+        let (sku, similarity) = corrupt.nearest(&history(2.1, 920.0)).expect("finite neighbour");
+        assert_ne!(sku, "BAD", "NaN distance must never win the scan");
+        assert!(similarity.is_finite());
+        assert_eq!(
+            corrupt.recommend(&history(2.1, 920.0), None).sku_id.as_deref(),
+            Some("DB_GP_8")
+        );
+        // All-corrupt exemplars: nearest is None, recommend falls back.
+        let mut all_bad = trained.clone();
+        for e in &mut all_bad.exemplars {
+            e.profile = vec![f64::NAN; e.profile.len()];
+        }
+        assert!(all_bad.nearest(&history(0.5, 100.0)).is_none());
+        let h = history(0.5, 100.0);
+        assert_eq!(all_bad.recommend(&h, None), trained.fallback().recommend(&h, None));
+    }
+
+    #[test]
+    fn feature_spec_counts_and_bits_are_stable() {
+        assert_eq!(FeatureSpec::MEAN_PEAK.per_dimension(), 2);
+        assert_eq!(FeatureSpec::FULL.per_dimension(), 10);
+        assert_eq!(FeatureSpec::default(), FeatureSpec::MEAN_PEAK);
+        assert_ne!(FeatureSpec::MEAN_PEAK.bits(), FeatureSpec::FULL.bits());
+        assert_eq!(FeatureSpec::FULL.describe(), "mean_peak+quantiles+burst+diurnal");
+    }
+
+    #[test]
+    fn richer_features_change_the_fingerprint_and_profile_width() {
+        // A wider feature vector grows raw Euclidean distances, so trust
+        // the neighbour unconditionally here — the floor is exercised
+        // elsewhere.
+        let full = LearnedConfig {
+            features: FeatureSpec::FULL,
+            similarity_floor: 0.0,
+            ..LearnedConfig::default()
+        };
+        let a = LearnedBackend::train(catalog(), config(), LearnedConfig::default(), &corpus());
+        let b = LearnedBackend::train(catalog(), config(), full, &corpus());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // SqlDb profiles 4 dimensions.
+        assert_eq!(a.exemplars[0].profile.len(), 8);
+        assert_eq!(b.exemplars[0].profile.len(), 40);
+        // Both still recommend sensibly on a near-match.
+        assert_eq!(b.recommend(&history(2.1, 920.0), None).sku_id.as_deref(), Some("DB_GP_8"));
+    }
+
+    #[test]
+    fn diurnal_features_separate_opposite_phases() {
+        // Two workloads with identical mean/peak/quantiles but opposite
+        // day/night phase: only the diurnal family can tell them apart.
+        let day_night = |phase: f64| -> Vec<f64> {
+            (0..144)
+                .map(|t| 2.0 + (std::f64::consts::TAU * t as f64 / 144.0 + phase).cos())
+                .collect()
+        };
+        let spec = FeatureSpec { diurnal: true, ..FeatureSpec::MEAN_PEAK };
+        let h = |values: Vec<f64>| {
+            PerfHistory::new().with(PerfDimension::Cpu, TimeSeries::ten_minute(values))
+        };
+        let dims = [PerfDimension::Cpu];
+        let a = raw_profile(&h(day_night(0.0)), &dims, spec);
+        let b = raw_profile(&h(day_night(std::f64::consts::PI)), &dims, spec);
+        // mean/peak agree; the harmonic pair flips sign.
+        assert!((a[0] - b[0]).abs() < 1e-9, "means agree");
+        assert!((a[2] + b[2]).abs() < 1e-9, "cosine coefficient flips");
+        assert!(a[2].abs() > 0.1, "the harmonic is actually captured");
+    }
+
+    #[test]
+    fn hierarchical_compressor_bounds_exemplars_and_is_deterministic() {
+        let records: Vec<TrainingRecord> = (0..40)
+            .map(|i| {
+                let cpu = 0.1 + (i % 10) as f64 * 0.3;
+                record(cpu, cpu * 300.0, if cpu > 1.5 { "DB_GP_8" } else { "DB_GP_2" })
+            })
+            .collect();
+        let cfg = LearnedConfig {
+            max_profiles: 8,
+            compressor: CompressorSpec::Hierarchical(Linkage::Average),
+            ..LearnedConfig::default()
+        };
+        let a = LearnedBackend::train(catalog(), config(), cfg, &records);
+        let b = LearnedBackend::train(catalog(), config(), cfg, &records);
+        assert!(a.exemplar_count() <= 8 && a.exemplar_count() > 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let h = history(2.8, 840.0);
+        assert_eq!(a.recommend(&h, None), b.recommend(&h, None));
+        // A different compressor over the same corpus is a different model.
+        let km = LearnedBackend::train(
+            catalog(),
+            config(),
+            LearnedConfig { max_profiles: 8, ..LearnedConfig::default() },
+            &records,
+        );
+        assert_ne!(a.fingerprint(), km.fingerprint());
     }
 
     #[test]

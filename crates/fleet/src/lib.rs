@@ -27,6 +27,11 @@
 //!   cohort assessed through two recommendation backends, paired by
 //!   submission index into side-by-side cost / confidence /
 //!   SKU-agreement columns and an adoption row on the [`FleetReport`];
+//! * [`backtest`] — the [`Backtest`] replay harness: a held-out cohort
+//!   assessed through a candidate and a reference assessor, every pick
+//!   replayed on the customer's own history through the `doppler-replay`
+//!   queueing machine, scored into fit rates, throttle months, and a
+//!   cost delta ([`BacktestReport`]);
 //! * [`drift`] — the [`DriftMonitor`] continuous re-assessment loop
 //!   (assess → deploy → monitor → re-queue): fleet-wide §5.2.3 drift
 //!   checks over the same worker pool, [`FleetDriftReport`] roll-ups per
@@ -96,6 +101,7 @@
 
 pub mod ab;
 pub mod assessor;
+pub mod backtest;
 pub mod drift;
 pub mod queue;
 pub mod report;
@@ -106,11 +112,15 @@ pub mod source;
 
 pub use ab::{
     ab_summary_from_json, ab_summary_to_json, AbAdoption, AbAssessment, AbFleet, AbSideSummary,
-    AbSummary,
+    AbSummary, PromotionPolicy, RolloutEvent, RolloutStage, RolloutTracker,
 };
 pub use assessor::{
     AssessmentError, EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetRequest,
     FleetResult,
+};
+pub use backtest::{
+    backtest_report_from_json, backtest_report_to_json, Backtest, BacktestCase, BacktestCaseRow,
+    BacktestReport, ReplayScore,
 };
 pub use drift::{
     CatalogRollOutcome, DeploymentDriftRow, DriftMonitor, DriftOutcome, DriftPass, DriftProbe,

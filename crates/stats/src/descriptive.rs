@@ -1,9 +1,12 @@
 //! Descriptive statistics over `f64` slices.
 //!
-//! These are the primitive reductions every other module builds on. All
-//! functions ignore nothing: callers are expected to have cleaned NaNs out of
-//! their series first (the telemetry crate's pre-aggregator does exactly
-//! that), and the debug builds assert it.
+//! These are the primitive reductions every other module builds on. The
+//! moment-based reductions ([`mean`], [`variance`], [`stddev`]) expect
+//! pre-cleaned series (the telemetry crate's pre-aggregator does exactly
+//! that) and debug builds assert it; the order statistics ([`quantile`],
+//! [`Summary::of`]) instead treat any non-finite sample as missing data and
+//! return `None` — a single corrupt telemetry point downgrades one
+//! statistic, it never panics a fleet pass.
 
 /// Arithmetic mean. Returns `0.0` for an empty slice so that downstream
 /// aggregations over possibly-empty windows stay total.
@@ -36,13 +39,16 @@ pub fn stddev(xs: &[f64]) -> f64 {
 
 /// Linear-interpolation quantile (type 7, the R/NumPy default).
 ///
-/// `q` is clamped to `[0, 1]`. Returns `None` for an empty slice.
+/// `q` is clamped to `[0, 1]`. Returns `None` for an empty slice **and**
+/// for any slice containing a non-finite sample: one corrupt telemetry
+/// point must surface as a missing statistic, never a panic or a NaN that
+/// poisons downstream aggregation.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
-    if xs.is_empty() {
+    if xs.is_empty() || !xs.iter().all(|x| x.is_finite()) {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite input to quantile"));
+    sorted.sort_by(f64::total_cmp);
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -94,13 +100,15 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarize a series. Returns `None` for empty input.
+    /// Summarize a series. Returns `None` for empty input and for input
+    /// containing any non-finite sample (same contract as [`quantile`]:
+    /// corrupt telemetry yields a missing summary, not a panic).
     pub fn of(xs: &[f64]) -> Option<Summary> {
-        if xs.is_empty() {
+        if xs.is_empty() || !xs.iter().all(|x| x.is_finite()) {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite input to Summary"));
+        sorted.sort_by(f64::total_cmp);
         Some(Summary {
             count: xs.len(),
             mean: mean(xs),
@@ -180,6 +188,20 @@ mod tests {
     fn quantile_p95_of_uniform_grid() {
         let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
         assert!((quantile(&xs, 0.95).unwrap() - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_non_finite_is_none_not_a_panic() {
+        assert_eq!(quantile(&[1.0, f64::NAN, 3.0], 0.5), None);
+        assert_eq!(quantile(&[f64::INFINITY], 0.5), None);
+        assert_eq!(quantile(&[1.0, f64::NEG_INFINITY], 0.0), None);
+        assert_eq!(quantile(&[f64::NAN], 1.0), None);
+    }
+
+    #[test]
+    fn summary_of_non_finite_is_none_not_a_panic() {
+        assert!(Summary::of(&[2.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY, 1.0, 2.0]).is_none());
     }
 
     #[test]

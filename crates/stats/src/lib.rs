@@ -36,7 +36,7 @@ pub mod stl;
 
 pub use auc::{auc_ecdf, max_scaled_auc, minmax_scaled_auc};
 pub use bootstrap::{BootstrapWindows, WindowSampler};
-pub use descriptive::{mean, quantile, stddev, variance, Summary};
+pub use descriptive::{mean, quantile, quantile_sorted, stddev, variance, Summary};
 pub use distance::{euclidean, euclidean_sq, manhattan};
 pub use ecdf::Ecdf;
 pub use exactsum::ExactSum;

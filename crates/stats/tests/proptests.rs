@@ -145,4 +145,39 @@ proptest! {
             prop_assert!(w.start < w.end);
         }
     }
+
+    #[test]
+    fn quantile_and_summary_never_panic_on_arbitrary_floats(
+        xs in prop::collection::vec(-1e6..1e6f64, 0..120),
+        corruptions in prop::collection::vec(
+            (
+                0usize..200,
+                prop::sample::select(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            ),
+            0..4,
+        ),
+        q in 0.0..1.0f64,
+    ) {
+        // Plant non-finite samples at arbitrary slots: quantile and
+        // Summary must return Some exactly when the series is non-empty
+        // and fully finite, and must never panic either way.
+        let mut xs = xs;
+        for &(slot, bad) in &corruptions {
+            if !xs.is_empty() {
+                let n = xs.len();
+                xs[slot % n] = bad;
+            }
+        }
+        let clean = !xs.is_empty() && xs.iter().all(|x| x.is_finite());
+        let quantile_result = quantile(&xs, q);
+        let summary = doppler_stats::Summary::of(&xs);
+        prop_assert_eq!(quantile_result.is_some(), clean);
+        prop_assert_eq!(summary.is_some(), clean);
+        if let Some(v) = quantile_result {
+            prop_assert!(v.is_finite());
+        }
+        if let Some(s) = summary {
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+        }
+    }
 }

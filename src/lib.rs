@@ -62,21 +62,22 @@ pub mod prelude {
         SkuId,
     };
     pub use doppler_core::{
-        detect_drift, BackendSpec, BaselineStrategy, ConfidenceConfig, CurveShape, DopplerEngine,
-        DriftReport, DriftSeverity, EngineConfig, EngineRegistry, EngineTemplate, GroupingStrategy,
-        LearnedBackend, LearnedConfig, NegotiabilityStrategy, PricePerformanceCurve,
-        Recommendation, RecommendationBackend, RegistryError, RegistryStats, TrainingRecord,
-        TrainingSet,
+        detect_drift, BackendSpec, BaselineStrategy, CompressorSpec, ConfidenceConfig, CurveShape,
+        DopplerEngine, DriftReport, DriftSeverity, EngineConfig, EngineRegistry, EngineTemplate,
+        FeatureSpec, GroupingStrategy, LearnedBackend, LearnedConfig, LearnedTrainError,
+        NegotiabilityStrategy, PricePerformanceCurve, Recommendation, RecommendationBackend,
+        RegistryError, RegistryStats, TrainingRecord, TrainingSet,
     };
     pub use doppler_dma::{
         AdoptionLedger, AssessmentRequest, AssessmentResult, SkuRecommendationPipeline,
     };
     pub use doppler_fleet::{
-        AbAssessment, AbFleet, AbSummary, AssessmentService, CatalogRollOutcome, DriftMonitor,
-        DriftOutcome, DriftPass, DriftVerdict, EngineRoute, FleetAssessment, FleetAssessor,
-        FleetConfig, FleetDriftReport, FleetReport, FleetRequest, FleetScheduler, FleetService,
-        MonitoredCustomer, ScheduleSummary, ServiceProgress, ShardPlan, SimClock, SimMonth, Ticket,
-        TicketQueue,
+        AbAssessment, AbFleet, AbSummary, AssessmentService, Backtest, BacktestCase,
+        BacktestReport, CatalogRollOutcome, DriftMonitor, DriftOutcome, DriftPass, DriftVerdict,
+        EngineRoute, FleetAssessment, FleetAssessor, FleetConfig, FleetDriftReport, FleetReport,
+        FleetRequest, FleetScheduler, FleetService, MonitoredCustomer, PromotionPolicy,
+        RolloutStage, RolloutTracker, ScheduleSummary, ServiceProgress, ShardPlan, SimClock,
+        SimMonth, Ticket, TicketQueue,
     };
     pub use doppler_obs::{ObsRegistry, ObsSnapshot};
     pub use doppler_telemetry::{PerfDimension, PerfHistory, TimeSeries};
